@@ -1,0 +1,116 @@
+//! Criterion benches over the simulation engine's hot paths: the event
+//! calendar, ready queues, RNG streams, and collective schedule
+//! generation. These bound how large a cluster the harness can simulate
+//! per wall-clock second.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pa_kernel::{Prio, ReadyQueue, Tid};
+use pa_mpi::coll;
+use pa_simkit::{EventQueue, SeedSpace, SimDur, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/push_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..10_000u32 {
+                    // Pseudo-random but deterministic times.
+                    let t = SimTime::from_nanos(u64::from(i.wrapping_mul(2_654_435_761) % 1_000_000));
+                    q.schedule(t, i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    acc += u64::from(v);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("event_queue/interleaved_with_cancel", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                let mut ids = Vec::with_capacity(64);
+                for round in 0..1_000u64 {
+                    let base = SimTime::from_nanos(round * 1_000);
+                    for k in 0..8u32 {
+                        ids.push(q.schedule(base + SimDur::from_nanos(u64::from(k) * 7 + 1), k));
+                    }
+                    // Cancel half (stale preemption timers).
+                    for id in ids.drain(..).skip(4) {
+                        q.cancel(id);
+                    }
+                    while q.peek_time().is_some_and(|t| t <= base) {
+                        black_box(q.pop());
+                    }
+                }
+                while q.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_ready_queue(c: &mut Criterion) {
+    c.bench_function("ready_queue/push_pop_64", |b| {
+        b.iter(|| {
+            let mut q = ReadyQueue::new();
+            for i in 0..64u32 {
+                q.push(Tid(i), Prio((i % 100) as u8));
+            }
+            while let Some(x) = q.pop() {
+                black_box(x);
+            }
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/stream_derivation", |b| {
+        let seeds = SeedSpace::new(42);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(seeds.stream_at("bench", i, 0))
+        })
+    });
+    c.bench_function("rng/lognormal_draws_1k", |b| {
+        let mut rng = SeedSpace::new(42).stream("bench");
+        b.iter(|| {
+            let mut acc = SimDur::ZERO;
+            for _ in 0..1_000 {
+                acc += rng.lognormal_dur(SimDur::from_micros(100), 0.5);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    c.bench_function("coll/binomial_schedules_944", |b| {
+        b.iter(|| {
+            for r in (0..944).step_by(59) {
+                black_box(coll::binomial_allreduce(r, 944));
+            }
+        })
+    });
+    c.bench_function("coll/recursive_doubling_944", |b| {
+        b.iter(|| {
+            for r in (0..944).step_by(59) {
+                black_box(coll::recursive_doubling_allreduce(r, 944));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_ready_queue,
+    bench_rng,
+    bench_collectives
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 3: mean Allreduce time vs. processor count, 16 tasks/node,
+//! standard (vanilla) kernel. Expect roughly linear growth with large
+//! run-to-run variability — not the logarithmic curve the tree algorithm
+//! predicts.
+
+use pa_bench::{banner, emit, scale_sweep, Args, Mode};
+use pa_simkit::{report, Table};
+use pa_workloads::{run_scaling, ScalingConfig};
+
+fn main() {
+    let args = Args::parse();
+    banner("Figure 3 · Allreduce µs vs processors (vanilla, 16 t/n)", args.mode);
+    let cfg = scale_sweep(
+        ScalingConfig::fig3(args.mode == Mode::Quick),
+        args.mode,
+        args.seed,
+    );
+    let mut log = |s: &str| eprintln!("  [fig3] {s}");
+    let points = run_scaling(&cfg, Some(&mut log));
+    emit(args.json, &points, || {
+        let mut t = Table::new(
+            "Allreduce scaling — vanilla AIX-like kernel",
+            &["procs", "mean µs", "stddev", "min", "max"],
+        );
+        for p in &points {
+            t.row(&[
+                p.procs.to_string(),
+                report::fnum(p.mean_us, 1),
+                report::fnum(p.std_us, 1),
+                report::fnum(p.min_us, 1),
+                report::fnum(p.max_us, 1),
+            ]);
+        }
+        print!("{}", t.render());
+        println!("(paper: linear, high variability; fitted y = 0.70x + 166)");
+    });
+}

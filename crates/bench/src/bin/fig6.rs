@@ -1,0 +1,41 @@
+//! Figure 6: the fitted lines over the Figure 3 and Figure 5 data and the
+//! headline slope ratio (paper: 0.70/0.22 ≈ 3.2×, "a speedup of over
+//! 300% on synchronizing collectives").
+
+use pa_bench::{banner, emit, scale_sweep, Args, Mode};
+use pa_simkit::report;
+use pa_workloads::{fig6, run_scaling, ScalingConfig};
+
+fn main() {
+    let args = Args::parse();
+    banner("Figure 6 · fitted scaling lines", args.mode);
+    let quick = args.mode == Mode::Quick;
+    let vcfg = scale_sweep(ScalingConfig::fig3(quick), args.mode, args.seed);
+    let pcfg = scale_sweep(ScalingConfig::fig5(quick), args.mode, args.seed);
+    let mut vlog = |s: &str| eprintln!("  [vanilla] {s}");
+    let vanilla = run_scaling(&vcfg, Some(&mut vlog));
+    let mut plog = |s: &str| eprintln!("  [proto]   {s}");
+    let prototype = run_scaling(&pcfg, Some(&mut plog));
+    let result = fig6(&vanilla, &prototype);
+    emit(args.json, &result, || {
+        println!(
+            "vanilla   : y = {}x + {}   (r² {})",
+            report::fnum(result.vanilla.slope, 3),
+            report::fnum(result.vanilla.intercept, 1),
+            report::fnum(result.vanilla.r2, 3)
+        );
+        println!(
+            "prototype : y = {}x + {}   (r² {})",
+            report::fnum(result.prototype.slope, 3),
+            report::fnum(result.prototype.intercept, 1),
+            report::fnum(result.prototype.r2, 3)
+        );
+        println!(
+            "slope ratio (vanilla/prototype): {}x   (paper: 0.70/0.22 = 3.2x)",
+            report::fnum(result.slope_ratio, 2)
+        );
+        for (procs, s) in &result.speedups {
+            println!("  speedup at {procs:>5} procs: {}x", report::fnum(*s, 2));
+        }
+    });
+}

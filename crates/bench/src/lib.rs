@@ -1,0 +1,116 @@
+//! # pa-bench — figure/table regeneration harness
+//!
+//! One binary per paper figure and table (see DESIGN.md's per-experiment
+//! index) plus Criterion benches over the simulation engine. Every binary
+//! accepts:
+//!
+//! * `--quick` — a seconds-scale smoke configuration (small cluster);
+//! * `--full`  — the paper-shaped configuration (≥59 nodes; tens of
+//!   minutes for the scaling sweeps);
+//! * `--json`  — machine-readable output instead of tables;
+//! * `--seed N` — override the master seed.
+//!
+//! The default mode is a balanced configuration that reproduces every
+//! qualitative result in a few minutes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+
+/// Scale at which to run a regeneration binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Smoke scale.
+    Quick,
+    /// Balanced default.
+    Standard,
+    /// Paper scale.
+    Full,
+}
+
+/// Parsed common CLI arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Selected scale.
+    pub mode: Mode,
+    /// Emit JSON.
+    pub json: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parse `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Args {
+        let mut mode = Mode::Standard;
+        let mut json = false;
+        let mut seed = 42u64;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => mode = Mode::Quick,
+                "--full" => mode = Mode::Full,
+                "--json" => json = true,
+                "--seed" => {
+                    seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument '{other}'")),
+            }
+        }
+        Args { mode, json, seed }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <bin> [--quick|--full] [--json] [--seed N]");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Print a serializable result as JSON or run the text closure.
+pub fn emit<T: Serialize>(json: bool, value: &T, text: impl FnOnce()) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(value).expect("result serializes")
+        );
+    } else {
+        text();
+    }
+}
+
+/// Shared header line for the text reports.
+pub fn banner(title: &str, mode: Mode) {
+    println!("=== PACE reproduction · {title} · mode: {mode:?} ===");
+}
+
+use pa_simkit::SimDur;
+use pa_workloads::ScalingConfig;
+
+/// Apply a mode to a Figure-3/5 sweep configuration.
+pub fn scale_sweep(mut cfg: ScalingConfig, mode: Mode, seed: u64) -> ScalingConfig {
+    match mode {
+        Mode::Quick => {
+            cfg.node_counts = vec![2, 4, 8];
+            cfg.allreduces = 192;
+            cfg.seeds = vec![seed, seed + 1];
+            cfg.target_sim_time = None;
+        }
+        Mode::Standard => {
+            cfg.node_counts = vec![4, 8, 16, 32, 59];
+            cfg.seeds = vec![seed, seed + 1];
+            cfg.target_sim_time = Some(SimDur::from_millis(2_000));
+        }
+        Mode::Full => {
+            cfg.seeds = vec![seed, seed + 1, seed + 2];
+        }
+    }
+    cfg
+}

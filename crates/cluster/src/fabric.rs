@@ -1,0 +1,122 @@
+//! The switch fabric model.
+//!
+//! The SP switch of the study's machines provides (a) low-latency
+//! user-space messaging between nodes and (b) a globally synchronized
+//! clock register (§4). This module models (a): message delivery delay as
+//! a LogGP-style latency + serialization term, with distinct constants for
+//! on-node (shared memory) and cross-node paths.
+
+use pa_kernel::Message;
+use pa_simkit::SimDur;
+use serde::{Deserialize, Serialize};
+
+/// Delivery-delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricModel {
+    /// Wire latency for a cross-node message (switch traversal).
+    pub net_latency: SimDur,
+    /// Cross-node bandwidth, bytes per second.
+    pub net_bandwidth: f64,
+    /// Latency for an on-node (shared memory) message.
+    pub shm_latency: SimDur,
+    /// On-node bandwidth, bytes per second.
+    pub shm_bandwidth: f64,
+}
+
+impl Default for FabricModel {
+    fn default() -> Self {
+        // Calibrated to the study's context: user-space MPI over the SP
+        // switch had ~17µs one-way small-message latency on Power3 SPs,
+        // ~350 MB/s sustained; shared memory ~3µs, ~1 GB/s.
+        FabricModel {
+            net_latency: SimDur::from_micros(17),
+            net_bandwidth: 350e6,
+            shm_latency: SimDur::from_micros(3),
+            shm_bandwidth: 1e9,
+        }
+    }
+}
+
+impl FabricModel {
+    /// Delivery delay for `msg` (sender overhead is charged by the sending
+    /// kernel; this is fabric time only).
+    pub fn delay(&self, msg: &Message) -> SimDur {
+        let same_node = msg.src.node == msg.dst.node;
+        let (lat, bw) = if same_node {
+            (self.shm_latency, self.shm_bandwidth)
+        } else {
+            (self.net_latency, self.net_bandwidth)
+        };
+        let ser = SimDur::from_nanos((f64::from(msg.bytes) / bw * 1e9) as u64);
+        lat + ser
+    }
+
+    /// Validate sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.net_bandwidth <= 0.0 || self.shm_bandwidth <= 0.0 {
+            return Err("bandwidth must be positive".into());
+        }
+        if self.shm_latency > self.net_latency {
+            return Err("shared memory should not be slower than the switch".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_kernel::{Endpoint, Tid};
+    use pa_simkit::SimTime;
+
+    fn msg(src_node: u32, dst_node: u32, bytes: u32) -> Message {
+        Message {
+            src: Endpoint {
+                node: src_node,
+                tid: Tid(0),
+            },
+            dst: Endpoint {
+                node: dst_node,
+                tid: Tid(1),
+            },
+            tag: 0,
+            bytes,
+            sent_at: SimTime::ZERO,
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn cross_node_slower_than_shm() {
+        let f = FabricModel::default();
+        assert!(f.delay(&msg(0, 1, 8)) > f.delay(&msg(0, 0, 8)));
+    }
+
+    #[test]
+    fn small_message_is_latency_bound() {
+        let f = FabricModel::default();
+        let d = f.delay(&msg(0, 1, 8));
+        // 8 bytes at 350MB/s is ~23ns: delay ≈ net_latency.
+        assert!(d >= f.net_latency);
+        assert!(d <= f.net_latency + SimDur::from_nanos(100));
+    }
+
+    #[test]
+    fn large_message_is_bandwidth_bound() {
+        let f = FabricModel::default();
+        let d = f.delay(&msg(0, 1, 35_000_000)); // 35 MB at 350MB/s = 100ms
+        assert!(d >= SimDur::from_millis(100));
+        assert!(d <= SimDur::from_millis(101));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(FabricModel::default().validate().is_ok());
+        let mut bad = FabricModel::default();
+        bad.net_bandwidth = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = FabricModel::default();
+        bad.shm_latency = SimDur::from_millis(1);
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,23 @@
+//! # pa-cluster — the multi-node SP system
+//!
+//! Assembles per-node kernels (`pa-kernel`) into a cluster connected by a
+//! switch fabric with a globally synchronized timebase, mirroring the
+//! study's RS/6000 SP machines (ASCI White, Frost, Blue Oak):
+//!
+//! * [`FabricModel`] — LogGP-style message delivery (switch vs. shared
+//!   memory paths);
+//! * [`ClusterSpec`] — the machine shape (nodes × CPUs, kernel options,
+//!   boot-time clock skew);
+//! * [`ClusterSim`] — the event-calendar driver that routes messages and
+//!   runs every node kernel on the shared global timeline, including the
+//!   switch-clock synchronization step the co-scheduler performs at
+//!   startup (§4).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fabric;
+pub mod sim;
+
+pub use fabric::FabricModel;
+pub use sim::{ClusterEvent, ClusterSim, ClusterSpec};

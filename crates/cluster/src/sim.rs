@@ -1,0 +1,344 @@
+//! The multi-node simulation driver.
+//!
+//! [`ClusterSim`] owns one [`Kernel`] per node, the global event calendar,
+//! and the switch [`FabricModel`]. It routes outbound messages between
+//! node kernels and runs the whole cluster to a predicate or horizon.
+//! The global calendar *is* the switch's globally synchronized timebase;
+//! each node's kernel sees it only through its own
+//! `ClockModel` — exactly as real nodes see real
+//! time only through their (possibly skewed) time-of-day clocks.
+
+use crate::fabric::FabricModel;
+use pa_kernel::{ClockModel, Effects, Kernel, KernelEvent, SchedOptions};
+use pa_simkit::{EventQueue, SeedSpace, SimDur, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Cluster-wide event: a kernel event addressed to one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterEvent {
+    /// Destination node.
+    pub node: u32,
+    /// The node-level event.
+    pub ev: KernelEvent,
+}
+
+/// Static description of a cluster to build.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of SMP nodes.
+    pub nodes: u32,
+    /// CPUs per node (the study's machines: 16-way Nighthawk/Power3).
+    pub cpus_per_node: u8,
+    /// Kernel options (identical on every node, like a site-wide kernel).
+    pub options: SchedOptions,
+    /// Maximum boot-time clock offset; each node draws uniformly from
+    /// `[0, skew_max)`. Zero models pre-synchronized clocks.
+    pub skew_max: SimDur,
+    /// Trace-ring capacity per node.
+    pub trace_capacity: usize,
+    /// Fabric constants.
+    pub fabric: FabricModel,
+}
+
+impl ClusterSpec {
+    /// A cluster in the study's shape: `nodes` × 16-way, vanilla kernel,
+    /// unsynchronized clocks (up to 10 ms skew).
+    pub fn sp_system(nodes: u32) -> ClusterSpec {
+        ClusterSpec {
+            nodes,
+            cpus_per_node: 16,
+            options: SchedOptions::vanilla(),
+            skew_max: SimDur::from_millis(10),
+            trace_capacity: 1 << 18,
+            fabric: FabricModel::default(),
+        }
+    }
+
+    /// Same, with the prototype kernel options.
+    pub fn sp_system_prototype(nodes: u32) -> ClusterSpec {
+        ClusterSpec {
+            options: SchedOptions::prototype(),
+            ..ClusterSpec::sp_system(nodes)
+        }
+    }
+
+    /// Total CPU count.
+    pub fn total_cpus(&self) -> u32 {
+        self.nodes * u32::from(self.cpus_per_node)
+    }
+}
+
+/// The running cluster.
+pub struct ClusterSim {
+    kernels: Vec<Kernel>,
+    queue: EventQueue<ClusterEvent>,
+    fabric: FabricModel,
+    fx: Effects,
+    events_processed: u64,
+    booted: bool,
+}
+
+impl ClusterSim {
+    /// Build the cluster: one kernel per node with per-node RNG streams
+    /// and boot-time clock offsets drawn from `seeds`.
+    pub fn build(spec: &ClusterSpec, seeds: &SeedSpace) -> ClusterSim {
+        spec.fabric.validate().expect("invalid fabric model");
+        assert!(spec.nodes > 0, "cluster needs at least one node");
+        let kernels = (0..spec.nodes)
+            .map(|n| {
+                let mut clock_rng = seeds.stream_at("cluster/clock", u64::from(n), 0);
+                let offset = if spec.skew_max.is_zero() {
+                    SimDur::ZERO
+                } else {
+                    SimDur::from_nanos(clock_rng.range(0, spec.skew_max.nanos()))
+                };
+                Kernel::new(
+                    n,
+                    spec.cpus_per_node,
+                    spec.options,
+                    ClockModel::with_offset(offset),
+                    seeds.stream_at("cluster/kernel", u64::from(n), 0),
+                    spec.trace_capacity,
+                )
+            })
+            .collect();
+        ClusterSim {
+            kernels,
+            queue: EventQueue::new(),
+            fabric: spec.fabric,
+            fx: Effects::new(),
+            events_processed: 0,
+            booted: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> u32 {
+        self.kernels.len() as u32
+    }
+
+    /// Access a node's kernel (setup: spawning threads, enabling traces).
+    pub fn kernel_mut(&mut self, node: u32) -> &mut Kernel {
+        &mut self.kernels[node as usize]
+    }
+
+    /// Access a node's kernel read-only (post-run analysis).
+    pub fn kernel(&self, node: u32) -> &Kernel {
+        &self.kernels[node as usize]
+    }
+
+    /// Current global time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Synchronize every node's clock to the switch clock, leaving at most
+    /// `residual_max` of error per node (the co-scheduler's startup
+    /// procedure, §4). Must be called before [`ClusterSim::boot`] so tick
+    /// boundaries are planned on the synced clocks.
+    pub fn sync_clocks(&mut self, seeds: &SeedSpace, residual_max: SimDur) {
+        for (n, k) in self.kernels.iter_mut().enumerate() {
+            let mut rng = seeds.stream_at("cluster/clocksync", n as u64, 0);
+            let residual = if residual_max.is_zero() {
+                SimDur::ZERO
+            } else {
+                SimDur::from_nanos(rng.range(0, residual_max.nanos()))
+            };
+            k.clock_mut().sync_to_switch(residual);
+        }
+    }
+
+    /// Boot every node at the current time.
+    pub fn boot(&mut self) {
+        assert!(!self.booted, "boot called twice");
+        self.booted = true;
+        let now = self.queue.now();
+        for n in 0..self.kernels.len() {
+            self.kernels[n].boot(now, &mut self.fx);
+            self.drain_effects(n as u32);
+        }
+    }
+
+    fn drain_effects(&mut self, node: u32) {
+        let now = self.queue.now();
+        for (t, ev) in self.fx.schedule.drain(..) {
+            self.queue.schedule(t, ClusterEvent { node, ev });
+        }
+        for msg in self.fx.outbound.drain(..) {
+            let delay = self.fabric.delay(&msg);
+            let dst = msg.dst.node;
+            assert!(
+                (dst as usize) < self.kernels.len(),
+                "message to nonexistent node {dst}"
+            );
+            self.queue
+                .schedule(now + delay, ClusterEvent { node: dst, ev: KernelEvent::Deliver { msg } });
+        }
+    }
+
+    /// Live application threads across the cluster.
+    pub fn apps_alive(&self) -> usize {
+        self.kernels.iter().map(|k| k.app_alive()).sum()
+    }
+
+    /// Run until every application thread has exited or `horizon` passes.
+    /// Returns the stop time.
+    pub fn run_until_apps_done(&mut self, horizon: SimTime) -> SimTime {
+        assert!(self.booted, "boot the cluster first");
+        loop {
+            if self.apps_alive() == 0 {
+                return self.queue.now();
+            }
+            let Some(t) = self.queue.peek_time() else {
+                return self.queue.now();
+            };
+            if t > horizon {
+                return self.queue.now();
+            }
+            self.step();
+        }
+    }
+
+    /// Run until `horizon` regardless of application state.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        assert!(self.booted, "boot the cluster first");
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step();
+        }
+        horizon
+    }
+
+    fn step(&mut self) {
+        let (now, ev) = self.queue.pop().expect("step on empty queue");
+        self.events_processed += 1;
+        let node = ev.node as usize;
+        self.kernels[node].handle(now, ev.ev, &mut self.fx);
+        self.drain_effects(ev.node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_kernel::{Action, CpuId, Endpoint, Message, Prio, Script, SrcSel, TagSel, ThreadSpec, ThreadState, Tid, WaitMode};
+    use pa_trace::{HookMask, ThreadClass};
+
+    fn two_node_cluster() -> ClusterSim {
+        let spec = ClusterSpec {
+            nodes: 2,
+            cpus_per_node: 2,
+            options: SchedOptions::vanilla(),
+            skew_max: SimDur::ZERO,
+            trace_capacity: 1 << 14,
+            fabric: FabricModel::default(),
+        };
+        ClusterSim::build(&spec, &SeedSpace::new(1))
+    }
+
+    #[test]
+    fn cross_node_ping_pong() {
+        let mut sim = two_node_cluster();
+        // Node 0 rank sends to node 1 rank, which replies; both then exit.
+        let ep = |node: u32, tid: u32| Endpoint { node, tid: Tid(tid) };
+        let msg = |src: Endpoint, dst: Endpoint, tag: u64| Message {
+            src,
+            dst,
+            tag,
+            bytes: 8,
+            sent_at: SimTime::ZERO,
+            payload: 0,
+        };
+        sim.kernel_mut(0).trace_mut().set_mask(HookMask::ALL);
+        sim.kernel_mut(0).spawn(
+            ThreadSpec::new("rank0", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![
+                Action::Send(msg(ep(0, 0), ep(1, 0), 1)),
+                Action::Recv {
+                    tag: TagSel::Exact(2),
+                    src: SrcSel::Any,
+                    wait: WaitMode::Poll,
+                },
+            ])),
+        );
+        sim.kernel_mut(1).spawn(
+            ThreadSpec::new("rank1", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![
+                Action::Recv {
+                    tag: TagSel::Exact(1),
+                    src: SrcSel::Any,
+                    wait: WaitMode::Poll,
+                },
+                Action::Send(msg(ep(1, 0), ep(0, 0), 2)),
+            ])),
+        );
+        sim.boot();
+        let end = sim.run_until_apps_done(SimTime::from_secs(1));
+        assert_eq!(sim.apps_alive(), 0);
+        // Two network hops plus overheads: tens of microseconds.
+        assert!(end >= SimTime::from_micros(26), "too fast: {end}");
+        assert!(end < SimTime::from_millis(1), "too slow: {end}");
+        assert_eq!(
+            sim.kernel(0).thread_state(Tid(0)),
+            ThreadState::Exited
+        );
+    }
+
+    #[test]
+    fn skew_draws_distinct_offsets() {
+        let spec = ClusterSpec {
+            skew_max: SimDur::from_millis(10),
+            ..ClusterSpec::sp_system(4)
+        };
+        let sim = ClusterSim::build(&spec, &SeedSpace::new(1));
+        let offsets: Vec<SimDur> = (0..4).map(|n| sim.kernel(n).clock().offset()).collect();
+        let distinct: std::collections::HashSet<u64> =
+            offsets.iter().map(|o| o.nanos()).collect();
+        assert!(distinct.len() >= 3, "offsets look degenerate: {offsets:?}");
+    }
+
+    #[test]
+    fn sync_clocks_collapses_offsets() {
+        let spec = ClusterSpec {
+            skew_max: SimDur::from_millis(10),
+            ..ClusterSpec::sp_system(4)
+        };
+        let seeds = SeedSpace::new(1);
+        let mut sim = ClusterSim::build(&spec, &seeds);
+        sim.sync_clocks(&seeds, SimDur::from_micros(20));
+        for n in 0..4 {
+            assert!(sim.kernel(n).clock().offset() < SimDur::from_micros(20));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_history() {
+        let run = || {
+            let mut sim = two_node_cluster();
+            sim.kernel_mut(0).spawn(
+                ThreadSpec::new("a", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+                Box::new(Script::new(vec![Action::Compute(SimDur::from_millis(5))])),
+            );
+            sim.boot();
+            let t = sim.run_until_apps_done(SimTime::from_secs(1));
+            (t, sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spec_presets() {
+        let v = ClusterSpec::sp_system(59);
+        assert_eq!(v.total_cpus(), 944);
+        let p = ClusterSpec::sp_system_prototype(59);
+        assert_eq!(p.options.big_tick, 25);
+        assert_eq!(v.options.big_tick, 1);
+    }
+}

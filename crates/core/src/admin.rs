@@ -1,0 +1,220 @@
+//! The administrative interface (`/etc/poe.priority`).
+//!
+//! §4: *"The POE administrative interface is a file (/etc/poe.priority)
+//! that is root-only writable, and is assumed to be the same on each
+//! node. Each record in the file identifies a priority class name, user
+//! ID, and scheduling parameters ... A user wishing to have a job
+//! controlled by the co-scheduler sets the POE environment variable
+//! `MP_PRIORITY=<class>`. At job start, the administrative file is searched
+//! for a match of priority class and user ID. If there is a match, the
+//! co-scheduler is started. Otherwise, an attention message is printed
+//! and the job runs as if no priority had been requested."*
+
+use crate::cosched::CoschedParams;
+use pa_kernel::Prio;
+use pa_simkit::SimDur;
+use serde::{Deserialize, Serialize};
+
+/// One record of the priority file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriorityRecord {
+    /// Class name (matched against `MP_PRIORITY`).
+    pub class: String,
+    /// Authorized user id.
+    pub uid: u32,
+    /// The scheduling parameters granted.
+    pub params: CoschedParams,
+}
+
+/// The parsed administrative table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdminTable {
+    records: Vec<PriorityRecord>,
+}
+
+/// Outcome of a job's `MP_PRIORITY` request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PriorityGrant {
+    /// Matched: the co-scheduler starts with these parameters.
+    Granted(CoschedParams),
+    /// No match: "an attention message is printed and the job runs as if
+    /// no priority had been requested."
+    Refused {
+        /// The attention message.
+        attention: String,
+    },
+}
+
+impl AdminTable {
+    /// Empty table.
+    pub fn new() -> AdminTable {
+        AdminTable::default()
+    }
+
+    /// Add a record.
+    pub fn add(&mut self, record: PriorityRecord) -> &mut Self {
+        self.records.push(record);
+        self
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff the table has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Job-start lookup.
+    pub fn request(&self, class: &str, uid: u32) -> PriorityGrant {
+        match self
+            .records
+            .iter()
+            .find(|r| r.class == class && r.uid == uid)
+        {
+            Some(r) => PriorityGrant::Granted(r.params),
+            None => PriorityGrant::Refused {
+                attention: format!(
+                    "ATTENTION: no priority class '{class}' authorized for uid {uid}; \
+                     running without co-scheduling"
+                ),
+            },
+        }
+    }
+
+    /// Parse the file format: one record per line,
+    /// `class:uid:favored:unfavored:period_seconds:duty_percent`,
+    /// `#` comments and blank lines ignored.
+    pub fn parse(text: &str) -> Result<AdminTable, String> {
+        let mut table = AdminTable::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(':').collect();
+            if fields.len() != 6 {
+                return Err(format!(
+                    "line {}: expected 6 ':'-separated fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                ));
+            }
+            let parse_u32 = |s: &str, what: &str| {
+                s.parse::<u32>()
+                    .map_err(|e| format!("line {}: bad {what} '{s}': {e}", lineno + 1))
+            };
+            let uid = parse_u32(fields[1], "uid")?;
+            let favored = parse_u32(fields[2], "favored priority")?;
+            let unfavored = parse_u32(fields[3], "unfavored priority")?;
+            let period_s = parse_u32(fields[4], "period")?;
+            let duty_pct = parse_u32(fields[5], "duty percent")?;
+            if favored > 127 || unfavored > 127 {
+                return Err(format!("line {}: priorities must be 0-127", lineno + 1));
+            }
+            if duty_pct > 100 {
+                return Err(format!("line {}: duty percent must be 0-100", lineno + 1));
+            }
+            let params = CoschedParams {
+                favored: Prio(favored as u8),
+                unfavored: Prio(unfavored as u8),
+                period: SimDur::from_secs(u64::from(period_s)),
+                duty: f64::from(duty_pct) / 100.0,
+                ..CoschedParams::benchmark()
+            };
+            params
+                .validate()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            table.add(PriorityRecord {
+                class: fields[0].to_string(),
+                uid,
+                params,
+            });
+        }
+        Ok(table)
+    }
+
+    /// Render back to the file format.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# class:uid:favored:unfavored:period_s:duty_pct\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{}:{}:{}:{}:{}:{}\n",
+                r.class,
+                r.uid,
+                r.params.favored.0,
+                r.params.unfavored.0,
+                r.params.period.as_secs_f64() as u64,
+                (r.params.duty * 100.0).round() as u64
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# site priority classes
+BENCH:1001:30:100:5:90
+PROD:1002:41:100:10:95
+";
+
+    #[test]
+    fn parse_and_lookup() {
+        let t = AdminTable::parse(SAMPLE).expect("parses");
+        assert_eq!(t.len(), 2);
+        match t.request("BENCH", 1001) {
+            PriorityGrant::Granted(p) => {
+                assert_eq!(p.favored, Prio(30));
+                assert_eq!(p.unfavored, Prio(100));
+                assert_eq!(p.period, SimDur::from_secs(5));
+                assert!((p.duty - 0.9).abs() < 1e-12);
+            }
+            PriorityGrant::Refused { .. } => panic!("should match"),
+        }
+    }
+
+    #[test]
+    fn refusal_prints_attention() {
+        let t = AdminTable::parse(SAMPLE).unwrap();
+        // Wrong uid for the class: the paper notes dissatisfaction with
+        // exactly this uid-keyed behaviour.
+        match t.request("BENCH", 9999) {
+            PriorityGrant::Refused { attention } => {
+                assert!(attention.contains("ATTENTION"));
+                assert!(attention.contains("BENCH"));
+            }
+            PriorityGrant::Granted(_) => panic!("should refuse"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let t = AdminTable::parse(SAMPLE).unwrap();
+        let t2 = AdminTable::parse(&t.render()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn bad_lines_rejected() {
+        assert!(AdminTable::parse("BENCH:1001:30:100:5").is_err(), "field count");
+        assert!(AdminTable::parse("BENCH:x:30:100:5:90").is_err(), "uid");
+        assert!(AdminTable::parse("BENCH:1001:200:100:5:90").is_err(), "prio range");
+        assert!(AdminTable::parse("BENCH:1001:30:100:5:150").is_err(), "duty range");
+        assert!(
+            AdminTable::parse("BENCH:1001:110:100:5:90").is_err(),
+            "favored must beat unfavored"
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = AdminTable::parse("\n# just a comment\n\n").unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,433 @@
+//! The experiment façade: one builder that assembles cluster, kernel
+//! options, noise, job, and co-scheduler the way the study's test runs
+//! did (§5.2), runs to completion, and hands back everything needed for
+//! analysis.
+//!
+//! ```
+//! use pa_core::{Experiment, CoschedSetup};
+//! use pa_mpi::{MpiOp, OpList};
+//!
+//! // 2 nodes × 4 CPUs, prototype kernel + co-scheduler, 8 Allreduces.
+//! let out = Experiment::new(2, 4)
+//!     .with_cpus_per_node(4)
+//!     .with_kernel(pa_kernel::SchedOptions::prototype())
+//!     .with_cosched(CoschedSetup::default())
+//!     .with_seed(7)
+//!     .run(&mut |_rank| {
+//!         Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 8 }; 8]))
+//!     });
+//! assert!(out.completed);
+//! assert!(out.mean_allreduce_us() > 0.0);
+//! ```
+
+use crate::cosched::{CoschedDaemon, CoschedParams};
+use pa_cluster::{ClusterSim, ClusterSpec, FabricModel};
+use pa_kernel::{Endpoint, Prio, SchedOptions, ThreadSpec};
+use pa_mpi::{
+    fresh_layout, install_job, Job, JobSpec, MpiConfig, OpKind, ProgressSpec, RankWorkload,
+};
+use pa_simkit::{SeedSpace, SimDur, SimTime};
+use pa_trace::{AttributionReport, CpuTimeline, HookMask, ThreadClass};
+
+/// Co-scheduler deployment options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoschedSetup {
+    /// Priority-cycling parameters.
+    pub params: CoschedParams,
+    /// Perform the switch-clock synchronization at startup (§4). Without
+    /// it, window edges drift apart by the boot-time clock skew.
+    pub sync_clocks: bool,
+    /// Residual clock error after synchronization.
+    pub sync_residual: SimDur,
+}
+
+impl Default for CoschedSetup {
+    fn default() -> Self {
+        CoschedSetup {
+            params: CoschedParams::benchmark(),
+            sync_clocks: true,
+            sync_residual: SimDur::from_micros(20),
+        }
+    }
+}
+
+impl CoschedSetup {
+    /// The I/O-aware variant (§5.3 ALE3D fix).
+    pub fn io_aware() -> CoschedSetup {
+        CoschedSetup {
+            params: CoschedParams::io_aware(),
+            ..CoschedSetup::default()
+        }
+    }
+}
+
+/// Builder for one cluster run.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Node count.
+    pub nodes: u32,
+    /// Tasks per node (≤ CPUs per node).
+    pub tasks_per_node: u32,
+    /// CPUs per node.
+    pub cpus_per_node: u8,
+    /// Kernel option block (vanilla / prototype / custom).
+    pub kernel: SchedOptions,
+    /// Interference profile installed on every node.
+    pub noise: pa_noise::NoiseProfile,
+    /// Co-scheduler, if deployed.
+    pub cosched: Option<CoschedSetup>,
+    /// MPI library configuration.
+    pub mpi: MpiConfig,
+    /// MPI timer threads.
+    pub progress: Option<ProgressSpec>,
+    /// Master seed.
+    pub seed: u64,
+    /// Boot-time clock skew bound.
+    pub skew_max: SimDur,
+    /// Fabric constants.
+    pub fabric: FabricModel,
+    /// Nodes with tracing enabled (study hook set).
+    pub trace_nodes: Vec<u32>,
+    /// Node whose ranks get full per-call series (Figure-4 style).
+    pub watch_node: Option<u32>,
+    /// Trace ring capacity per node.
+    pub trace_capacity: usize,
+    /// Give-up horizon.
+    pub horizon: SimDur,
+}
+
+impl Experiment {
+    /// Defaults mirror the study's environment: 16-way nodes, vanilla
+    /// kernel, production noise, no co-scheduler, polling MPI with timer
+    /// threads, 10 ms clock skew.
+    pub fn new(nodes: u32, tasks_per_node: u32) -> Experiment {
+        Experiment {
+            nodes,
+            tasks_per_node,
+            cpus_per_node: 16,
+            kernel: SchedOptions::vanilla(),
+            noise: pa_noise::NoiseProfile::production(),
+            cosched: None,
+            mpi: MpiConfig::default(),
+            progress: Some(ProgressSpec::default()),
+            seed: 42,
+            skew_max: SimDur::from_millis(10),
+            fabric: FabricModel::default(),
+            trace_nodes: Vec::new(),
+            watch_node: None,
+            trace_capacity: 1 << 18,
+            horizon: SimDur::from_secs(3_600),
+        }
+    }
+
+    /// Set CPUs per node.
+    pub fn with_cpus_per_node(mut self, cpus: u8) -> Self {
+        self.cpus_per_node = cpus;
+        self
+    }
+
+    /// Set the kernel option block.
+    pub fn with_kernel(mut self, opts: SchedOptions) -> Self {
+        self.kernel = opts;
+        self
+    }
+
+    /// Set the noise profile.
+    pub fn with_noise(mut self, noise: pa_noise::NoiseProfile) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Deploy the co-scheduler.
+    pub fn with_cosched(mut self, setup: CoschedSetup) -> Self {
+        self.cosched = Some(setup);
+        self
+    }
+
+    /// Set the MPI configuration.
+    pub fn with_mpi(mut self, mpi: MpiConfig) -> Self {
+        self.mpi = mpi;
+        self
+    }
+
+    /// Set (or disable, with `None`) the MPI timer threads.
+    pub fn with_progress(mut self, progress: Option<ProgressSpec>) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable tracing on a node.
+    pub fn with_trace_node(mut self, node: u32) -> Self {
+        self.trace_nodes.push(node);
+        self
+    }
+
+    /// Record full per-call series for one node's ranks.
+    pub fn with_watch_node(mut self, node: u32) -> Self {
+        self.watch_node = Some(node);
+        self
+    }
+
+    /// Set the give-up horizon.
+    pub fn with_horizon(mut self, horizon: SimDur) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Assemble and run. `make_workload` is invoked once per rank.
+    pub fn run(
+        self,
+        make_workload: &mut dyn FnMut(u32) -> Box<dyn RankWorkload>,
+    ) -> RunOutput {
+        assert!(
+            self.tasks_per_node <= u32::from(self.cpus_per_node),
+            "tasks per node exceeds CPUs"
+        );
+        let seeds = SeedSpace::new(self.seed);
+        let spec = ClusterSpec {
+            nodes: self.nodes,
+            cpus_per_node: self.cpus_per_node,
+            options: self.kernel,
+            skew_max: self.skew_max,
+            trace_capacity: self.trace_capacity,
+            fabric: self.fabric,
+        };
+        let mut sim = ClusterSim::build(&spec, &seeds);
+
+        // Co-scheduler startup: clock sync first (it rewrites the AIX
+        // clock's low-order bits from the switch clock), then one daemon
+        // per node.
+        let layout = fresh_layout();
+        let mut cosched_eps: Vec<Option<Endpoint>> = vec![None; self.nodes as usize];
+        if let Some(cs) = &self.cosched {
+            if cs.sync_clocks {
+                sim.sync_clocks(&seeds, cs.sync_residual);
+            }
+            for node in 0..self.nodes {
+                let tid = sim.kernel_mut(node).spawn(
+                    ThreadSpec::new("cosched", ThreadClass::Cosched, Prio::COSCHED),
+                    Box::new(CoschedDaemon::new(cs.params, self.tasks_per_node)),
+                );
+                let ep = Endpoint { node, tid };
+                layout.borrow_mut().set_cosched(node, ep);
+                cosched_eps[node as usize] = Some(ep);
+            }
+        }
+
+        // The job.
+        let job_spec = JobSpec {
+            tasks_per_node: self.tasks_per_node,
+            mpi: self.mpi,
+            progress: self.progress,
+            rank_prio: Prio::USER,
+        };
+        let job = install_job(&mut sim, layout, &job_spec, &seeds, make_workload);
+
+        // Interference. GPFS service endpoints go into the layout so
+        // ranks route their I/O through (possibly remote) mmfsd daemons.
+        for node in 0..self.nodes {
+            let installed = self.noise.install(sim.kernel_mut(node), &seeds, node);
+            if let Some(tid) = installed.gpfs {
+                job.layout
+                    .borrow_mut()
+                    .set_gpfs(node, Endpoint { node, tid });
+            }
+        }
+
+        // Tracing and watch lists.
+        for &node in &self.trace_nodes {
+            sim.kernel_mut(node).trace_mut().set_mask(HookMask::study());
+        }
+        if let Some(node) = self.watch_node {
+            let ranks = job.layout.borrow().ranks_on(node);
+            job.recorder.borrow_mut().watch_ranks(&ranks);
+        }
+
+        sim.boot();
+        let horizon = SimTime::ZERO + self.horizon;
+        let end = sim.run_until_apps_done(horizon);
+        let completed = sim.apps_alive() == 0;
+        let events = sim.events_processed();
+        RunOutput {
+            sim,
+            job,
+            cosched_eps,
+            wall: end.since(SimTime::ZERO),
+            completed,
+            events,
+        }
+    }
+}
+
+/// Results of one run.
+pub struct RunOutput {
+    /// The post-run cluster (trace buffers, usage counters).
+    pub sim: ClusterSim,
+    /// Job handles (recorder, layout, thread ids).
+    pub job: Job,
+    /// Per-node co-scheduler endpoints (None when not deployed).
+    pub cosched_eps: Vec<Option<Endpoint>>,
+    /// Job completion time (or the horizon, if it never finished).
+    pub wall: SimDur,
+    /// Did every rank exit?
+    pub completed: bool,
+    /// Events the simulator processed.
+    pub events: u64,
+}
+
+impl RunOutput {
+    /// Mean per-rank Allreduce time in µs (the Figure 3/5 y-axis).
+    pub fn mean_allreduce_us(&self) -> f64 {
+        self.job.recorder.borrow().mean_rank_dur_us(OpKind::Allreduce)
+    }
+
+    /// Fraction of total CPU time consumed by interference classes.
+    pub fn interference_fraction(&self) -> f64 {
+        let mut busy = 0u64;
+        let mut noise = 0u64;
+        for n in 0..self.sim.nodes() {
+            for row in self.sim.kernel(n).usage_report() {
+                busy += row.cpu_time.nanos();
+                if row.class.is_interference() {
+                    noise += row.cpu_time.nanos();
+                }
+            }
+        }
+        if busy == 0 {
+            0.0
+        } else {
+            noise as f64 / busy as f64
+        }
+    }
+
+    /// Attribution report for an interval on one node (what stole CPU).
+    pub fn attribute(&self, node: u32, start: SimTime, end: SimTime) -> AttributionReport {
+        let kernel = self.sim.kernel(node);
+        let horizon = SimTime::ZERO + self.wall;
+        let timeline = CpuTimeline::build(kernel.trace(), horizon);
+        AttributionReport::analyze(kernel.trace(), &timeline, start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_mpi::{MpiOp, OpList};
+    use pa_trace::HookId;
+
+    fn allreduce_workload(n: usize) -> impl FnMut(u32) -> Box<dyn RankWorkload> {
+        move |_rank| {
+            Box::new(OpList::new(vec![
+                MpiOp::Allreduce { bytes: 8 };
+                n
+            ]))
+        }
+    }
+
+    #[test]
+    fn vanilla_run_completes() {
+        let mut wl = allreduce_workload(16);
+        let out = Experiment::new(2, 4)
+            .with_cpus_per_node(4)
+            .with_noise(pa_noise::NoiseProfile::dedicated())
+            .with_seed(11)
+            .run(&mut wl);
+        assert!(out.completed, "job did not finish");
+        assert!(out.mean_allreduce_us() > 0.0);
+        assert_eq!(
+            out.job.recorder.borrow().count(OpKind::Allreduce),
+            16
+        );
+        out.job
+            .recorder
+            .borrow()
+            .verify_complete(8)
+            .expect("all ranks in all ops");
+    }
+
+    #[test]
+    fn cosched_registers_and_boosts_tasks() {
+        // Long enough that the co-scheduler (woken lazily, one tick after
+        // the registration messages arrive) actually runs before the job
+        // exits.
+        let mut wl = allreduce_workload(1500);
+        let out = Experiment::new(2, 4)
+            .with_cpus_per_node(4)
+            .with_noise(pa_noise::NoiseProfile::dedicated())
+            .with_cosched(CoschedSetup::default())
+            .with_trace_node(0)
+            .with_seed(12)
+            .run(&mut wl);
+        assert!(out.completed);
+        // Priority changes must have been applied to the ranks.
+        let prio_changes = out
+            .sim
+            .kernel(0)
+            .trace()
+            .events()
+            .filter(|e| e.hook == HookId::PrioChange)
+            .count();
+        assert!(prio_changes >= 4, "co-scheduler never adjusted priorities");
+        // Ranks should have been boosted to FAVORED at some point.
+        let favored_seen = out
+            .sim
+            .kernel(0)
+            .trace()
+            .events()
+            .any(|e| e.hook == HookId::PrioChange && e.aux == u64::from(Prio::FAVORED.0));
+        assert!(favored_seen, "no favored boost observed");
+    }
+
+    #[test]
+    fn cosched_reduces_interference_impact() {
+        // With heavy noise, the co-scheduled prototype must beat vanilla
+        // on mean Allreduce time. Small cluster keeps the test quick.
+        let noisy = pa_noise::NoiseProfile::production().without_cron().scaled(3.0);
+        let run = |cosched: bool, kernel: SchedOptions| {
+            let mut wl = allreduce_workload(600);
+            let mut e = Experiment::new(2, 4)
+                .with_cpus_per_node(4)
+                .with_kernel(kernel)
+                .with_noise(noisy.clone())
+                .with_seed(13);
+            if cosched {
+                e = e.with_cosched(CoschedSetup::default());
+            }
+            let out = e.run(&mut wl);
+            assert!(out.completed);
+            out.mean_allreduce_us()
+        };
+        let vanilla = run(false, SchedOptions::vanilla());
+        let proto = run(true, SchedOptions::prototype());
+        assert!(
+            proto < vanilla,
+            "prototype+cosched ({proto:.1}µs) should beat vanilla ({vanilla:.1}µs)"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut wl = allreduce_workload(32);
+            let out = Experiment::new(2, 4)
+                .with_cpus_per_node(4)
+                .with_seed(99)
+                .run(&mut wl);
+            (out.wall, out.events, out.mean_allreduce_us().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds CPUs")]
+    fn too_many_tasks_rejected() {
+        let mut wl = allreduce_workload(1);
+        let _ = Experiment::new(1, 8).with_cpus_per_node(4).run(&mut wl);
+    }
+}

@@ -1,0 +1,170 @@
+//! The `schedtune` administrative command.
+//!
+//! §3.2.1: *"implementing these changes as options in a production
+//! operating system such as AIX requires some mechanism for selecting
+//! these options. We accomplished this by adding options to the
+//! 'schedtune' command of AIX, which provides a consistent mechanism for
+//! invoking kernel options."*
+//!
+//! This module is that mechanism: a textual `option=value` interface over
+//! [`SchedOptions`], so experiment scripts and the examples can configure
+//! kernels the way an SP administrator would have.
+
+use pa_kernel::{DaemonQueuePolicy, PreemptMode, SchedOptions, TickAlign};
+use pa_simkit::SimDur;
+
+/// Apply a `schedtune`-style settings string to an option block.
+///
+/// Grammar: whitespace-separated `key=value` pairs. Keys:
+///
+/// | key | values | §3 mechanism |
+/// |---|---|---|
+/// | `bigtick` | 1..=1000 | tick divisor (§3.1.1; the study used 25) |
+/// | `tickalign` | `staggered` \| `simultaneous` | tick phasing (§3.2.1) |
+/// | `preempt` | `lazy` \| `rt` \| `rtplus` | cross-CPU preemption (§3) |
+/// | `daemonq` | `percpu` \| `global` | daemon queueing (§3.1.2) |
+/// | `timeslice_ms` | 1..=1000 | round-robin quantum |
+/// | `idlesteal` | `on` \| `off` | idle CPUs steal pinned work |
+///
+/// Unknown keys and malformed values are errors (an administrator's typo
+/// must not silently run the wrong kernel).
+pub fn schedtune(base: SchedOptions, settings: &str) -> Result<SchedOptions, String> {
+    let mut opts = base;
+    for pair in settings.split_whitespace() {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("'{pair}' is not key=value"))?;
+        match key {
+            "bigtick" => {
+                let v: u32 = value
+                    .parse()
+                    .map_err(|e| format!("bigtick '{value}': {e}"))?;
+                if !(1..=1000).contains(&v) {
+                    return Err(format!("bigtick {v} out of range 1..=1000"));
+                }
+                opts.big_tick = v;
+            }
+            "tickalign" => {
+                opts.tick_align = match value {
+                    "staggered" => TickAlign::Staggered,
+                    "simultaneous" | "aligned" => TickAlign::Aligned,
+                    other => return Err(format!("tickalign '{other}' unknown")),
+                };
+            }
+            "preempt" => {
+                opts.preempt = match value {
+                    "lazy" => PreemptMode::Lazy,
+                    "rt" => PreemptMode::RtIpi,
+                    "rtplus" => PreemptMode::RtIpiImproved,
+                    other => return Err(format!("preempt '{other}' unknown")),
+                };
+            }
+            "daemonq" => {
+                opts.daemon_queue = match value {
+                    "percpu" => DaemonQueuePolicy::PerCpu,
+                    "global" => DaemonQueuePolicy::Global,
+                    other => return Err(format!("daemonq '{other}' unknown")),
+                };
+            }
+            "timeslice_ms" => {
+                let v: u64 = value
+                    .parse()
+                    .map_err(|e| format!("timeslice_ms '{value}': {e}"))?;
+                if !(1..=1000).contains(&v) {
+                    return Err(format!("timeslice_ms {v} out of range 1..=1000"));
+                }
+                opts.timeslice = SimDur::from_millis(v);
+            }
+            "idlesteal" => {
+                opts.idle_steal = match value {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("idlesteal '{other}' unknown")),
+                };
+            }
+            other => return Err(format!("unknown schedtune option '{other}'")),
+        }
+    }
+    opts.validate()?;
+    Ok(opts)
+}
+
+/// Render an option block as a `schedtune` settings string (round-trips
+/// through [`schedtune`]).
+pub fn render(opts: &SchedOptions) -> String {
+    format!(
+        "bigtick={} tickalign={} preempt={} daemonq={} timeslice_ms={} idlesteal={}",
+        opts.big_tick,
+        match opts.tick_align {
+            TickAlign::Staggered => "staggered",
+            TickAlign::Aligned => "simultaneous",
+        },
+        match opts.preempt {
+            PreemptMode::Lazy => "lazy",
+            PreemptMode::RtIpi => "rt",
+            PreemptMode::RtIpiImproved => "rtplus",
+        },
+        match opts.daemon_queue {
+            DaemonQueuePolicy::PerCpu => "percpu",
+            DaemonQueuePolicy::Global => "global",
+        },
+        opts.timeslice.as_millis_f64() as u64,
+        if opts.idle_steal { "on" } else { "off" },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_settings_string() {
+        let opts = schedtune(
+            SchedOptions::vanilla(),
+            "bigtick=25 tickalign=simultaneous preempt=rtplus daemonq=global",
+        )
+        .expect("valid settings");
+        assert_eq!(opts.big_tick, 25);
+        assert_eq!(opts.tick_align, TickAlign::Aligned);
+        assert_eq!(opts.preempt, PreemptMode::RtIpiImproved);
+        assert_eq!(opts.daemon_queue, DaemonQueuePolicy::Global);
+        // Same as the built-in preset.
+        assert_eq!(opts, SchedOptions::prototype());
+    }
+
+    #[test]
+    fn empty_string_is_identity() {
+        assert_eq!(
+            schedtune(SchedOptions::vanilla(), "").unwrap(),
+            SchedOptions::vanilla()
+        );
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        for base in [SchedOptions::vanilla(), SchedOptions::prototype()] {
+            let rendered = render(&base);
+            let parsed = schedtune(SchedOptions::vanilla(), &rendered).unwrap();
+            assert_eq!(parsed, base, "roundtrip failed for '{rendered}'");
+        }
+    }
+
+    #[test]
+    fn typos_are_rejected() {
+        assert!(schedtune(SchedOptions::vanilla(), "bigtik=25").is_err());
+        assert!(schedtune(SchedOptions::vanilla(), "bigtick=zero").is_err());
+        assert!(schedtune(SchedOptions::vanilla(), "bigtick=0").is_err());
+        assert!(schedtune(SchedOptions::vanilla(), "bigtick").is_err());
+        assert!(schedtune(SchedOptions::vanilla(), "preempt=turbo").is_err());
+        assert!(schedtune(SchedOptions::vanilla(), "tickalign=diagonal").is_err());
+        assert!(schedtune(SchedOptions::vanilla(), "timeslice_ms=0").is_err());
+        assert!(schedtune(SchedOptions::vanilla(), "idlesteal=maybe").is_err());
+    }
+
+    #[test]
+    fn partial_overrides_keep_the_rest() {
+        let opts = schedtune(SchedOptions::prototype(), "bigtick=1").unwrap();
+        assert_eq!(opts.big_tick, 1);
+        assert_eq!(opts.preempt, PreemptMode::RtIpiImproved, "unrelated options kept");
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-node clock model.
+//!
+//! Each node keeps local time = global (switch) time + a constant offset.
+//! Before synchronization, AIX clocks on an SP disagree at millisecond
+//! scale; the co-scheduler's startup procedure reads the switch adapter's
+//! globally synchronized clock register and rewrites the *low-order bits*
+//! of the local time-of-day so that nodes agree (§4). Only the low-order
+//! portion matters because every alignment decision (tick boundaries,
+//! co-scheduler window edges) is modular arithmetic on the clock.
+
+use pa_simkit::{SimDur, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A node's view of time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockModel {
+    /// Local clock minus global (switch) time, in nanoseconds. Kept
+    /// non-negative so conversions stay in `u64`; a uniformly random boot
+    /// offset models mutually disagreeing clocks just as well as a signed
+    /// one because all consumers are modular.
+    offset_ns: u64,
+}
+
+impl ClockModel {
+    /// A perfectly synchronized clock.
+    pub fn synced() -> ClockModel {
+        ClockModel { offset_ns: 0 }
+    }
+
+    /// A clock that is `offset` ahead of global time.
+    pub fn with_offset(offset: SimDur) -> ClockModel {
+        ClockModel {
+            offset_ns: offset.nanos(),
+        }
+    }
+
+    /// The current offset.
+    pub fn offset(&self) -> SimDur {
+        SimDur::from_nanos(self.offset_ns)
+    }
+
+    /// Convert a global instant to this node's local time.
+    pub fn to_local(&self, global: SimTime) -> SimTime {
+        SimTime::from_nanos(global.nanos() + self.offset_ns)
+    }
+
+    /// Convert a local instant to global time. Saturates at the epoch for
+    /// local instants earlier than the boot offset (cannot occur for times
+    /// produced by [`ClockModel::to_local`]).
+    pub fn to_global(&self, local: SimTime) -> SimTime {
+        SimTime::from_nanos(local.nanos().saturating_sub(self.offset_ns))
+    }
+
+    /// Re-synchronize the low-order bits of the local clock to the switch
+    /// clock, leaving a residual error (the paper's procedure matches the
+    /// low-order portions; residual models read/propagation error).
+    ///
+    /// After this call, local boundaries of any period agree with global
+    /// boundaries to within `residual`.
+    pub fn sync_to_switch(&mut self, residual: SimDur) {
+        self.offset_ns = residual.nanos();
+    }
+
+    /// The global instant of the next *local-time* boundary `k·period +
+    /// phase` at or after the given global instant. This is how the kernel
+    /// schedules tick interrupts: boundaries are defined on the node's own
+    /// clock, so unsynchronized nodes place them at different global times.
+    pub fn next_local_boundary(
+        &self,
+        global_now: SimTime,
+        period: SimDur,
+        phase: SimDur,
+    ) -> SimTime {
+        let local_now = self.to_local(global_now);
+        let local_next = local_now.align_up(period, phase);
+        self.to_global(local_next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_conversion() {
+        let c = ClockModel::with_offset(SimDur::from_millis(7));
+        let g = SimTime::from_secs(3);
+        assert_eq!(c.to_global(c.to_local(g)), g);
+        assert_eq!(c.to_local(g), SimTime::from_nanos(3_007_000_000));
+    }
+
+    #[test]
+    fn synced_clock_is_identity() {
+        let c = ClockModel::synced();
+        let g = SimTime::from_micros(123);
+        assert_eq!(c.to_local(g), g);
+        assert_eq!(c.to_global(g), g);
+        assert_eq!(c.offset(), SimDur::ZERO);
+    }
+
+    #[test]
+    fn boundary_respects_local_clock() {
+        // Node is 3ms ahead: its local 10ms boundaries occur 3ms *early*
+        // in global time.
+        let c = ClockModel::with_offset(SimDur::from_millis(3));
+        let p = SimDur::from_millis(10);
+        let next = c.next_local_boundary(SimTime::ZERO, p, SimDur::ZERO);
+        // local(0) = 3ms; next local boundary = 10ms; global = 7ms.
+        assert_eq!(next, SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn boundary_on_exact_alignment() {
+        let c = ClockModel::synced();
+        let p = SimDur::from_millis(10);
+        assert_eq!(
+            c.next_local_boundary(SimTime::from_millis(20), p, SimDur::ZERO),
+            SimTime::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn sync_collapses_offsets() {
+        let mut a = ClockModel::with_offset(SimDur::from_millis(9));
+        let mut b = ClockModel::with_offset(SimDur::from_micros(1_234));
+        a.sync_to_switch(SimDur::from_micros(5));
+        b.sync_to_switch(SimDur::from_micros(5));
+        let p = SimDur::from_secs(1);
+        let t = SimTime::from_millis(12_345);
+        assert_eq!(
+            a.next_local_boundary(t, p, SimDur::ZERO),
+            b.next_local_boundary(t, p, SimDur::ZERO)
+        );
+    }
+
+    #[test]
+    fn unsynced_nodes_disagree_on_boundaries() {
+        let a = ClockModel::with_offset(SimDur::from_millis(2));
+        let b = ClockModel::with_offset(SimDur::from_millis(8));
+        let p = SimDur::from_secs(1);
+        let t = SimTime::from_secs(5);
+        assert_ne!(
+            a.next_local_boundary(t, p, SimDur::ZERO),
+            b.next_local_boundary(t, p, SimDur::ZERO)
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Device-interrupt noise sources.
+//!
+//! The study's traces attribute part of the Allreduce outliers to
+//! interrupt handlers such as `caddpin` (SSA disk) and `phxentdd`
+//! (Ethernet) that "commandeered CPUs to carry out their tasks" (§5.3).
+//! Unlike daemons, these are not schedulable threads: they steal time from
+//! whatever is running, at interrupt priority, and are invisible to the
+//! dispatcher. The kernel models each source as a Poisson process of
+//! short bursts charged as *debt* against the interrupted thread's current
+//! segment.
+
+use crate::types::{CpuId, Tid};
+use pa_simkit::SimDur;
+
+/// Configuration of one device-interrupt source.
+#[derive(Debug, Clone)]
+pub struct InterruptSourceSpec {
+    /// Handler name as it appears in traces ("caddpin", "phxentdd", ...).
+    pub name: String,
+    /// Mean inter-arrival time (exponentially distributed).
+    pub mean_interval: SimDur,
+    /// Shortest burst.
+    pub burst_min: SimDur,
+    /// Longest burst.
+    pub burst_max: SimDur,
+    /// Fixed CPU the device's interrupts are routed to, or `None` for a
+    /// uniformly random CPU per interrupt (undirected routing).
+    pub cpu: Option<CpuId>,
+}
+
+impl InterruptSourceSpec {
+    /// A source with uniform burst in `[burst_min, burst_max]` and random
+    /// CPU routing.
+    pub fn new(
+        name: impl Into<String>,
+        mean_interval: SimDur,
+        burst_min: SimDur,
+        burst_max: SimDur,
+    ) -> InterruptSourceSpec {
+        let (burst_min, burst_max) = if burst_min <= burst_max {
+            (burst_min, burst_max)
+        } else {
+            (burst_max, burst_min)
+        };
+        InterruptSourceSpec {
+            name: name.into(),
+            mean_interval,
+            burst_min,
+            burst_max,
+            cpu: None,
+        }
+    }
+
+    /// Route all interrupts of this source to a fixed CPU.
+    pub fn on_cpu(mut self, cpu: CpuId) -> InterruptSourceSpec {
+        self.cpu = Some(cpu);
+        self
+    }
+
+    /// Long-run fraction of one CPU this source consumes.
+    pub fn utilization(&self) -> f64 {
+        let mean_burst = (self.burst_min.nanos() + self.burst_max.nanos()) as f64 / 2.0;
+        if self.mean_interval.is_zero() {
+            0.0
+        } else {
+            mean_burst / self.mean_interval.nanos() as f64
+        }
+    }
+}
+
+/// Runtime state of an interrupt source inside a kernel.
+#[derive(Debug)]
+pub(crate) struct InterruptSource {
+    pub spec: InterruptSourceSpec,
+    /// Pseudo thread id used for trace attribution.
+    pub itid: Tid,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let s = InterruptSourceSpec::new(
+            "caddpin",
+            SimDur::from_millis(10),
+            SimDur::from_micros(10),
+            SimDur::from_micros(30),
+        );
+        // mean burst 20µs every 10ms = 0.2%.
+        assert!((s.utilization() - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swapped_bounds_are_normalized() {
+        let s = InterruptSourceSpec::new(
+            "x",
+            SimDur::from_millis(1),
+            SimDur::from_micros(30),
+            SimDur::from_micros(10),
+        );
+        assert!(s.burst_min <= s.burst_max);
+    }
+
+    #[test]
+    fn zero_interval_has_zero_utilization() {
+        let s = InterruptSourceSpec::new("x", SimDur::ZERO, SimDur::ZERO, SimDur::ZERO);
+        assert_eq!(s.utilization(), 0.0);
+    }
+
+    #[test]
+    fn cpu_routing() {
+        let s = InterruptSourceSpec::new(
+            "phxentdd",
+            SimDur::from_millis(5),
+            SimDur::from_micros(5),
+            SimDur::from_micros(15),
+        )
+        .on_cpu(CpuId(3));
+        assert_eq!(s.cpu, Some(CpuId(3)));
+    }
+}

@@ -1,0 +1,80 @@
+//! The node's I/O request path.
+//!
+//! An application thread performing I/O (the ALE3D proxy's initial-state
+//! read and restart dump) submits an [`IoRequest`] and blocks. The request
+//! is serviced by the designated I/O daemon thread (mmfsd in the GPFS
+//! configuration, syncd otherwise), which must itself win a CPU at its
+//! dispatching priority to make progress. That dependency is what the §5.3
+//! ALE3D experiment exposes: a co-scheduler that starves the I/O daemon
+//! starves the application's own I/O phases.
+
+use crate::types::Tid;
+use serde::{Deserialize, Serialize};
+
+/// A pending I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Unique token (assigned by the kernel at submission).
+    pub token: u64,
+    /// The blocked thread to wake on completion.
+    pub requester: Tid,
+    /// Transfer size in bytes (drives daemon service time).
+    pub bytes: u64,
+}
+
+/// Service-time model for the I/O daemon.
+///
+/// `service_time = per_request + bytes * per_byte`. The defaults model a
+/// GPFS-like parallel filesystem client: ~200 µs of per-request daemon work
+/// plus ~1 µs per 4 KiB block (disk/server latency is folded into the
+/// per-request term; what matters to the study is *daemon CPU demand*).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoServiceModel {
+    /// Fixed daemon CPU demand per request, nanoseconds.
+    pub per_request_ns: u64,
+    /// Additional demand per byte, nanoseconds (fractional via f64).
+    pub per_byte_ns: f64,
+}
+
+impl Default for IoServiceModel {
+    fn default() -> Self {
+        IoServiceModel {
+            per_request_ns: 200_000,   // 200 µs
+            per_byte_ns: 0.25e-3 * 1e3, // 0.25 ns/byte ≈ 1 µs per 4 KiB
+        }
+    }
+}
+
+impl IoServiceModel {
+    /// Daemon CPU demand to service one request.
+    pub fn service_time(&self, bytes: u64) -> pa_simkit::SimDur {
+        let extra = (bytes as f64 * self.per_byte_ns) as u64;
+        pa_simkit::SimDur::from_nanos(self.per_request_ns + extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_simkit::SimDur;
+
+    #[test]
+    fn service_time_scales_with_bytes() {
+        let m = IoServiceModel::default();
+        let small = m.service_time(0);
+        let big = m.service_time(1 << 20);
+        assert_eq!(small, SimDur::from_micros(200));
+        assert!(big > small);
+        // 1 MiB at 0.25 ns/byte = 262144 ns extra.
+        assert_eq!(big, SimDur::from_nanos(200_000 + 262_144));
+    }
+
+    #[test]
+    fn custom_model() {
+        let m = IoServiceModel {
+            per_request_ns: 1_000,
+            per_byte_ns: 1.0,
+        };
+        assert_eq!(m.service_time(500), SimDur::from_nanos(1_500));
+    }
+}

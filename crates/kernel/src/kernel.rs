@@ -1,0 +1,1207 @@
+//! The simulated SMP-node kernel: dispatcher, ticks, preemption, callouts.
+//!
+//! One [`Kernel`] models one node of the cluster (e.g. a 16-way Power3 SP
+//! node). It owns the node's threads, per-CPU and global run queues, the
+//! tick machinery, the timer-callout queue, the I/O request path, and a
+//! trace buffer. It is driven externally: the cluster driver pops events
+//! from the global calendar and calls [`Kernel::handle`]; new events and
+//! outbound messages are returned through [`Effects`].
+//!
+//! ## Fidelity notes (mapping to the paper)
+//!
+//! * **Delayed preemption** — readying a better-priority thread does *not*
+//!   immediately preempt a busy CPU. Under [`PreemptMode::Lazy`] the switch
+//!   waits for that CPU's next tick, interrupt, or block (worst case one
+//!   full tick, §3); the RT modes force an IPI with the paper's
+//!   "tenths of a millisecond" latency.
+//! * **Tick-batched callouts** — `SleepUntil` wakeups ride the callout
+//!   queue and are serviced only during tick processing, so the big-tick
+//!   option naturally batches daemon wakeups (§3.1.1).
+//! * **Busy-poll receives** — a polling thread occupies its CPU while
+//!   waiting and, if preempted, cannot notice message arrival until
+//!   redispatched; this is the amplification mechanism behind the
+//!   cascading collective stalls of §2.
+//! * **Interference as debt** — interrupt-context time (ticks, IPIs,
+//!   device interrupts) extends the running thread's current busy segment
+//!   rather than context-switching, matching interrupt semantics.
+
+use crate::clock::ClockModel;
+use crate::interrupts::{InterruptSource, InterruptSourceSpec};
+use crate::io::{IoRequest, IoServiceModel};
+use crate::msg::{Mailbox, Message, SrcSel, TagSel};
+use crate::options::SchedOptions;
+use crate::program::{Action, Program, StepCtx, WaitMode};
+use crate::runq::ReadyQueue;
+use crate::types::{CpuId, DaemonQueuePolicy, PreemptMode, Prio, QueueDiscipline, ThreadState, Tid};
+use pa_simkit::{SimDur, SimRng, SimTime};
+use pa_trace::{HookId, ThreadClass, TraceBuffer};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Events addressed to one node's kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelEvent {
+    /// Periodic timer interrupt on a CPU.
+    Tick {
+        /// CPU taking the tick.
+        cpu: CpuId,
+    },
+    /// The running thread's busy segment completes (if `token` is current).
+    SegEnd {
+        /// CPU whose segment ends.
+        cpu: CpuId,
+        /// Occupancy token at scheduling time; stale tokens are ignored.
+        token: u64,
+    },
+    /// A preemption inter-processor interrupt arrives.
+    Ipi {
+        /// Target CPU.
+        cpu: CpuId,
+    },
+    /// A running busy-poller notices a delivered message (if still current).
+    PollNotice {
+        /// CPU of the poller.
+        cpu: CpuId,
+        /// Occupancy token at delivery time.
+        token: u64,
+    },
+    /// A message arrives at this node (routed by the cluster fabric).
+    Deliver {
+        /// The message.
+        msg: Message,
+    },
+    /// A device interrupt from the given source fires.
+    DeviceInterrupt {
+        /// Index into the kernel's interrupt source table.
+        source: usize,
+    },
+    /// A device interrupt handler finishes (trace bookkeeping + resched).
+    InterruptEnd {
+        /// CPU that was interrupted.
+        cpu: CpuId,
+        /// Pseudo-tid of the handler.
+        itid: Tid,
+    },
+}
+
+/// Side effects of handling one event, drained by the cluster driver.
+#[derive(Debug, Default)]
+pub struct Effects {
+    /// Events to schedule for this same node (global time).
+    pub schedule: Vec<(SimTime, KernelEvent)>,
+    /// Messages leaving this thread context; the fabric routes them (both
+    /// cross-node and node-local loopback).
+    pub outbound: Vec<Message>,
+}
+
+impl Effects {
+    /// Empty effects buffer.
+    pub fn new() -> Effects {
+        Effects::default()
+    }
+
+    /// Clear for reuse.
+    pub fn clear(&mut self) {
+        self.schedule.clear();
+        self.outbound.clear();
+    }
+}
+
+/// Specification for spawning a thread.
+#[derive(Debug, Clone)]
+pub struct ThreadSpec {
+    /// Name shown in traces and usage reports.
+    pub name: String,
+    /// Attribution class.
+    pub class: ThreadClass,
+    /// Initial dispatching priority.
+    pub prio: Prio,
+    /// Preferred home CPU. Application threads are pinned 1:1 to it; for
+    /// other classes it seeds the per-CPU queue policy and is assigned
+    /// round-robin when `None`.
+    pub home_cpu: Option<CpuId>,
+}
+
+impl ThreadSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, class: ThreadClass, prio: Prio) -> ThreadSpec {
+        ThreadSpec {
+            name: name.into(),
+            class,
+            prio,
+            home_cpu: None,
+        }
+    }
+
+    /// Pin/home the thread to a CPU.
+    pub fn on_cpu(mut self, cpu: CpuId) -> ThreadSpec {
+        self.home_cpu = Some(cpu);
+        self
+    }
+}
+
+/// What a thread resumes into when it next holds the CPU.
+#[derive(Debug)]
+enum Cont {
+    /// Previous action finished; call `Program::step`.
+    Step,
+    /// Finish a send: emit the message, then step.
+    FinishSend(Message),
+    /// Finish a receive: the matched message is in `in_msg`.
+    FinishRecv,
+    /// Busy-polling for a matching message (occupies the CPU).
+    PollWait { tag: TagSel, src: SrcSel },
+    /// Blocked waiting for a matching message.
+    BlockedRecv { tag: TagSel, src: SrcSel },
+    /// Blocked in the callout queue.
+    Sleeping,
+    /// Blocked on an I/O completion.
+    IoWait,
+    /// I/O daemon blocked waiting for work.
+    IoIdle,
+}
+
+/// One thread's kernel-side state.
+struct ThreadSlot {
+    name: String,
+    class: ThreadClass,
+    prio: Prio,
+    discipline: QueueDiscipline,
+    state: ThreadState,
+    program: Option<Box<dyn Program>>,
+    mailbox: Mailbox,
+    cont: Cont,
+    /// Remaining CPU demand of the current busy segment when off-CPU.
+    remaining: SimDur,
+    /// Message to hand to the program at the next step.
+    in_msg: Option<Message>,
+    /// Accumulated on-CPU time.
+    cpu_time: SimDur,
+    last_dispatch: SimTime,
+}
+
+/// One CPU's dispatcher state.
+struct Cpu {
+    running: Option<Tid>,
+    /// Bumped on every occupancy change; stale tokens void in-flight events.
+    token: u64,
+    /// Global end time of the scheduled busy segment (None while polling
+    /// or idle).
+    seg_end: Option<SimTime>,
+    /// Interference accumulated during the current segment.
+    debt: SimDur,
+    slice_start: SimTime,
+    local_q: ReadyQueue,
+    ipi_pending: bool,
+}
+
+/// A row of the per-thread usage report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageRow {
+    /// Thread name.
+    pub name: String,
+    /// Thread class.
+    pub class: ThreadClass,
+    /// Total on-CPU time.
+    pub cpu_time: SimDur,
+}
+
+/// Hard cap on consecutive zero-cost program actions, to catch programs
+/// that livelock the stepping loop.
+const MAX_ZERO_COST_STEPS: u32 = 100_000;
+
+/// The simulated node kernel. See module docs.
+pub struct Kernel {
+    node: u32,
+    ncpus: u8,
+    opts: SchedOptions,
+    clock: ClockModel,
+    cpus: Vec<Cpu>,
+    threads: Vec<ThreadSlot>,
+    global_q: ReadyQueue,
+    /// (local wake time, seq) -> tid. Serviced during tick processing.
+    callouts: BTreeMap<(SimTime, u64), Tid>,
+    callout_seq: u64,
+    io_pending: VecDeque<IoRequest>,
+    io_daemon: Option<Tid>,
+    io_model: IoServiceModel,
+    io_next_token: u64,
+    trace: TraceBuffer,
+    rng: SimRng,
+    /// RtIpi mode: at most one preemption IPI in flight node-wide.
+    ipi_in_flight: bool,
+    interrupt_sources: Vec<InterruptSource>,
+    app_alive: usize,
+    next_daemon_home: u8,
+    booted: bool,
+}
+
+impl Kernel {
+    /// Create a kernel for node `node` with `ncpus` CPUs.
+    ///
+    /// # Panics
+    /// Panics if the options fail [`SchedOptions::validate`] or `ncpus` is 0.
+    pub fn new(
+        node: u32,
+        ncpus: u8,
+        opts: SchedOptions,
+        clock: ClockModel,
+        rng: SimRng,
+        trace_capacity: usize,
+    ) -> Kernel {
+        opts.validate()
+            .unwrap_or_else(|e| panic!("invalid SchedOptions: {e}"));
+        assert!(ncpus > 0, "a node needs at least one CPU");
+        Kernel {
+            node,
+            ncpus,
+            opts,
+            clock,
+            cpus: (0..ncpus)
+                .map(|_| Cpu {
+                    running: None,
+                    token: 0,
+                    seg_end: None,
+                    debt: SimDur::ZERO,
+                    slice_start: SimTime::ZERO,
+                    local_q: ReadyQueue::new(),
+                    ipi_pending: false,
+                })
+                .collect(),
+            threads: Vec::new(),
+            global_q: ReadyQueue::new(),
+            callouts: BTreeMap::new(),
+            callout_seq: 0,
+            io_pending: VecDeque::new(),
+            io_daemon: None,
+            io_model: IoServiceModel::default(),
+            io_next_token: 0,
+            trace: TraceBuffer::new(trace_capacity),
+            rng,
+            ipi_in_flight: false,
+            interrupt_sources: Vec::new(),
+            app_alive: 0,
+            next_daemon_home: 0,
+            booted: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Setup API (before boot)
+    // ------------------------------------------------------------------
+
+    /// Node index.
+    pub fn node_id(&self) -> u32 {
+        self.node
+    }
+
+    /// Number of CPUs.
+    pub fn ncpus(&self) -> u8 {
+        self.ncpus
+    }
+
+    /// The active option block.
+    pub fn options(&self) -> &SchedOptions {
+        &self.opts
+    }
+
+    /// The node clock (mutable: the co-scheduler's startup sync uses this).
+    pub fn clock_mut(&mut self) -> &mut ClockModel {
+        &mut self.clock
+    }
+
+    /// The node clock.
+    pub fn clock(&self) -> &ClockModel {
+        &self.clock
+    }
+
+    /// The node's trace buffer.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Mutable trace buffer (for enabling hooks).
+    pub fn trace_mut(&mut self) -> &mut TraceBuffer {
+        &mut self.trace
+    }
+
+    /// Replace the I/O service model.
+    pub fn set_io_model(&mut self, model: IoServiceModel) {
+        self.io_model = model;
+    }
+
+    /// The I/O service model.
+    pub fn io_model(&self) -> &IoServiceModel {
+        &self.io_model
+    }
+
+    /// Spawn a thread. Threads spawned before [`Kernel::boot`] start Ready;
+    /// spawning after boot is not supported (all of the paper's actors
+    /// exist at job start).
+    pub fn spawn(&mut self, spec: ThreadSpec, program: Box<dyn Program>) -> Tid {
+        assert!(!self.booted, "spawn after boot is not supported");
+        let tid = Tid(self.threads.len() as u32);
+        let home = spec.home_cpu.unwrap_or_else(|| {
+            let h = CpuId(self.next_daemon_home % self.ncpus);
+            self.next_daemon_home = self.next_daemon_home.wrapping_add(1);
+            h
+        });
+        assert!(home.0 < self.ncpus, "home CPU {home:?} out of range");
+        let discipline = if spec.class == ThreadClass::App {
+            QueueDiscipline::Pinned(home)
+        } else {
+            match self.opts.daemon_queue {
+                DaemonQueuePolicy::PerCpu => QueueDiscipline::Pinned(home),
+                DaemonQueuePolicy::Global => QueueDiscipline::Global,
+            }
+        };
+        if spec.class == ThreadClass::App {
+            self.app_alive += 1;
+        }
+        self.trace.register_thread(tid.0, spec.name.clone(), spec.class);
+        self.threads.push(ThreadSlot {
+            name: spec.name,
+            class: spec.class,
+            prio: spec.prio,
+            discipline,
+            state: ThreadState::Ready,
+            program: Some(program),
+            mailbox: Mailbox::new(),
+            cont: Cont::Step,
+            remaining: SimDur::ZERO,
+            in_msg: None,
+            cpu_time: SimDur::ZERO,
+            last_dispatch: SimTime::ZERO,
+        });
+        self.enqueue(tid);
+        tid
+    }
+
+    /// Register a device-interrupt source. Returns its pseudo-tid.
+    pub fn add_interrupt_source(&mut self, spec: InterruptSourceSpec) -> Tid {
+        assert!(!self.booted, "add interrupt sources before boot");
+        let itid = Tid(self.threads.len() as u32);
+        self.trace
+            .register_thread(itid.0, spec.name.clone(), ThreadClass::Interrupt);
+        // Pseudo slot so tid indexing stays uniform; never scheduled.
+        self.threads.push(ThreadSlot {
+            name: spec.name.clone(),
+            class: ThreadClass::Interrupt,
+            prio: Prio(0),
+            discipline: QueueDiscipline::Global,
+            state: ThreadState::Exited,
+            program: None,
+            mailbox: Mailbox::new(),
+            cont: Cont::Step,
+            remaining: SimDur::ZERO,
+            in_msg: None,
+            cpu_time: SimDur::ZERO,
+            last_dispatch: SimTime::ZERO,
+        });
+        self.interrupt_sources.push(InterruptSource { spec, itid });
+        itid
+    }
+
+    /// Designate the I/O daemon thread servicing [`Action::IoSubmit`].
+    pub fn set_io_daemon(&mut self, tid: Tid) {
+        self.io_daemon = Some(tid);
+    }
+
+    /// Boot the node at `now`: schedules first ticks and interrupt
+    /// arrivals, then fills every CPU from the ready queues.
+    pub fn boot(&mut self, now: SimTime, fx: &mut Effects) {
+        assert!(!self.booted, "boot called twice");
+        self.booted = true;
+        let period = self.opts.tick_period();
+        for c in 0..self.ncpus {
+            let phase = self.opts.tick_phase(c, self.ncpus);
+            let first = self.clock.next_local_boundary(now, period, phase);
+            fx.schedule.push((first, KernelEvent::Tick { cpu: CpuId(c) }));
+        }
+        for i in 0..self.interrupt_sources.len() {
+            let mean = self.interrupt_sources[i].spec.mean_interval;
+            let gap = self.rng.exp_dur(mean);
+            fx.schedule
+                .push((now + gap, KernelEvent::DeviceInterrupt { source: i }));
+        }
+        for c in 0..self.ncpus {
+            if self.cpus[c as usize].running.is_none() {
+                self.dispatch_next(CpuId(c), now, fx);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Number of live application threads.
+    pub fn app_alive(&self) -> usize {
+        self.app_alive
+    }
+
+    /// Current priority of a thread.
+    pub fn thread_prio(&self, tid: Tid) -> Prio {
+        self.threads[tid.0 as usize].prio
+    }
+
+    /// Current state of a thread.
+    pub fn thread_state(&self, tid: Tid) -> ThreadState {
+        self.threads[tid.0 as usize].state
+    }
+
+    /// Accumulated on-CPU time of a thread (updated when it leaves a CPU).
+    pub fn thread_cpu_time(&self, tid: Tid) -> SimDur {
+        self.threads[tid.0 as usize].cpu_time
+    }
+
+    /// Per-thread usage rows (for the overhead audit experiment).
+    pub fn usage_report(&self) -> Vec<UsageRow> {
+        self.threads
+            .iter()
+            .filter(|t| t.program.is_some() || t.cpu_time > SimDur::ZERO)
+            .map(|t| UsageRow {
+                name: t.name.clone(),
+                class: t.class,
+                cpu_time: t.cpu_time,
+            })
+            .collect()
+    }
+
+    /// Thread currently running on `cpu`.
+    pub fn running_on(&self, cpu: CpuId) -> Option<Tid> {
+        self.cpus[cpu.0 as usize].running
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    /// Handle one event at global time `now`.
+    pub fn handle(&mut self, now: SimTime, ev: KernelEvent, fx: &mut Effects) {
+        debug_assert!(self.booted, "events before boot");
+        match ev {
+            KernelEvent::Tick { cpu } => self.on_tick(cpu, now, fx),
+            KernelEvent::SegEnd { cpu, token } => self.on_seg_end(cpu, token, now, fx),
+            KernelEvent::Ipi { cpu } => self.on_ipi(cpu, now, fx),
+            KernelEvent::PollNotice { cpu, token } => self.on_poll_notice(cpu, token, now, fx),
+            KernelEvent::Deliver { msg } => self.on_deliver(msg, now, fx),
+            KernelEvent::DeviceInterrupt { source } => self.on_device_interrupt(source, now, fx),
+            KernelEvent::InterruptEnd { cpu, itid } => self.on_interrupt_end(cpu, itid, now, fx),
+        }
+    }
+
+    fn on_tick(&mut self, cpu: CpuId, now: SimTime, fx: &mut Effects) {
+        let ci = cpu.0 as usize;
+        // Decrementer processing steals time from the running thread.
+        let mut steal = self.opts.costs.tick_cost;
+
+        // Service callouts due in local time. Every CPU's tick services the
+        // node-wide queue (master-agnostic; wake granularity is set by tick
+        // phasing, which is the point of §3.2.1).
+        let local_now = self.clock.to_local(now);
+        let mut woken = Vec::new();
+        while let Some((&(t, seq), &tid)) = self.callouts.first_key_value() {
+            if t > local_now {
+                break;
+            }
+            self.callouts.remove(&(t, seq));
+            woken.push(tid);
+        }
+        steal += self.opts.costs.callout_cost * woken.len() as u64;
+
+        let running = self.cpus[ci].running.map_or(0, |t| t.0);
+        self.trace.emit(now, cpu.0, HookId::Tick, running, steal.nanos());
+        if self.cpus[ci].seg_end.is_some() {
+            self.cpus[ci].debt += steal;
+        }
+
+        for tid in woken {
+            self.wake(tid, now, fx);
+        }
+
+        // The tick is the lazy kernel's notice point for pending
+        // preemptions and the round-robin boundary.
+        self.resched(cpu, now, fx);
+
+        // Next tick for this CPU.
+        let period = self.opts.tick_period();
+        let phase = self.opts.tick_phase(cpu.0, self.ncpus);
+        let local_next = self.clock.to_local(now).next_boundary(period, phase);
+        fx.schedule
+            .push((self.clock.to_global(local_next), KernelEvent::Tick { cpu }));
+    }
+
+    fn on_seg_end(&mut self, cpu: CpuId, token: u64, now: SimTime, fx: &mut Effects) {
+        let ci = cpu.0 as usize;
+        if self.cpus[ci].token != token {
+            return; // stale: occupancy changed since scheduling
+        }
+        let Some(tid) = self.cpus[ci].running else {
+            return;
+        };
+        debug_assert!(self.cpus[ci].seg_end.is_some(), "SegEnd without a segment");
+        // Interference extended the segment: keep running for the debt.
+        let debt = self.cpus[ci].debt;
+        if !debt.is_zero() {
+            self.cpus[ci].debt = SimDur::ZERO;
+            let end = now + debt;
+            self.cpus[ci].seg_end = Some(end);
+            let token = self.cpus[ci].token;
+            fx.schedule.push((end, KernelEvent::SegEnd { cpu, token }));
+            return;
+        }
+        self.cpus[ci].seg_end = None;
+        self.threads[tid.0 as usize].remaining = SimDur::ZERO;
+        self.seg_complete(cpu, tid, now, fx);
+    }
+
+    fn on_ipi(&mut self, cpu: CpuId, now: SimTime, fx: &mut Effects) {
+        let ci = cpu.0 as usize;
+        self.ipi_in_flight = false;
+        self.cpus[ci].ipi_pending = false;
+        let running = self.cpus[ci].running.map_or(0, |t| t.0);
+        self.trace.emit(now, cpu.0, HookId::Ipi, running, 0);
+        if self.cpus[ci].seg_end.is_some() {
+            self.cpus[ci].debt += self.opts.costs.ipi_cost;
+        }
+        self.resched(cpu, now, fx);
+    }
+
+    fn on_poll_notice(&mut self, cpu: CpuId, token: u64, now: SimTime, fx: &mut Effects) {
+        let ci = cpu.0 as usize;
+        if self.cpus[ci].token != token {
+            return;
+        }
+        let Some(tid) = self.cpus[ci].running else {
+            return;
+        };
+        let recv_cost = self.opts.costs.recv_overhead;
+        let slot = &mut self.threads[tid.0 as usize];
+        let Cont::PollWait { tag, src } = slot.cont else {
+            return;
+        };
+        if let Some(m) = slot.mailbox.take_match(tag, src) {
+            slot.in_msg = Some(m);
+            slot.cont = Cont::FinishRecv;
+            slot.remaining = recv_cost;
+            self.start_segment(cpu, tid, now, fx);
+        }
+    }
+
+    fn on_deliver(&mut self, msg: Message, now: SimTime, fx: &mut Effects) {
+        debug_assert_eq!(msg.dst.node, self.node, "message routed to wrong node");
+        let tid = msg.dst.tid;
+        if tid.0 as usize >= self.threads.len()
+            || self.threads[tid.0 as usize].state == ThreadState::Exited
+        {
+            return; // late delivery to a finished thread: dropped
+        }
+        let recv_cost = self.opts.costs.recv_overhead;
+        let poll_detect = self.opts.costs.poll_detect;
+        let slot = &mut self.threads[tid.0 as usize];
+        slot.mailbox.deliver(msg);
+        match (&slot.cont, slot.state) {
+            (&Cont::PollWait { tag, src }, ThreadState::Running)
+                if slot.mailbox.has_match(tag, src) => {
+                    // Find the poller's CPU and schedule the notice.
+                    let cpu = self
+                        .cpus
+                        .iter()
+                        .position(|c| c.running == Some(tid))
+                        .expect("running thread must occupy a CPU");
+                    let token = self.cpus[cpu].token;
+                    fx.schedule.push((
+                        now + poll_detect,
+                        KernelEvent::PollNotice {
+                            cpu: CpuId(cpu as u8),
+                            token,
+                        },
+                    ));
+                }
+            (&Cont::BlockedRecv { tag, src }, ThreadState::Blocked)
+                if slot.mailbox.has_match(tag, src) => {
+                    // Message wakeups are interrupt-driven (not callouts).
+                    let m = slot.mailbox.take_match(tag, src).expect("match just checked");
+                    slot.in_msg = Some(m);
+                    slot.cont = Cont::FinishRecv;
+                    slot.remaining = recv_cost;
+                    self.wake(tid, now, fx);
+                }
+            _ => {} // queued for a future Recv
+        }
+    }
+
+    fn on_device_interrupt(&mut self, source: usize, now: SimTime, fx: &mut Effects) {
+        let nc = self.ncpus;
+        let (cpu, dur, itid) = {
+            let fixed = self.interrupt_sources[source].spec.cpu;
+            let burst_min = self.interrupt_sources[source].spec.burst_min;
+            let burst_max = self.interrupt_sources[source].spec.burst_max;
+            let itid = self.interrupt_sources[source].itid;
+            let cpu = fixed.unwrap_or_else(|| CpuId(self.rng.range(0, u64::from(nc)) as u8));
+            let dur = self.rng.dur_range(burst_min, burst_max + SimDur::from_nanos(1));
+            (cpu, dur, itid)
+        };
+        let ci = cpu.0 as usize;
+        if let Some(tid) = self.cpus[ci].running {
+            self.trace.emit(now, cpu.0, HookId::Undispatch, tid.0, 0);
+            if self.cpus[ci].seg_end.is_some() {
+                self.cpus[ci].debt += dur;
+            }
+        }
+        self.trace.emit(now, cpu.0, HookId::Dispatch, itid.0, 0);
+        self.threads[itid.0 as usize].cpu_time += dur;
+        fx.schedule
+            .push((now + dur, KernelEvent::InterruptEnd { cpu, itid }));
+        // Next arrival of this source.
+        let mean = self.interrupt_sources[source].spec.mean_interval;
+        let gap = self.rng.exp_dur(mean);
+        fx.schedule
+            .push((now + gap, KernelEvent::DeviceInterrupt { source }));
+    }
+
+    fn on_interrupt_end(&mut self, cpu: CpuId, itid: Tid, now: SimTime, fx: &mut Effects) {
+        self.trace.emit(now, cpu.0, HookId::Undispatch, itid.0, 0);
+        if let Some(tid) = self.cpus[cpu.0 as usize].running {
+            self.trace.emit(now, cpu.0, HookId::Dispatch, tid.0, 0);
+        }
+        // Interrupt exit is a preemption notice point (§3: "takes an
+        // interrupt").
+        self.resched(cpu, now, fx);
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatcher internals
+    // ------------------------------------------------------------------
+
+    fn enqueue(&mut self, tid: Tid) {
+        let prio = self.threads[tid.0 as usize].prio;
+        match self.threads[tid.0 as usize].discipline {
+            QueueDiscipline::Pinned(c) => self.cpus[c.0 as usize].local_q.push(tid, prio),
+            QueueDiscipline::Global => self.global_q.push(tid, prio),
+        }
+    }
+
+    /// Remove `tid` from whatever queue holds it (priority change path).
+    fn dequeue(&mut self, tid: Tid) -> bool {
+        if self.global_q.remove(tid) {
+            return true;
+        }
+        self.cpus.iter_mut().any(|c| c.local_q.remove(tid))
+    }
+
+    /// Is `tid` waiting in some ready queue?
+    fn is_queued(&self, tid: Tid) -> bool {
+        self.global_q.contains(tid) || self.cpus.iter().any(|c| c.local_q.contains(tid))
+    }
+
+    /// Choose the next thread for `cpu`, honouring local/global priority
+    /// and idle stealing.
+    fn pick_for(&mut self, cpu: CpuId) -> Option<Tid> {
+        let ci = cpu.0 as usize;
+        let local_best = self.cpus[ci].local_q.best_prio();
+        let global_best = self.global_q.best_prio();
+        match (local_best, global_best) {
+            (Some(l), Some(g)) if g.beats(l) => return self.global_q.pop().map(|(_, t)| t),
+            (Some(_), _) => return self.cpus[ci].local_q.pop().map(|(_, t)| t),
+            (None, Some(_)) => return self.global_q.pop().map(|(_, t)| t),
+            (None, None) => {}
+        }
+        if !self.opts.idle_steal {
+            return None;
+        }
+        // Idle steal: take the best thread pinned to another CPU.
+        let mut best: Option<(Prio, usize)> = None;
+        for (i, c) in self.cpus.iter().enumerate() {
+            if i == ci {
+                continue;
+            }
+            if let Some(p) = c.local_q.best_prio() {
+                if best.is_none_or(|(bp, _)| p.beats(bp)) {
+                    best = Some((p, i));
+                }
+            }
+        }
+        best.and_then(|(_, i)| self.cpus[i].local_q.pop().map(|(_, t)| t))
+    }
+
+    fn dispatch_next(&mut self, cpu: CpuId, now: SimTime, fx: &mut Effects) {
+        let ci = cpu.0 as usize;
+        debug_assert!(self.cpus[ci].running.is_none(), "dispatch on busy CPU");
+        self.cpus[ci].token += 1;
+        self.cpus[ci].seg_end = None;
+        self.cpus[ci].debt = SimDur::ZERO;
+        if let Some(tid) = self.pick_for(cpu) {
+            self.run_on(cpu, tid, now, fx);
+        }
+    }
+
+    fn run_on(&mut self, cpu: CpuId, tid: Tid, now: SimTime, fx: &mut Effects) {
+        let ci = cpu.0 as usize;
+        let ctx_cost = self.opts.costs.ctx_switch;
+        let recv_cost = self.opts.costs.recv_overhead;
+
+        self.cpus[ci].running = Some(tid);
+        self.cpus[ci].token += 1;
+        self.cpus[ci].seg_end = None;
+        self.cpus[ci].debt = SimDur::ZERO;
+        self.cpus[ci].slice_start = now;
+        self.trace.emit(now, cpu.0, HookId::Dispatch, tid.0, 0);
+
+        enum Next {
+            Segment,
+            Spin,
+            Complete,
+        }
+        let next = {
+            let slot = &mut self.threads[tid.0 as usize];
+            debug_assert!(
+                matches!(
+                    slot.cont,
+                    Cont::Step | Cont::FinishSend(_) | Cont::FinishRecv | Cont::PollWait { .. }
+                ),
+                "dispatched a blocked thread ({})",
+                slot.name
+            );
+            slot.state = ThreadState::Running;
+            slot.last_dispatch = now;
+            match slot.cont {
+                Cont::PollWait { tag, src } => {
+                    if let Some(m) = slot.mailbox.take_match(tag, src) {
+                        slot.in_msg = Some(m);
+                        slot.cont = Cont::FinishRecv;
+                        slot.remaining = recv_cost + ctx_cost;
+                        Next::Segment
+                    } else {
+                        Next::Spin
+                    }
+                }
+                _ if !slot.remaining.is_zero() => {
+                    // Context-switch cost is charged into the resumed
+                    // segment.
+                    slot.remaining += ctx_cost;
+                    Next::Segment
+                }
+                _ => Next::Complete,
+            }
+        };
+        match next {
+            Next::Segment => self.start_segment(cpu, tid, now, fx),
+            Next::Spin => {} // resume busy-polling; no scheduled end
+            Next::Complete => self.seg_complete(cpu, tid, now, fx),
+        }
+    }
+
+    fn start_segment(&mut self, cpu: CpuId, tid: Tid, now: SimTime, fx: &mut Effects) {
+        let ci = cpu.0 as usize;
+        debug_assert_eq!(self.cpus[ci].running, Some(tid));
+        let remaining = self.threads[tid.0 as usize].remaining;
+        debug_assert!(!remaining.is_zero(), "empty segment");
+        let end = now + remaining;
+        self.cpus[ci].seg_end = Some(end);
+        let token = self.cpus[ci].token;
+        fx.schedule.push((end, KernelEvent::SegEnd { cpu, token }));
+    }
+
+    /// The current busy segment completed: perform its continuation, then
+    /// step the program for the next action.
+    fn seg_complete(&mut self, cpu: CpuId, tid: Tid, now: SimTime, fx: &mut Effects) {
+        let cont = core::mem::replace(&mut self.threads[tid.0 as usize].cont, Cont::Step);
+        match cont {
+            Cont::FinishSend(mut msg) => {
+                msg.sent_at = now;
+                self.trace.emit(now, cpu.0, HookId::MsgSend, tid.0, msg.tag);
+                fx.outbound.push(msg);
+            }
+            Cont::FinishRecv => {
+                let tag = self.threads[tid.0 as usize].in_msg.as_ref().map_or(0, |m| m.tag);
+                self.trace.emit(now, cpu.0, HookId::MsgRecv, tid.0, tag);
+            }
+            Cont::Step => {}
+            _ => unreachable!("segment completion with a waiting continuation"),
+        }
+        self.advance(cpu, tid, now, fx);
+    }
+
+    /// Step the program until it issues a time-consuming or waiting action.
+    fn advance(&mut self, cpu: CpuId, tid: Tid, now: SimTime, fx: &mut Effects) {
+        let costs = self.opts.costs;
+        let mut zero_steps = 0u32;
+        loop {
+            zero_steps += 1;
+            assert!(
+                zero_steps < MAX_ZERO_COST_STEPS,
+                "program '{}' livelocked the stepping loop",
+                self.threads[tid.0 as usize].name
+            );
+            let mut program = self.threads[tid.0 as usize]
+                .program
+                .take()
+                .expect("advance on a thread without a program");
+            let action = {
+                let local_now = self.clock.to_local(now);
+                let node = self.node;
+                let slot_prio = self.threads[tid.0 as usize].prio;
+                let received = self.threads[tid.0 as usize].in_msg.take();
+                let mut ctx = StepCtx {
+                    now,
+                    local_now,
+                    node,
+                    tid,
+                    prio: slot_prio,
+                    received,
+                    io_pending: &mut self.io_pending,
+                };
+                program.step(&mut ctx)
+            };
+            self.threads[tid.0 as usize].program = Some(program);
+
+            match action {
+                Action::Compute(d) => {
+                    let slot = &mut self.threads[tid.0 as usize];
+                    let mut demand = d;
+                    // Globally-queued interference pays the locality tax.
+                    if slot.discipline == QueueDiscipline::Global && slot.class.is_interference() {
+                        demand = demand.mul_f64(costs.global_queue_penalty);
+                    }
+                    if demand.is_zero() {
+                        continue;
+                    }
+                    slot.remaining = demand;
+                    slot.cont = Cont::Step;
+                    self.start_segment(cpu, tid, now, fx);
+                    return;
+                }
+                Action::Send(msg) => {
+                    let slot = &mut self.threads[tid.0 as usize];
+                    slot.remaining = costs.send_overhead;
+                    slot.cont = Cont::FinishSend(msg);
+                    self.start_segment(cpu, tid, now, fx);
+                    return;
+                }
+                Action::Recv { tag, src, wait } => {
+                    let matched = self.threads[tid.0 as usize].mailbox.take_match(tag, src);
+                    let slot = &mut self.threads[tid.0 as usize];
+                    if let Some(m) = matched {
+                        slot.in_msg = Some(m);
+                        slot.cont = Cont::FinishRecv;
+                        slot.remaining = costs.recv_overhead;
+                        self.start_segment(cpu, tid, now, fx);
+                        return;
+                    }
+                    match wait {
+                        WaitMode::Poll => {
+                            slot.cont = Cont::PollWait { tag, src };
+                            // Spinning: CPU busy, no scheduled end.
+                            return;
+                        }
+                        WaitMode::Block => {
+                            slot.cont = Cont::BlockedRecv { tag, src };
+                            self.block_current(cpu, tid, now, fx);
+                            return;
+                        }
+                        WaitMode::Try => {
+                            // Nothing matched: step again with no message.
+                            continue;
+                        }
+                    }
+                }
+                Action::SleepUntil(local_t) => {
+                    let local_now = self.clock.to_local(now);
+                    let t = local_t.max(local_now);
+                    let seq = self.callout_seq;
+                    self.callout_seq += 1;
+                    self.callouts.insert((t, seq), tid);
+                    self.threads[tid.0 as usize].cont = Cont::Sleeping;
+                    self.block_current(cpu, tid, now, fx);
+                    return;
+                }
+                Action::SetPriority { target, prio } => {
+                    self.set_priority(target, prio, now, fx);
+                    continue;
+                }
+                Action::IoSubmit { bytes } => {
+                    let token = self.io_next_token;
+                    self.io_next_token += 1;
+                    self.io_pending.push_back(IoRequest {
+                        token,
+                        requester: tid,
+                        bytes,
+                    });
+                    self.trace.emit(now, cpu.0, HookId::IoStart, tid.0, token);
+                    self.threads[tid.0 as usize].cont = Cont::IoWait;
+                    // Wake the I/O daemon if it is idle.
+                    let d = self.io_daemon.unwrap_or_else(|| {
+                        panic!(
+                            "IoSubmit on node {} with no I/O daemon configured",
+                            self.node
+                        )
+                    });
+                    if matches!(self.threads[d.0 as usize].cont, Cont::IoIdle) {
+                        self.threads[d.0 as usize].cont = Cont::Step;
+                        self.wake(d, now, fx);
+                    }
+                    self.block_current(cpu, tid, now, fx);
+                    return;
+                }
+                Action::IoComplete(req) => {
+                    self.trace
+                        .emit(now, cpu.0, HookId::IoDone, req.requester.0, req.token);
+                    debug_assert!(
+                        matches!(self.threads[req.requester.0 as usize].cont, Cont::IoWait),
+                        "IoComplete for a thread not waiting on I/O"
+                    );
+                    self.threads[req.requester.0 as usize].cont = Cont::Step;
+                    self.wake(req.requester, now, fx);
+                    continue;
+                }
+                Action::IoIdle => {
+                    if !self.io_pending.is_empty() {
+                        continue; // work arrived meanwhile; step again
+                    }
+                    self.threads[tid.0 as usize].cont = Cont::IoIdle;
+                    self.block_current(cpu, tid, now, fx);
+                    return;
+                }
+                Action::Trace { hook, aux } => {
+                    self.trace.emit(now, cpu.0, hook, tid.0, aux);
+                    continue;
+                }
+                Action::Yield => {
+                    self.threads[tid.0 as usize].cont = Cont::Step;
+                    self.preempt_current(cpu, now);
+                    self.dispatch_next(cpu, now, fx);
+                    return;
+                }
+                Action::Exit => {
+                    let ci = cpu.0 as usize;
+                    let class = self.threads[tid.0 as usize].class;
+                    let last = self.threads[tid.0 as usize].last_dispatch;
+                    {
+                        let slot = &mut self.threads[tid.0 as usize];
+                        slot.state = ThreadState::Exited;
+                        slot.program = None;
+                        slot.cpu_time += now.since(last);
+                    }
+                    if class == ThreadClass::App {
+                        self.app_alive -= 1;
+                    }
+                    self.trace.emit(now, cpu.0, HookId::Undispatch, tid.0, 0);
+                    self.cpus[ci].running = None;
+                    self.dispatch_next(cpu, now, fx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Take the running thread off `cpu` and requeue it (preemption,
+    /// yield, round-robin). Leaves the CPU empty.
+    fn preempt_current(&mut self, cpu: CpuId, now: SimTime) {
+        let ci = cpu.0 as usize;
+        let tid = self.cpus[ci].running.take().expect("preempt on idle CPU");
+        let seg_end = self.cpus[ci].seg_end.take();
+        let debt = core::mem::take(&mut self.cpus[ci].debt);
+        self.cpus[ci].token += 1;
+        let slot = &mut self.threads[tid.0 as usize];
+        if let Some(end) = seg_end {
+            // Unfinished demand plus the interference that stretched it.
+            slot.remaining = end.since(now) + debt;
+        } else {
+            slot.remaining = SimDur::ZERO; // poll-waiter
+        }
+        slot.cpu_time += now.since(slot.last_dispatch);
+        slot.state = ThreadState::Ready;
+        self.trace.emit(now, cpu.0, HookId::Undispatch, tid.0, 0);
+        self.enqueue(tid);
+    }
+
+    /// Block the running thread (no requeue) and dispatch a successor.
+    fn block_current(&mut self, cpu: CpuId, tid: Tid, now: SimTime, fx: &mut Effects) {
+        let ci = cpu.0 as usize;
+        debug_assert_eq!(self.cpus[ci].running, Some(tid));
+        debug_assert!(
+            self.threads[tid.0 as usize].remaining.is_zero(),
+            "blocking mid-segment is not a kernel transition"
+        );
+        self.cpus[ci].running = None;
+        self.cpus[ci].seg_end = None;
+        self.cpus[ci].debt = SimDur::ZERO;
+        self.cpus[ci].token += 1;
+        let slot = &mut self.threads[tid.0 as usize];
+        slot.state = ThreadState::Blocked;
+        slot.cpu_time += now.since(slot.last_dispatch);
+        self.trace.emit(now, cpu.0, HookId::Undispatch, tid.0, 0);
+        self.dispatch_next(cpu, now, fx);
+    }
+
+    /// Make a blocked thread runnable and place it.
+    fn wake(&mut self, tid: Tid, now: SimTime, fx: &mut Effects) {
+        {
+            let slot = &mut self.threads[tid.0 as usize];
+            if slot.state != ThreadState::Blocked {
+                return; // spurious wake (duplicate callout, already running)
+            }
+            if matches!(slot.cont, Cont::Sleeping) {
+                slot.cont = Cont::Step;
+            }
+            slot.state = ThreadState::Ready;
+        }
+        self.enqueue(tid);
+        self.place(tid, now, fx);
+    }
+
+    /// Placement after readying: grab an idle CPU, else request preemption
+    /// against the appropriate victim.
+    fn place(&mut self, tid: Tid, now: SimTime, fx: &mut Effects) {
+        let (prio, disc) = {
+            let s = &self.threads[tid.0 as usize];
+            (s.prio, s.discipline)
+        };
+        // Prefer the thread's home CPU if idle, then any idle CPU.
+        let home_idle = match disc {
+            QueueDiscipline::Pinned(c) if self.cpus[c.0 as usize].running.is_none() => Some(c),
+            _ => None,
+        };
+        let idle = home_idle.or_else(|| {
+            (0..self.ncpus)
+                .map(CpuId)
+                .find(|c| self.cpus[c.0 as usize].running.is_none())
+        });
+        if let Some(c) = idle {
+            self.dispatch_next(c, now, fx);
+            // If the idle CPU took this thread (or anything that freed the
+            // situation), we are done; otherwise fall through to the
+            // preemption path (possible when stealing is disabled or a
+            // better thread was picked instead).
+            if !self.is_queued(tid) || self.threads[tid.0 as usize].state != ThreadState::Ready {
+                return;
+            }
+        }
+        // Preemption path over busy CPUs only.
+        let victim = match disc {
+            QueueDiscipline::Pinned(c) => self.cpus[c.0 as usize].running.is_some().then_some(c),
+            QueueDiscipline::Global => {
+                // Worst-priority runner; ties to the lowest CPU index.
+                let mut worst: Option<(Prio, CpuId)> = None;
+                for (i, c) in self.cpus.iter().enumerate() {
+                    let Some(r) = c.running else { continue };
+                    let rp = self.threads[r.0 as usize].prio;
+                    if worst.is_none_or(|(wp, _)| rp.0 > wp.0) {
+                        worst = Some((rp, CpuId(i as u8)));
+                    }
+                }
+                worst.map(|(_, c)| c)
+            }
+        };
+        let Some(victim) = victim else { return };
+        let run_prio = {
+            let r = self.cpus[victim.0 as usize].running.expect("victim is busy");
+            self.threads[r.0 as usize].prio
+        };
+        if prio.beats(run_prio) {
+            self.request_preempt(victim, now, fx);
+        }
+    }
+
+    /// Ask `cpu` to reconsider its running thread, via the configured
+    /// preemption mechanism.
+    fn request_preempt(&mut self, cpu: CpuId, now: SimTime, fx: &mut Effects) {
+        match self.opts.preempt {
+            PreemptMode::Lazy => {
+                // Nothing: the next tick, interrupt, or block notices.
+            }
+            PreemptMode::RtIpi => {
+                // One IPI in flight node-wide (the deficiency the paper
+                // fixed).
+                if !self.ipi_in_flight {
+                    self.ipi_in_flight = true;
+                    let lat = self
+                        .rng
+                        .dur_range(self.opts.costs.ipi_latency_min, self.opts.costs.ipi_latency_max);
+                    fx.schedule.push((now + lat, KernelEvent::Ipi { cpu }));
+                }
+            }
+            PreemptMode::RtIpiImproved => {
+                if !self.cpus[cpu.0 as usize].ipi_pending {
+                    self.cpus[cpu.0 as usize].ipi_pending = true;
+                    let lat = self
+                        .rng
+                        .dur_range(self.opts.costs.ipi_latency_min, self.opts.costs.ipi_latency_max);
+                    fx.schedule.push((now + lat, KernelEvent::Ipi { cpu }));
+                }
+            }
+        }
+    }
+
+    /// Preemption check at a notice point (tick, IPI, interrupt end).
+    fn resched(&mut self, cpu: CpuId, now: SimTime, fx: &mut Effects) {
+        let ci = cpu.0 as usize;
+        let Some(tid) = self.cpus[ci].running else {
+            self.dispatch_next(cpu, now, fx);
+            return;
+        };
+        let run_prio = self.threads[tid.0 as usize].prio;
+        let cand = best_of(self.cpus[ci].local_q.best_prio(), self.global_q.best_prio());
+        let Some(cand) = cand else {
+            return;
+        };
+        let slice_expired = now.since(self.cpus[ci].slice_start) >= self.opts.timeslice;
+        if cand.beats(run_prio) || (cand == run_prio && slice_expired) {
+            self.preempt_current(cpu, now);
+            self.dispatch_next(cpu, now, fx);
+        }
+    }
+
+    /// Change a thread's priority (the co-scheduler's lever), triggering
+    /// forward or reverse preemption handling as configured.
+    pub fn set_priority(&mut self, target: Tid, prio: Prio, now: SimTime, fx: &mut Effects) {
+        let old = self.threads[target.0 as usize].prio;
+        if old == prio {
+            return;
+        }
+        self.threads[target.0 as usize].prio = prio;
+        self.trace
+            .emit(now, u8::MAX, HookId::PrioChange, target.0, u64::from(prio.0));
+        match self.threads[target.0 as usize].state {
+            ThreadState::Ready => {
+                // Re-key in its queue, then re-run placement (forward
+                // preemption if it now beats a runner).
+                self.dequeue(target);
+                self.enqueue(target);
+                self.place(target, now, fx);
+            }
+            ThreadState::Running => {
+                // Reverse preemption: only the improved RT option forces an
+                // interrupt when a running thread is *lowered* below a
+                // waiting one (§3, deficiency 1).
+                let ci = self
+                    .cpus
+                    .iter()
+                    .position(|c| c.running == Some(target))
+                    .expect("running thread has a CPU");
+                let cand = best_of(self.cpus[ci].local_q.best_prio(), self.global_q.best_prio());
+                if let Some(cand) = cand {
+                    if cand.beats(prio) && self.opts.preempt == PreemptMode::RtIpiImproved {
+                        self.request_preempt(CpuId(ci as u8), now, fx);
+                    }
+                }
+            }
+            ThreadState::Blocked | ThreadState::Exited => {}
+        }
+    }
+
+    /// Deliver a message directly (test convenience; the cluster driver
+    /// normally schedules `KernelEvent::Deliver`).
+    pub fn deliver_now(&mut self, msg: Message, now: SimTime, fx: &mut Effects) {
+        self.on_deliver(msg, now, fx);
+    }
+}
+
+/// More favored of two optional priorities.
+fn best_of(a: Option<Prio>, b: Option<Prio>) -> Option<Prio> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if y.beats(x) { y } else { x }),
+        (x, y) => x.or(y),
+    }
+}

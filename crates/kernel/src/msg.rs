@@ -1,0 +1,249 @@
+//! Messages and mailboxes.
+//!
+//! All inter-thread communication — MPI point-to-point traffic, the MPI
+//! library's "control pipe" registrations with the co-scheduler, and the
+//! attach/detach requests — travels as [`Message`] values. The kernel
+//! matches incoming messages against a thread's posted receive by tag and
+//! optional source, like an MPI envelope.
+
+use crate::types::Tid;
+use pa_simkit::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A cluster-wide thread address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Node index in the cluster.
+    pub node: u32,
+    /// Thread id on that node.
+    pub tid: Tid,
+}
+
+/// A message in flight or queued in a mailbox.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Sender address.
+    pub src: Endpoint,
+    /// Destination address.
+    pub dst: Endpoint,
+    /// Envelope tag (the MPI layer packs collective/phase identifiers here).
+    pub tag: u64,
+    /// Payload size in bytes (drives fabric serialization time).
+    pub bytes: u32,
+    /// When the sender handed the message to the fabric.
+    pub sent_at: SimTime,
+    /// Small payload word (control messages carry pids/commands here).
+    pub payload: u64,
+}
+
+/// Tag selector for a posted receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TagSel {
+    /// Match only this tag.
+    Exact(u64),
+    /// Match any tag.
+    Any,
+}
+
+impl TagSel {
+    /// Does `tag` satisfy this selector?
+    pub fn matches(self, tag: u64) -> bool {
+        match self {
+            TagSel::Exact(t) => t == tag,
+            TagSel::Any => true,
+        }
+    }
+}
+
+/// Source selector for a posted receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SrcSel {
+    /// Match only messages from this endpoint.
+    Exact(Endpoint),
+    /// Match any sender.
+    Any,
+}
+
+impl SrcSel {
+    /// Does `src` satisfy this selector?
+    pub fn matches(self, src: Endpoint) -> bool {
+        match self {
+            SrcSel::Exact(e) => e == src,
+            SrcSel::Any => true,
+        }
+    }
+}
+
+/// Tags for the GPFS-style remote I/O protocol.
+///
+/// A rank performing file I/O sends a request to the serving node's mmfsd
+/// (the payload carries the byte count) and blocks on the reply. The
+/// request completes only when that daemon wins a CPU *on the server
+/// node* — the cross-node dependency behind the §5.3 ALE3D finding that a
+/// co-scheduler which starves I/O daemons starves the application.
+pub mod ioproto {
+    /// Tag kind for I/O traffic (collective = 1, p2p = 2, control = 3).
+    pub const KIND_IO: u64 = 4;
+
+    /// Request tag for I/O transaction `token`.
+    pub fn req_tag(token: u64) -> u64 {
+        (KIND_IO << 60) | (token << 1)
+    }
+
+    /// Response tag for I/O transaction `token`.
+    pub fn resp_tag(token: u64) -> u64 {
+        (KIND_IO << 60) | (token << 1) | 1
+    }
+
+    /// Is this a request tag? (None for non-I/O tags.)
+    pub fn parse(tag: u64) -> Option<(u64, bool)> {
+        if tag >> 60 != KIND_IO {
+            return None;
+        }
+        let body = tag & ((1 << 60) - 1);
+        Some((body >> 1, body & 1 == 0))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip() {
+            assert_eq!(parse(req_tag(42)), Some((42, true)));
+            assert_eq!(parse(resp_tag(42)), Some((42, false)));
+            assert_eq!(parse(0), None);
+            assert_ne!(req_tag(1), resp_tag(1));
+        }
+    }
+}
+
+/// Per-thread FIFO of delivered-but-unconsumed messages.
+///
+/// Matching is in arrival order (first match wins), which is what the MPI
+/// non-overtaking rule requires for a single (src, tag) stream.
+#[derive(Debug, Clone, Default)]
+pub struct Mailbox {
+    queue: VecDeque<Message>,
+}
+
+impl Mailbox {
+    /// An empty mailbox.
+    pub fn new() -> Mailbox {
+        Mailbox::default()
+    }
+
+    /// Deliver a message (appends in arrival order).
+    pub fn deliver(&mut self, msg: Message) {
+        self.queue.push_back(msg);
+    }
+
+    /// Remove and return the first message matching the selectors.
+    pub fn take_match(&mut self, tag: TagSel, src: SrcSel) -> Option<Message> {
+        let idx = self
+            .queue
+            .iter()
+            .position(|m| tag.matches(m.tag) && src.matches(m.src))?;
+        self.queue.remove(idx)
+    }
+
+    /// Does any queued message match?
+    pub fn has_match(&self, tag: TagSel, src: SrcSel) -> bool {
+        self.queue
+            .iter()
+            .any(|m| tag.matches(m.tag) && src.matches(m.src))
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True iff nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src_tid: u32, tag: u64) -> Message {
+        Message {
+            src: Endpoint {
+                node: 0,
+                tid: Tid(src_tid),
+            },
+            dst: Endpoint {
+                node: 0,
+                tid: Tid(99),
+            },
+            tag,
+            bytes: 8,
+            sent_at: SimTime::ZERO,
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn exact_tag_matching() {
+        let mut mb = Mailbox::new();
+        mb.deliver(msg(1, 10));
+        mb.deliver(msg(1, 20));
+        assert!(mb.has_match(TagSel::Exact(20), SrcSel::Any));
+        let m = mb.take_match(TagSel::Exact(20), SrcSel::Any).unwrap();
+        assert_eq!(m.tag, 20);
+        assert_eq!(mb.len(), 1);
+        assert!(!mb.has_match(TagSel::Exact(20), SrcSel::Any));
+    }
+
+    #[test]
+    fn any_matches_in_fifo_order() {
+        let mut mb = Mailbox::new();
+        mb.deliver(msg(1, 10));
+        mb.deliver(msg(2, 20));
+        let m = mb.take_match(TagSel::Any, SrcSel::Any).unwrap();
+        assert_eq!(m.tag, 10, "FIFO order: earliest arrival first");
+    }
+
+    #[test]
+    fn source_selector_filters() {
+        let mut mb = Mailbox::new();
+        mb.deliver(msg(1, 10));
+        mb.deliver(msg(2, 10));
+        let want = SrcSel::Exact(Endpoint {
+            node: 0,
+            tid: Tid(2),
+        });
+        let m = mb.take_match(TagSel::Exact(10), want).unwrap();
+        assert_eq!(m.src.tid, Tid(2));
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn no_match_leaves_queue_intact() {
+        let mut mb = Mailbox::new();
+        mb.deliver(msg(1, 10));
+        assert!(mb.take_match(TagSel::Exact(11), SrcSel::Any).is_none());
+        assert_eq!(mb.len(), 1);
+        assert!(!mb.is_empty());
+    }
+
+    #[test]
+    fn non_overtaking_same_stream() {
+        let mut mb = Mailbox::new();
+        mb.deliver(Message {
+            payload: 1,
+            ..msg(1, 7)
+        });
+        mb.deliver(Message {
+            payload: 2,
+            ..msg(1, 7)
+        });
+        let first = mb.take_match(TagSel::Exact(7), SrcSel::Any).unwrap();
+        let second = mb.take_match(TagSel::Exact(7), SrcSel::Any).unwrap();
+        assert_eq!((first.payload, second.payload), (1, 2));
+    }
+}

@@ -1,0 +1,225 @@
+//! Kernel scheduling options and cost model.
+//!
+//! [`SchedOptions`] is the simulator's equivalent of the paper's
+//! `schedtune` additions (§3.2.1 closing remark): a block of switches that
+//! select between stock AIX behaviour and the prototype kernel's
+//! parallel-aware behaviour. `pa-core` exposes the `vanilla()` /
+//! `prototype()` presets as the two kernels compared throughout §5.
+
+use crate::types::{DaemonQueuePolicy, PreemptMode, TickAlign};
+use pa_simkit::SimDur;
+use serde::{Deserialize, Serialize};
+
+/// Fixed costs charged by kernel mechanisms.
+///
+/// Values are calibrated to the paper's Power3/AIX context where stated
+/// (tick worst-case latency, IPI "tenths of a millisecond") and to
+/// contemporaneous measurements otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// CPU time stolen by one tick interrupt (decrementer processing).
+    pub tick_cost: SimDur,
+    /// Extra CPU time per callout (daemon wakeup) processed at a tick.
+    pub callout_cost: SimDur,
+    /// Context-switch cost charged to the incoming thread.
+    pub ctx_switch: SimDur,
+    /// Minimum latency of a preemption IPI ("tenths of a millisecond").
+    pub ipi_latency_min: SimDur,
+    /// Maximum latency of a preemption IPI.
+    pub ipi_latency_max: SimDur,
+    /// CPU time stolen by servicing an IPI.
+    pub ipi_cost: SimDur,
+    /// Delay between message arrival and a *running* poller noticing it.
+    pub poll_detect: SimDur,
+    /// CPU overhead charged when a send is performed.
+    pub send_overhead: SimDur,
+    /// CPU overhead charged when a receive completes.
+    pub recv_overhead: SimDur,
+    /// Multiplicative burst inflation for globally-queued daemons
+    /// (storage-locality loss, §3.1.2: "significant overhead to the
+    /// daemons as they execute" — e.g. 3 ms → ~3.1 ms).
+    pub global_queue_penalty: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            tick_cost: SimDur::from_micros(5),
+            callout_cost: SimDur::from_micros(2),
+            ctx_switch: SimDur::from_micros(5),
+            ipi_latency_min: SimDur::from_micros(100),
+            ipi_latency_max: SimDur::from_micros(300),
+            ipi_cost: SimDur::from_micros(2),
+            poll_detect: SimDur::from_nanos(800),
+            send_overhead: SimDur::from_micros(2),
+            recv_overhead: SimDur::from_micros(2),
+            global_queue_penalty: 1.04,
+        }
+    }
+}
+
+/// The `schedtune`-style option block selecting kernel behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedOptions {
+    /// Base tick period (AIX: 10 ms, i.e. 100 Hz).
+    pub base_tick: SimDur,
+    /// The "big tick" constant: physical ticks are generated once where
+    /// the default kernel would have generated `big_tick` (§3.1.1; the
+    /// study generally chose 25, giving a 250 ms effective tick).
+    pub big_tick: u32,
+    /// Tick phasing across the node's CPUs (§3.2.1).
+    pub tick_align: TickAlign,
+    /// Cross-CPU preemption mechanism (§3).
+    pub preempt: PreemptMode,
+    /// Ready-queue policy for non-application threads (§3.1.2).
+    pub daemon_queue: DaemonQueuePolicy,
+    /// Round-robin timeslice for equal-priority threads.
+    pub timeslice: SimDur,
+    /// Whether an idle CPU steals pinned work from other CPUs' queues
+    /// (AIX does; "this is atypical when running large parallel
+    /// applications" only because CPUs are rarely idle).
+    pub idle_steal: bool,
+    /// Mechanism costs.
+    pub costs: CostModel,
+}
+
+impl SchedOptions {
+    /// Stock AIX 4.3.3/5.1 behaviour: 100 Hz staggered ticks, lazy
+    /// cross-CPU preemption, per-CPU daemon queues.
+    pub fn vanilla() -> SchedOptions {
+        SchedOptions {
+            base_tick: SimDur::from_millis(10),
+            big_tick: 1,
+            tick_align: TickAlign::Staggered,
+            preempt: PreemptMode::Lazy,
+            daemon_queue: DaemonQueuePolicy::PerCpu,
+            timeslice: SimDur::from_millis(10),
+            idle_steal: true,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// The paper's prototype kernel: big ticks (250 ms), simultaneous
+    /// ticks, improved real-time preemption (reverse preemption + multiple
+    /// concurrent IPIs), and globally queued daemons.
+    pub fn prototype() -> SchedOptions {
+        SchedOptions {
+            big_tick: 25,
+            tick_align: TickAlign::Aligned,
+            preempt: PreemptMode::RtIpiImproved,
+            daemon_queue: DaemonQueuePolicy::Global,
+            ..SchedOptions::vanilla()
+        }
+    }
+
+    /// The effective tick period (`base_tick * big_tick`).
+    pub fn tick_period(&self) -> SimDur {
+        self.base_tick * u64::from(self.big_tick)
+    }
+
+    /// Tick phase for CPU `cpu` of `ncpus` under the configured alignment.
+    pub fn tick_phase(&self, cpu: u8, ncpus: u8) -> SimDur {
+        match self.tick_align {
+            TickAlign::Aligned => SimDur::ZERO,
+            TickAlign::Staggered => {
+                // AIX staggers at 1 ms granularity on a 10 ms period; for
+                // more CPUs than slots the phases wrap, which is what the
+                // real staggering does too. Scale with the (possibly big)
+                // tick period so staggering stays meaningful.
+                let period = self.tick_period();
+                period * u64::from(cpu) / u64::from(ncpus.max(1))
+            }
+        }
+    }
+
+    /// Validate internal consistency (costs sane, period nonzero).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base_tick.is_zero() {
+            return Err("base_tick must be nonzero".into());
+        }
+        if self.big_tick == 0 {
+            return Err("big_tick must be at least 1".into());
+        }
+        if self.costs.ipi_latency_min > self.costs.ipi_latency_max {
+            return Err("ipi_latency_min exceeds ipi_latency_max".into());
+        }
+        if self.costs.global_queue_penalty < 1.0 {
+            return Err("global_queue_penalty below 1.0 would make daemons faster off-home".into());
+        }
+        if self.costs.tick_cost >= self.base_tick {
+            return Err("tick_cost must be far below the tick period".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SchedOptions {
+    fn default() -> Self {
+        SchedOptions::vanilla()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_matches_aix_defaults() {
+        let v = SchedOptions::vanilla();
+        assert_eq!(v.tick_period(), SimDur::from_millis(10));
+        assert_eq!(v.preempt, PreemptMode::Lazy);
+        assert_eq!(v.daemon_queue, DaemonQueuePolicy::PerCpu);
+        assert_eq!(v.tick_align, TickAlign::Staggered);
+        assert!(v.validate().is_ok());
+    }
+
+    #[test]
+    fn prototype_matches_paper_settings() {
+        let p = SchedOptions::prototype();
+        // §5.3: "the kernel was set to use a big tick interval of 250 msec".
+        assert_eq!(p.tick_period(), SimDur::from_millis(250));
+        assert_eq!(p.preempt, PreemptMode::RtIpiImproved);
+        assert_eq!(p.daemon_queue, DaemonQueuePolicy::Global);
+        assert_eq!(p.tick_align, TickAlign::Aligned);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn staggered_phases_spread_over_period() {
+        let v = SchedOptions::vanilla();
+        let phases: Vec<SimDur> = (0..16).map(|c| v.tick_phase(c, 16)).collect();
+        assert_eq!(phases[0], SimDur::ZERO);
+        for w in phases.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(*phases.last().unwrap() < v.tick_period());
+    }
+
+    #[test]
+    fn aligned_phases_are_zero() {
+        let p = SchedOptions::prototype();
+        for c in 0..16 {
+            assert_eq!(p.tick_phase(c, 16), SimDur::ZERO);
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut o = SchedOptions::vanilla();
+        o.big_tick = 0;
+        assert!(o.validate().is_err());
+
+        let mut o = SchedOptions::vanilla();
+        o.costs.global_queue_penalty = 0.5;
+        assert!(o.validate().is_err());
+
+        let mut o = SchedOptions::vanilla();
+        o.costs.ipi_latency_min = SimDur::from_millis(1);
+        o.costs.ipi_latency_max = SimDur::from_micros(1);
+        assert!(o.validate().is_err());
+
+        let mut o = SchedOptions::vanilla();
+        o.costs.tick_cost = SimDur::from_millis(20);
+        assert!(o.validate().is_err());
+    }
+}

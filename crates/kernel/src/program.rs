@@ -1,0 +1,297 @@
+//! Thread programs: the behaviour of every schedulable entity.
+//!
+//! Every thread in the simulation — MPI ranks, MPI progress threads,
+//! system daemons, the cron job, the co-scheduler, the I/O daemon — is a
+//! state machine implementing [`Program`]. When the thread holds a CPU and
+//! has finished its previous action, the kernel calls
+//! [`Program::step`]; the returned [`Action`] tells the kernel what the
+//! thread does next. Durations are *CPU demand*: interference (ticks,
+//! IPIs, device interrupts, preemption) stretches them in wall-clock time,
+//! which is exactly the phenomenon the paper studies.
+
+use crate::io::IoRequest;
+use crate::msg::{Message, SrcSel, TagSel};
+use crate::types::{Prio, Tid};
+use pa_simkit::{SimDur, SimTime};
+
+/// What a thread does next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Burn CPU for the given demand (compute phase, daemon burst, ...).
+    Compute(SimDur),
+    /// Send a message. The kernel charges the configured send overhead to
+    /// this thread, then hands the message to the local mailbox or fabric.
+    Send(Message),
+    /// Wait for a message matching the selectors.
+    Recv {
+        /// Tag selector.
+        tag: TagSel,
+        /// Source selector.
+        src: SrcSel,
+        /// Busy-poll on the CPU (MPI style) or block (daemon style).
+        wait: WaitMode,
+    },
+    /// Sleep until the given *local-time* instant. Wakeups ride the tick
+    /// callout queue, so actual wake time quantizes to tick boundaries —
+    /// the mechanism behind big-tick daemon batching (§3.1.1).
+    SleepUntil(SimTime),
+    /// Change another thread's (or one's own) dispatching priority; this
+    /// is how the co-scheduler cycles tasks between favored and unfavored.
+    SetPriority {
+        /// Thread to change.
+        target: Tid,
+        /// New priority.
+        prio: Prio,
+    },
+    /// Submit an I/O request and block until the I/O daemon completes it.
+    IoSubmit {
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// (I/O daemon only) mark a request complete, waking the requester.
+    IoComplete(IoRequest),
+    /// (I/O daemon only) block until a request arrives.
+    IoIdle,
+    /// Write a trace record visible to the analysis tooling. The kernel
+    /// stamps it with this thread's id.
+    Trace {
+        /// Which application-level hook (AppMarker / CollBegin / CollEnd).
+        hook: pa_trace::HookId,
+        /// Hook-specific value.
+        aux: u64,
+    },
+    /// Give up the CPU voluntarily (requeued at current priority).
+    Yield,
+    /// Terminate the thread.
+    Exit,
+}
+
+/// Whether a receive spins on the CPU, blocks, or returns immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Busy-poll: the thread keeps its CPU while waiting (IBM MPI user-space
+    /// polling). A preempted poller cannot notice message arrival until it
+    /// is dispatched again — the cascade amplifier of §2.
+    Poll,
+    /// Block: the thread leaves the CPU and is woken on delivery.
+    Block,
+    /// Non-blocking probe: if nothing matches, the program is stepped again
+    /// immediately with no received message. The co-scheduler drains its
+    /// control pipe this way at each window edge.
+    Try,
+}
+
+/// What the kernel exposes to a stepping program.
+#[derive(Debug)]
+pub struct StepCtx<'a> {
+    /// Current global (switch) time.
+    pub now: SimTime,
+    /// Current node-local time.
+    pub local_now: SimTime,
+    /// This node's index.
+    pub node: u32,
+    /// This thread's id.
+    pub tid: Tid,
+    /// This thread's current priority.
+    pub prio: Prio,
+    /// The message that satisfied the immediately preceding `Recv`, if any.
+    pub received: Option<Message>,
+    /// Pending I/O requests (only the designated I/O daemon should take).
+    pub(crate) io_pending: &'a mut std::collections::VecDeque<IoRequest>,
+}
+
+impl StepCtx<'_> {
+    /// Take the message that completed the last `Recv`. Panics if the
+    /// program did not just complete a receive — that is a program bug.
+    pub fn take_received(&mut self) -> Message {
+        self.received
+            .take()
+            .expect("take_received called without a completed Recv")
+    }
+
+    /// Take the message that completed the last `Recv`, if any. A `Try`
+    /// receive that matched nothing steps the program with `None` here.
+    pub fn try_received(&mut self) -> Option<Message> {
+        self.received.take()
+    }
+
+    /// (I/O daemon) pop the oldest pending I/O request.
+    pub fn take_io_request(&mut self) -> Option<IoRequest> {
+        self.io_pending.pop_front()
+    }
+
+    /// (I/O daemon) how many I/O requests are pending.
+    pub fn io_backlog(&self) -> usize {
+        self.io_pending.len()
+    }
+}
+
+/// A thread body. Implementations are Mealy machines: `step` is called
+/// each time the previous action completes, and must eventually return
+/// [`Action::Exit`] (daemons run forever and are torn down with the node).
+pub trait Program {
+    /// Produce the next action.
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action;
+
+    /// Human-readable program kind (diagnostics only).
+    fn kind(&self) -> &'static str {
+        "program"
+    }
+}
+
+/// A program built from a fixed list of actions, then `Exit`.
+/// Used heavily in kernel unit tests.
+#[derive(Debug)]
+pub struct Script {
+    actions: std::vec::IntoIter<Action>,
+}
+
+impl Script {
+    /// Program that performs `actions` in order, then exits.
+    pub fn new(actions: Vec<Action>) -> Script {
+        Script {
+            actions: actions.into_iter(),
+        }
+    }
+}
+
+impl Program for Script {
+    fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Action {
+        self.actions.next().unwrap_or(Action::Exit)
+    }
+
+    fn kind(&self) -> &'static str {
+        "script"
+    }
+}
+
+/// A program that loops forever: `Compute(burst)`, then sleep so wakeups
+/// land on multiples of `period` (local time). The canonical periodic
+/// daemon shape; pa-noise builds richer variants.
+#[derive(Debug)]
+pub struct PeriodicLoop {
+    /// Period between wakeups (local time).
+    pub period: SimDur,
+    /// CPU demand per wakeup.
+    pub burst: SimDur,
+    /// Phase offset of wakeups within the period.
+    pub phase: SimDur,
+    fired: bool,
+}
+
+impl PeriodicLoop {
+    /// New periodic loop.
+    pub fn new(period: SimDur, burst: SimDur, phase: SimDur) -> PeriodicLoop {
+        PeriodicLoop {
+            period,
+            burst,
+            phase,
+            // First action is the sleep to the phase boundary, not a
+            // burst: spawning must not synchronize a burst storm.
+            fired: true,
+        }
+    }
+}
+
+impl Program for PeriodicLoop {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action {
+        if self.fired {
+            self.fired = false;
+            Action::SleepUntil(ctx.local_now.next_boundary(self.period, self.phase))
+        } else {
+            self.fired = true;
+            Action::Compute(self.burst)
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "periodic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    fn ctx(io: &mut VecDeque<IoRequest>) -> StepCtx<'_> {
+        StepCtx {
+            now: SimTime::from_millis(15),
+            local_now: SimTime::from_millis(15),
+            node: 0,
+            tid: Tid(1),
+            prio: Prio(60),
+            received: None,
+            io_pending: io,
+        }
+    }
+
+    #[test]
+    fn script_plays_actions_then_exits() {
+        let mut io = VecDeque::new();
+        let mut s = Script::new(vec![
+            Action::Compute(SimDur::from_micros(5)),
+            Action::Yield,
+        ]);
+        let mut c = ctx(&mut io);
+        assert_eq!(s.step(&mut c), Action::Compute(SimDur::from_micros(5)));
+        assert_eq!(s.step(&mut c), Action::Yield);
+        assert_eq!(s.step(&mut c), Action::Exit);
+        assert_eq!(s.step(&mut c), Action::Exit);
+    }
+
+    #[test]
+    fn periodic_alternates_sleep_and_burst() {
+        let mut io = VecDeque::new();
+        let mut p = PeriodicLoop::new(
+            SimDur::from_millis(10),
+            SimDur::from_micros(300),
+            SimDur::ZERO,
+        );
+        let mut c = ctx(&mut io);
+        // Sleep-first: local_now = 15ms -> next boundary = 20ms.
+        assert_eq!(p.step(&mut c), Action::SleepUntil(SimTime::from_millis(20)));
+        assert_eq!(p.step(&mut c), Action::Compute(SimDur::from_micros(300)));
+        assert_eq!(p.step(&mut c), Action::SleepUntil(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn take_received_consumes() {
+        let mut io = VecDeque::new();
+        let mut c = ctx(&mut io);
+        c.received = Some(Message {
+            src: crate::msg::Endpoint { node: 0, tid: Tid(2) },
+            dst: crate::msg::Endpoint { node: 0, tid: Tid(1) },
+            tag: 5,
+            bytes: 8,
+            sent_at: SimTime::ZERO,
+            payload: 42,
+        });
+        assert_eq!(c.take_received().payload, 42);
+        assert!(c.received.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "without a completed Recv")]
+    fn take_received_twice_panics() {
+        let mut io = VecDeque::new();
+        let mut c = ctx(&mut io);
+        c.take_received();
+    }
+
+    #[test]
+    fn io_queue_access() {
+        let mut io = VecDeque::new();
+        io.push_back(IoRequest {
+            token: 1,
+            requester: Tid(3),
+            bytes: 4096,
+        });
+        let mut c = ctx(&mut io);
+        assert_eq!(c.io_backlog(), 1);
+        let req = c.take_io_request().unwrap();
+        assert_eq!(req.requester, Tid(3));
+        assert_eq!(c.io_backlog(), 0);
+        assert!(c.take_io_request().is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! Priority-ordered ready queues.
+//!
+//! AIX dispatches the numerically lowest priority first; within a priority
+//! level, threads run in FIFO order. The node has one [`ReadyQueue`] per
+//! CPU plus one global queue (see
+//! [`DaemonQueuePolicy`](crate::types::DaemonQueuePolicy)).
+
+use crate::types::{Prio, Tid};
+use std::collections::BTreeSet;
+
+/// A ready queue ordered by (priority, arrival sequence).
+#[derive(Debug, Default, Clone)]
+pub struct ReadyQueue {
+    set: BTreeSet<(Prio, u64, Tid)>,
+    next_seq: u64,
+}
+
+impl ReadyQueue {
+    /// An empty queue.
+    pub fn new() -> ReadyQueue {
+        ReadyQueue::default()
+    }
+
+    /// Enqueue `tid` at `prio`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `tid` is already queued — a thread must be in at
+    /// most one ready queue.
+    pub fn push(&mut self, tid: Tid, prio: Prio) {
+        debug_assert!(!self.contains(tid), "thread {tid:?} queued twice");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.set.insert((prio, seq, tid));
+    }
+
+    /// The best (most favored) queued priority, if any.
+    pub fn best_prio(&self) -> Option<Prio> {
+        self.set.iter().next().map(|&(p, _, _)| p)
+    }
+
+    /// Peek the thread that would be popped next.
+    pub fn peek(&self) -> Option<(Prio, Tid)> {
+        self.set.iter().next().map(|&(p, _, t)| (p, t))
+    }
+
+    /// Pop the most favored thread.
+    pub fn pop(&mut self) -> Option<(Prio, Tid)> {
+        let &(p, s, t) = self.set.iter().next()?;
+        self.set.remove(&(p, s, t));
+        Some((p, t))
+    }
+
+    /// Remove a specific thread (used when it is stolen by another CPU or
+    /// its priority changes). Returns true if it was present.
+    pub fn remove(&mut self, tid: Tid) -> bool {
+        if let Some(&entry) = self.set.iter().find(|&&(_, _, t)| t == tid) {
+            self.set.remove(&entry);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is `tid` queued here?
+    pub fn contains(&self, tid: Tid) -> bool {
+        self.set.iter().any(|&(_, _, t)| t == tid)
+    }
+
+    /// Re-key a queued thread to a new priority, preserving nothing of its
+    /// old position (it re-enters FIFO order at the new level). No-op if
+    /// absent. Returns true if re-keyed.
+    pub fn requeue(&mut self, tid: Tid, new_prio: Prio) -> bool {
+        if self.remove(tid) {
+            self.push(tid, new_prio);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of queued threads.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterate queued tids in dispatch order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prio, Tid)> + '_ {
+        self.set.iter().map(|&(p, _, t)| (p, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_best_priority_first() {
+        let mut q = ReadyQueue::new();
+        q.push(Tid(1), Prio(90));
+        q.push(Tid(2), Prio(56));
+        q.push(Tid(3), Prio(100));
+        assert_eq!(q.best_prio(), Some(Prio(56)));
+        assert_eq!(q.pop(), Some((Prio(56), Tid(2))));
+        assert_eq!(q.pop(), Some((Prio(90), Tid(1))));
+        assert_eq!(q.pop(), Some((Prio(100), Tid(3))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut q = ReadyQueue::new();
+        for i in 0..5 {
+            q.push(Tid(i), Prio(60));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some((Prio(60), Tid(i))));
+        }
+    }
+
+    #[test]
+    fn remove_specific() {
+        let mut q = ReadyQueue::new();
+        q.push(Tid(1), Prio(60));
+        q.push(Tid(2), Prio(60));
+        assert!(q.remove(Tid(1)));
+        assert!(!q.remove(Tid(1)));
+        assert!(!q.contains(Tid(1)));
+        assert_eq!(q.pop(), Some((Prio(60), Tid(2))));
+    }
+
+    #[test]
+    fn requeue_changes_order() {
+        let mut q = ReadyQueue::new();
+        q.push(Tid(1), Prio(100));
+        q.push(Tid(2), Prio(90));
+        assert!(q.requeue(Tid(1), Prio(30)));
+        assert_eq!(q.pop(), Some((Prio(30), Tid(1))));
+        assert!(!q.requeue(Tid(99), Prio(1)), "absent tid is a no-op");
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = ReadyQueue::new();
+        q.push(Tid(7), Prio(10));
+        assert_eq!(q.peek(), Some((Prio(10), Tid(7))));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn iter_in_dispatch_order() {
+        let mut q = ReadyQueue::new();
+        q.push(Tid(1), Prio(90));
+        q.push(Tid(2), Prio(30));
+        q.push(Tid(3), Prio(90));
+        let order: Vec<Tid> = q.iter().map(|(_, t)| t).collect();
+        assert_eq!(order, vec![Tid(2), Tid(1), Tid(3)]);
+    }
+}

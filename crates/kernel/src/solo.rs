@@ -1,0 +1,100 @@
+//! Single-node driver.
+//!
+//! Runs one [`Kernel`] standalone with an immediate-loopback "fabric"
+//! (all messages are node-local with a fixed shared-memory latency).
+//! Used for kernel/noise unit tests and single-node experiments; the
+//! multi-node driver lives in `pa-cluster`.
+
+use crate::kernel::{Effects, Kernel, KernelEvent};
+use pa_simkit::{EventQueue, SimDur, SimTime};
+
+/// Drives one kernel to completion or a time horizon.
+pub struct SoloRunner {
+    /// The node kernel.
+    pub kernel: Kernel,
+    queue: EventQueue<KernelEvent>,
+    fx: Effects,
+    /// Loopback latency applied to node-local messages.
+    pub shm_latency: SimDur,
+    events_processed: u64,
+}
+
+impl SoloRunner {
+    /// Wrap a kernel (not yet booted).
+    pub fn new(kernel: Kernel) -> SoloRunner {
+        SoloRunner {
+            kernel,
+            queue: EventQueue::new(),
+            fx: Effects::new(),
+            shm_latency: SimDur::from_micros(2),
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn drain_effects(&mut self) {
+        let now = self.queue.now();
+        for (t, ev) in self.fx.schedule.drain(..) {
+            self.queue.schedule(t, ev);
+        }
+        for msg in self.fx.outbound.drain(..) {
+            assert_eq!(
+                msg.dst.node,
+                self.kernel.node_id(),
+                "SoloRunner cannot route cross-node messages"
+            );
+            self.queue
+                .schedule(now + self.shm_latency, KernelEvent::Deliver { msg });
+        }
+    }
+
+    /// Boot the kernel at the current time.
+    pub fn boot(&mut self) {
+        let now = self.queue.now();
+        self.kernel.boot(now, &mut self.fx);
+        self.drain_effects();
+    }
+
+    /// Run until all application threads exit or `horizon` passes.
+    /// Returns the stop time.
+    pub fn run_until_apps_done(&mut self, horizon: SimTime) -> SimTime {
+        loop {
+            if self.kernel.app_alive() == 0 {
+                return self.queue.now();
+            }
+            let Some(t) = self.queue.peek_time() else {
+                return self.queue.now();
+            };
+            if t > horizon {
+                return self.queue.now();
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            self.events_processed += 1;
+            self.kernel.handle(now, ev, &mut self.fx);
+            self.drain_effects();
+        }
+    }
+
+    /// Run until `horizon` regardless of application state.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            self.events_processed += 1;
+            self.kernel.handle(now, ev, &mut self.fx);
+            self.drain_effects();
+        }
+        horizon
+    }
+}

@@ -1,0 +1,306 @@
+//! Job installation: spawning ranks and their timer threads on a cluster.
+//!
+//! Mirrors POE's job start (§4): on each node the partition manager
+//! spawns one task per CPU (or `tasks_per_node` of them), each task's pid
+//! becomes known as it is created, and the MPI library registers tasks
+//! with the node co-scheduler at init time. Here, the installer records
+//! actual kernel thread ids into the shared [`JobLayout`].
+
+use crate::layout::{JobLayout, LayoutHandle};
+use crate::progress::{ProgressSpec, ProgressThread};
+use crate::rank::{MpiConfig, RankProgram, RankWorkload};
+use crate::recorder::{RecorderHandle, RunRecorder};
+use pa_cluster::ClusterSim;
+use pa_kernel::{CpuId, Endpoint, Prio, ThreadSpec, Tid};
+use pa_simkit::SeedSpace;
+use pa_trace::ThreadClass;
+
+/// Shape and configuration of a parallel job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Tasks per node (16 to fill the node, 15 to leave the reserve CPU —
+    /// the §2 workaround the paper aims to retire).
+    pub tasks_per_node: u32,
+    /// MPI library configuration.
+    pub mpi: MpiConfig,
+    /// Spawn per-rank MPI timer threads with this spec (None = no
+    /// progress engine, an idealization).
+    pub progress: Option<ProgressSpec>,
+    /// Task priority at job start (AIX user processes: 90–120).
+    pub rank_prio: Prio,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            tasks_per_node: 16,
+            mpi: MpiConfig::default(),
+            progress: Some(ProgressSpec::default()),
+            rank_prio: Prio::USER,
+        }
+    }
+}
+
+/// Handles to an installed job.
+#[derive(Debug)]
+pub struct Job {
+    /// Rank addresses (shared with the rank programs).
+    pub layout: LayoutHandle,
+    /// Timing collector (shared with the rank programs).
+    pub recorder: RecorderHandle,
+    /// Rank thread ids, rank order.
+    pub rank_tids: Vec<Endpoint>,
+    /// Timer-thread ids, rank order (empty when no progress engine).
+    pub timer_tids: Vec<Endpoint>,
+    /// Total ranks.
+    pub nranks: u32,
+}
+
+/// Spawn a job across all nodes of `sim`.
+///
+/// `make_workload` is called once per global rank. Pre-registered
+/// co-scheduler endpoints (from `pa-core`) must already be present in
+/// `layout` — pass [`JobLayout::empty`]'s handle through the co-scheduler
+/// installer first, or leave it fresh for an uncontrolled job.
+pub fn install_job(
+    sim: &mut ClusterSim,
+    layout: LayoutHandle,
+    spec: &JobSpec,
+    seeds: &SeedSpace,
+    make_workload: &mut dyn FnMut(u32) -> Box<dyn RankWorkload>,
+) -> Job {
+    let nodes = sim.nodes();
+    let tpn = spec.tasks_per_node;
+    assert!(tpn > 0, "a job needs at least one task per node");
+    let nranks = nodes * tpn;
+    let recorder = RunRecorder::shared();
+    let mut rank_tids = Vec::with_capacity(nranks as usize);
+    let mut timer_tids = Vec::new();
+    let aux_prio = Prio(spec.rank_prio.0.saturating_sub(5));
+    // One firing phase for the whole job: timer threads are armed at
+    // MPI_Init, so they tick (nearly) together across every rank.
+    let timer_phase = spec.progress.map(|ps| {
+        let mut rng = seeds.stream_at("mpi/timer-phase", 0, 0);
+        pa_simkit::SimDur::from_nanos(rng.range(0, ps.interval.nanos().max(1)))
+    });
+
+    for node in 0..nodes {
+        let kernel = sim.kernel_mut(node);
+        assert!(
+            tpn <= u32::from(kernel.ncpus()),
+            "more tasks per node than CPUs is not the paper's regime"
+        );
+        for local in 0..tpn {
+            let rank = node * tpn + local;
+            let program = RankProgram::new(
+                rank,
+                nranks,
+                layout.clone(),
+                make_workload(rank),
+                recorder.clone(),
+                spec.mpi,
+            );
+            let tid = kernel.spawn(
+                ThreadSpec::new(
+                    format!("mpi_rank_{rank}"),
+                    ThreadClass::App,
+                    spec.rank_prio,
+                )
+                .on_cpu(CpuId(local as u8)),
+                Box::new(program),
+            );
+            rank_tids.push(Endpoint { node, tid });
+            if let Some(ps) = spec.progress {
+                let rng = seeds.stream_at("mpi/timer", u64::from(node), u64::from(local));
+                let phase = timer_phase.expect("phase drawn when progress is set");
+                let ttid: Tid = kernel.spawn(
+                    ThreadSpec::new(
+                        format!("mpi_timer_{rank}"),
+                        ThreadClass::MpiAux,
+                        aux_prio,
+                    )
+                    .on_cpu(CpuId(local as u8)),
+                    Box::new(ProgressThread::with_phase(ps, phase, rng)),
+                );
+                timer_tids.push(Endpoint { node, tid: ttid });
+            }
+        }
+    }
+    layout.borrow_mut().set_ranks(rank_tids.clone(), tpn);
+    Job {
+        layout,
+        recorder,
+        rank_tids,
+        timer_tids,
+        nranks,
+    }
+}
+
+/// Convenience: an empty layout handle (no co-scheduler registered).
+pub fn fresh_layout() -> LayoutHandle {
+    JobLayout::empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::{MpiOp, OpList};
+    use crate::recorder::OpKind;
+    use pa_cluster::ClusterSpec;
+    use pa_simkit::{SimDur, SimTime};
+
+    fn tiny_cluster(nodes: u32, cpus: u8) -> ClusterSim {
+        let spec = ClusterSpec {
+            nodes,
+            cpus_per_node: cpus,
+            skew_max: SimDur::ZERO,
+            ..ClusterSpec::sp_system(nodes)
+        };
+        ClusterSim::build(&spec, &SeedSpace::new(7))
+    }
+
+    #[test]
+    fn whole_job_barrier_completes() {
+        let mut sim = tiny_cluster(2, 4);
+        let spec = JobSpec {
+            tasks_per_node: 4,
+            progress: None,
+            ..JobSpec::default()
+        };
+        let job = install_job(
+            &mut sim,
+            fresh_layout(),
+            &spec,
+            &SeedSpace::new(7),
+            &mut |_r| Box::new(OpList::new(vec![MpiOp::Barrier])),
+        );
+        sim.boot();
+        let end = sim.run_until_apps_done(SimTime::from_secs(1));
+        assert_eq!(sim.apps_alive(), 0, "deadlock: barrier never completed");
+        let rec = job.recorder.borrow();
+        assert_eq!(rec.count(OpKind::Barrier), 1);
+        rec.verify_complete(8).expect("all ranks completed");
+        assert!(end < SimTime::from_millis(5), "barrier took {end}");
+    }
+
+    #[test]
+    fn allreduce_takes_log_time_on_quiet_cluster() {
+        // 4 nodes × 4 tasks, no noise, no timer threads: the allreduce
+        // should complete in O(log n) network hops — order 100-400µs —
+        // and all ops complete on all ranks.
+        let mut sim = tiny_cluster(4, 4);
+        let spec = JobSpec {
+            tasks_per_node: 4,
+            progress: None,
+            ..JobSpec::default()
+        };
+        let job = install_job(
+            &mut sim,
+            fresh_layout(),
+            &spec,
+            &SeedSpace::new(7),
+            &mut |_r| {
+                Box::new(OpList::new(vec![
+                    MpiOp::Allreduce { bytes: 8 },
+                    MpiOp::Allreduce { bytes: 8 },
+                ]))
+            },
+        );
+        sim.boot();
+        sim.run_until_apps_done(SimTime::from_secs(1));
+        assert_eq!(sim.apps_alive(), 0);
+        let rec = job.recorder.borrow();
+        assert_eq!(rec.count(OpKind::Allreduce), 2);
+        rec.verify_complete(16).expect("complete");
+        let mean = rec.mean_rank_dur_us(OpKind::Allreduce);
+        assert!(mean > 20.0, "implausibly fast: {mean}µs");
+        assert!(mean < 1000.0, "implausibly slow: {mean}µs");
+    }
+
+    #[test]
+    fn exchange_pairs_complete() {
+        let mut sim = tiny_cluster(2, 2);
+        let spec = JobSpec {
+            tasks_per_node: 2,
+            progress: None,
+            ..JobSpec::default()
+        };
+        let job = install_job(
+            &mut sim,
+            fresh_layout(),
+            &spec,
+            &SeedSpace::new(7),
+            &mut |_r| {
+                Box::new(RingExchange { left: 2 })
+            },
+        );
+        sim.boot();
+        sim.run_until_apps_done(SimTime::from_secs(1));
+        assert_eq!(sim.apps_alive(), 0);
+        let rec = job.recorder.borrow();
+        assert_eq!(rec.count(OpKind::Exchange), 2);
+        rec.verify_complete(4).expect("complete");
+    }
+
+    /// Each rank exchanges with both ring neighbours, `left` times.
+    struct RingExchange {
+        left: u32,
+    }
+    impl RankWorkload for RingExchange {
+        fn next_op(&mut self, rank: u32, nranks: u32) -> MpiOp {
+            if self.left == 0 {
+                return MpiOp::Done;
+            }
+            self.left -= 1;
+            let l = (rank + nranks - 1) % nranks;
+            let r = (rank + 1) % nranks;
+            MpiOp::Exchange {
+                peers: vec![l, r],
+                bytes: 1024,
+            }
+        }
+    }
+
+    #[test]
+    fn timer_threads_spawn_per_rank() {
+        let mut sim = tiny_cluster(2, 2);
+        let spec = JobSpec {
+            tasks_per_node: 2,
+            progress: Some(ProgressSpec::default()),
+            ..JobSpec::default()
+        };
+        let job = install_job(
+            &mut sim,
+            fresh_layout(),
+            &spec,
+            &SeedSpace::new(7),
+            &mut |_r| Box::new(OpList::new(vec![MpiOp::Compute(SimDur::from_millis(1))])),
+        );
+        assert_eq!(job.timer_tids.len(), 4);
+        assert_eq!(job.rank_tids.len(), 4);
+        sim.boot();
+        sim.run_until_apps_done(SimTime::from_secs(1));
+        assert_eq!(sim.apps_alive(), 0);
+    }
+
+    #[test]
+    fn fifteen_of_sixteen_layout() {
+        let mut sim = tiny_cluster(1, 16);
+        let spec = JobSpec {
+            tasks_per_node: 15,
+            progress: None,
+            ..JobSpec::default()
+        };
+        let job = install_job(
+            &mut sim,
+            fresh_layout(),
+            &spec,
+            &SeedSpace::new(7),
+            &mut |_r| Box::new(OpList::new(vec![MpiOp::Barrier])),
+        );
+        assert_eq!(job.nranks, 15);
+        sim.boot();
+        sim.run_until_apps_done(SimTime::from_secs(1));
+        assert_eq!(sim.apps_alive(), 0);
+    }
+}

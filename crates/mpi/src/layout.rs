@@ -1,0 +1,154 @@
+//! Job layout: the rank ↔ thread address map.
+//!
+//! Built by the job installer after spawning (thread ids are assigned by
+//! each node's kernel), and read by rank programs at run time through a
+//! shared handle — mirroring how POE's partition manager daemon learns
+//! task pids after fork and distributes them (§4).
+
+use pa_kernel::Endpoint;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Addresses of every rank and of each node's co-scheduler control pipe.
+#[derive(Debug, Default, Clone)]
+pub struct JobLayout {
+    endpoints: Vec<Endpoint>,
+    tasks_per_node: u32,
+    cosched: Vec<Option<Endpoint>>,
+    gpfs: Vec<Option<Endpoint>>,
+}
+
+/// Shared layout handle.
+pub type LayoutHandle = Rc<RefCell<JobLayout>>;
+
+impl JobLayout {
+    /// Empty layout to be filled by the installer.
+    pub fn empty() -> LayoutHandle {
+        Rc::new(RefCell::new(JobLayout::default()))
+    }
+
+    /// Fill in rank endpoints (rank order) and block shape.
+    pub fn set_ranks(&mut self, endpoints: Vec<Endpoint>, tasks_per_node: u32) {
+        assert!(tasks_per_node > 0);
+        assert!(
+            endpoints.len() as u32 % tasks_per_node == 0,
+            "ragged layouts are not modeled"
+        );
+        self.endpoints = endpoints;
+        self.tasks_per_node = tasks_per_node;
+    }
+
+    /// Register a node's co-scheduler endpoint.
+    pub fn set_cosched(&mut self, node: u32, ep: Endpoint) {
+        if self.cosched.len() <= node as usize {
+            self.cosched.resize(node as usize + 1, None);
+        }
+        self.cosched[node as usize] = Some(ep);
+    }
+
+    /// Total ranks.
+    pub fn nranks(&self) -> u32 {
+        self.endpoints.len() as u32
+    }
+
+    /// Tasks per node.
+    pub fn tasks_per_node(&self) -> u32 {
+        self.tasks_per_node
+    }
+
+    /// A rank's address.
+    ///
+    /// # Panics
+    /// Panics if the layout has not been filled or the rank is out of
+    /// range — both are installer bugs.
+    pub fn endpoint(&self, rank: u32) -> Endpoint {
+        self.endpoints[rank as usize]
+    }
+
+    /// The node hosting a rank.
+    pub fn node_of(&self, rank: u32) -> u32 {
+        self.endpoint(rank).node
+    }
+
+    /// Ranks hosted on `node`, in rank order.
+    pub fn ranks_on(&self, node: u32) -> Vec<u32> {
+        (0..self.nranks())
+            .filter(|&r| self.node_of(r) == node)
+            .collect()
+    }
+
+    /// The co-scheduler control endpoint on `node`, if any.
+    pub fn cosched(&self, node: u32) -> Option<Endpoint> {
+        self.cosched.get(node as usize).copied().flatten()
+    }
+
+    /// Register a node's GPFS (mmfsd) service endpoint.
+    pub fn set_gpfs(&mut self, node: u32, ep: Endpoint) {
+        if self.gpfs.len() <= node as usize {
+            self.gpfs.resize(node as usize + 1, None);
+        }
+        self.gpfs[node as usize] = Some(ep);
+    }
+
+    /// The GPFS service endpoint on `node`, if any.
+    pub fn gpfs(&self, node: u32) -> Option<Endpoint> {
+        self.gpfs.get(node as usize).copied().flatten()
+    }
+
+    /// Pick the GPFS server for transaction `token` issued by `rank`:
+    /// GPFS spreads blocks (and therefore metanode/NSD service) across the
+    /// cluster, so requests hash over the nodes that run a server.
+    pub fn gpfs_server_for(&self, rank: u32, token: u64) -> Option<Endpoint> {
+        let servers: Vec<Endpoint> = self.gpfs.iter().flatten().copied().collect();
+        if servers.is_empty() {
+            return None;
+        }
+        let idx = (u64::from(rank).wrapping_mul(31).wrapping_add(token)) % servers.len() as u64;
+        Some(servers[idx as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_kernel::Tid;
+
+    fn ep(node: u32, tid: u32) -> Endpoint {
+        Endpoint {
+            node,
+            tid: Tid(tid),
+        }
+    }
+
+    #[test]
+    fn block_layout_queries() {
+        let mut l = JobLayout::default();
+        l.set_ranks(
+            vec![ep(0, 1), ep(0, 2), ep(1, 1), ep(1, 2)],
+            2,
+        );
+        assert_eq!(l.nranks(), 4);
+        assert_eq!(l.tasks_per_node(), 2);
+        assert_eq!(l.endpoint(2), ep(1, 1));
+        assert_eq!(l.node_of(3), 1);
+        assert_eq!(l.ranks_on(0), vec![0, 1]);
+        assert_eq!(l.ranks_on(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn cosched_registration() {
+        let mut l = JobLayout::default();
+        assert_eq!(l.cosched(0), None);
+        l.set_cosched(1, ep(1, 0));
+        assert_eq!(l.cosched(1), Some(ep(1, 0)));
+        assert_eq!(l.cosched(0), None);
+        assert_eq!(l.cosched(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_layout_rejected() {
+        let mut l = JobLayout::default();
+        l.set_ranks(vec![ep(0, 1), ep(0, 2), ep(1, 1)], 2);
+    }
+}

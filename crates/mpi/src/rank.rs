@@ -1,0 +1,431 @@
+//! The MPI rank program.
+//!
+//! Each rank is a kernel thread whose [`Program`] translates a
+//! [`RankWorkload`]'s high-level operations (compute, Allreduce, halo
+//! exchange, I/O, co-scheduler attach/detach) into kernel actions: sends,
+//! busy-poll receives following the collective schedules of
+//! [`coll`], trace markers, and I/O submissions.
+//!
+//! Per the study's IBM MPI configuration, waits busy-poll by default
+//! (user-space polling), and each rank registers its process id with the
+//! node's co-scheduler at MPI-init time through the control pipe (§4).
+
+use crate::coll::{self, Algorithm, CollStep};
+use crate::layout::JobLayout;
+use crate::recorder::{OpKind, RecorderHandle};
+use crate::tags::{coll_tag, p2p_tag, CtrlOp};
+use pa_kernel::{Action, Endpoint, Message, SrcSel, TagSel, WaitMode};
+use pa_kernel::{Program, StepCtx};
+use pa_simkit::{SimDur, SimTime};
+use pa_trace::HookId;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// One high-level operation of a rank's workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiOp {
+    /// Local computation.
+    Compute(SimDur),
+    /// Global Allreduce of a payload of `bytes`.
+    Allreduce {
+        /// Payload size per message.
+        bytes: u32,
+    },
+    /// Global barrier.
+    Barrier,
+    /// Allgather with per-rank blocks of `bytes`.
+    Allgather {
+        /// Block size.
+        bytes: u32,
+    },
+    /// Reduce to rank 0 (binomial tree).
+    Reduce {
+        /// Payload size per message.
+        bytes: u32,
+    },
+    /// Broadcast from rank 0 (binomial tree).
+    Bcast {
+        /// Payload size per message.
+        bytes: u32,
+    },
+    /// Halo exchange: one message to and from each peer.
+    Exchange {
+        /// Neighbour ranks.
+        peers: Vec<u32>,
+        /// Message size per neighbour.
+        bytes: u32,
+    },
+    /// Read through the I/O daemon (blocks the rank).
+    IoRead {
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Write through the I/O daemon (blocks the rank).
+    IoWrite {
+        /// Transfer size.
+        bytes: u64,
+    },
+    /// Ask the co-scheduler to stop boosting this job (I/O phases, §4).
+    DetachCosched,
+    /// Ask the co-scheduler to resume boosting.
+    AttachCosched,
+    /// Write an application trace marker (`aggregate_trace` brackets every
+    /// 64th Allreduce this way).
+    Mark(u64),
+    /// Workload finished; the rank exits.
+    Done,
+}
+
+/// Supplies a rank's operation stream.
+pub trait RankWorkload {
+    /// The next operation for `rank` of `nranks`. Must eventually return
+    /// [`MpiOp::Done`].
+    fn next_op(&mut self, rank: u32, nranks: u32) -> MpiOp;
+}
+
+/// MPI library configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpiConfig {
+    /// Collective algorithm.
+    pub algorithm: Algorithm,
+    /// Busy-poll (IBM MPI default) or block while waiting.
+    pub polling: bool,
+    /// Reduction compute cost per combining receive.
+    pub reduce_cost: SimDur,
+    /// Register ranks with the node co-scheduler at init.
+    pub register_with_cosched: bool,
+}
+
+impl Default for MpiConfig {
+    fn default() -> Self {
+        MpiConfig {
+            algorithm: Algorithm::BinomialTree,
+            polling: true,
+            reduce_cost: SimDur::from_nanos(300),
+            register_with_cosched: true,
+        }
+    }
+}
+
+impl MpiConfig {
+    fn wait_mode(&self) -> WaitMode {
+        if self.polling {
+            WaitMode::Poll
+        } else {
+            WaitMode::Block
+        }
+    }
+}
+
+/// An in-flight collective on this rank.
+#[derive(Debug)]
+struct CurOp {
+    kind: OpKind,
+    seq: u64,
+    start: SimTime,
+}
+
+/// The rank program. See module docs.
+pub struct RankProgram {
+    rank: u32,
+    nranks: u32,
+    layout: Rc<RefCell<JobLayout>>,
+    workload: Box<dyn RankWorkload>,
+    recorder: RecorderHandle,
+    cfg: MpiConfig,
+    registered: bool,
+    /// Collective/exchange sequence counter. Every rank of a correct BSP
+    /// workload issues the same communication ops in the same order, so
+    /// this advances in lockstep across ranks and tags match.
+    next_seq: u64,
+    /// I/O transaction counter — deliberately separate: I/O is *not*
+    /// collective (a single plot-writing rank must not desynchronize its
+    /// collective tags from everyone else's).
+    next_io: u64,
+    cur: Option<CurOp>,
+    queue: VecDeque<Action>,
+    sched_cache: HashMap<OpKind, Vec<CollStep>>,
+}
+
+impl RankProgram {
+    /// Build a rank program. `layout` may still be unfilled at
+    /// construction; it must be complete before the cluster boots.
+    pub fn new(
+        rank: u32,
+        nranks: u32,
+        layout: Rc<RefCell<JobLayout>>,
+        workload: Box<dyn RankWorkload>,
+        recorder: RecorderHandle,
+        cfg: MpiConfig,
+    ) -> RankProgram {
+        RankProgram {
+            rank,
+            nranks,
+            layout,
+            workload,
+            recorder,
+            cfg,
+            registered: false,
+            next_seq: 0,
+            next_io: 0,
+            cur: None,
+            queue: VecDeque::new(),
+            sched_cache: HashMap::new(),
+        }
+    }
+
+    fn me(&self, ctx: &StepCtx<'_>) -> Endpoint {
+        Endpoint {
+            node: ctx.node,
+            tid: ctx.tid,
+        }
+    }
+
+    fn schedule_for(&mut self, kind: OpKind) -> Vec<CollStep> {
+        let rank = self.rank;
+        let n = self.nranks;
+        let alg = self.cfg.algorithm;
+        self.sched_cache
+            .entry(kind)
+            .or_insert_with(|| match kind {
+                OpKind::Allreduce => match alg {
+                    Algorithm::BinomialTree => coll::binomial_allreduce(rank, n),
+                    Algorithm::RecursiveDoubling => coll::recursive_doubling_allreduce(rank, n),
+                },
+                OpKind::Barrier => coll::dissemination_barrier(rank, n),
+                OpKind::Allgather => coll::recursive_doubling_allgather(rank, n)
+                    .unwrap_or_else(|| coll::ring_allgather(rank, n)),
+                OpKind::Reduce => coll::binomial_reduce(rank, n, 0),
+                OpKind::Bcast => coll::binomial_bcast(rank, n, 0),
+                OpKind::Exchange => unreachable!("exchanges are built ad hoc"),
+            })
+            .clone()
+    }
+
+    fn begin_collective(&mut self, kind: OpKind, bytes: u32, ctx: &StepCtx<'_>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.cur = Some(CurOp {
+            kind,
+            seq,
+            start: ctx.now,
+        });
+        self.queue.push_back(Action::Trace {
+            hook: HookId::CollBegin,
+            aux: seq,
+        });
+        let me = self.me(ctx);
+        let wait = self.cfg.wait_mode();
+        let reduce_cost = self.cfg.reduce_cost;
+        let steps = self.schedule_for(kind);
+        let layout = self.layout.borrow();
+        for step in steps {
+            match step {
+                CollStep::Send { peer, phase } => {
+                    self.queue.push_back(Action::Send(Message {
+                        src: me,
+                        dst: layout.endpoint(peer),
+                        tag: coll_tag(seq, phase),
+                        bytes,
+                        sent_at: SimTime::ZERO,
+                        payload: 0,
+                    }));
+                }
+                CollStep::Recv { peer, phase, reduce } => {
+                    self.queue.push_back(Action::Recv {
+                        tag: TagSel::Exact(coll_tag(seq, phase)),
+                        src: SrcSel::Exact(layout.endpoint(peer)),
+                        wait,
+                    });
+                    if reduce && !reduce_cost.is_zero() {
+                        self.queue.push_back(Action::Compute(reduce_cost));
+                    }
+                }
+            }
+        }
+        drop(layout);
+        self.queue.push_back(Action::Trace {
+            hook: HookId::CollEnd,
+            aux: seq,
+        });
+    }
+
+    fn begin_exchange(&mut self, peers: &[u32], bytes: u32, ctx: &StepCtx<'_>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.cur = Some(CurOp {
+            kind: OpKind::Exchange,
+            seq,
+            start: ctx.now,
+        });
+        let me = self.me(ctx);
+        let wait = self.cfg.wait_mode();
+        let layout = self.layout.borrow();
+        // Eager sends first (buffered by the fabric), then the receives:
+        // the standard deadlock-free exchange.
+        for &p in peers {
+            self.queue.push_back(Action::Send(Message {
+                src: me,
+                dst: layout.endpoint(p),
+                tag: p2p_tag(seq, 0),
+                bytes,
+                sent_at: SimTime::ZERO,
+                payload: 0,
+            }));
+        }
+        for &p in peers {
+            self.queue.push_back(Action::Recv {
+                tag: TagSel::Exact(p2p_tag(seq, 0)),
+                src: SrcSel::Exact(layout.endpoint(p)),
+                wait,
+            });
+        }
+    }
+
+    fn ctrl_message(&self, op: CtrlOp, ctx: &StepCtx<'_>) -> Option<Action> {
+        let layout = self.layout.borrow();
+        let cosched = layout.cosched(ctx.node)?;
+        Some(Action::Send(Message {
+            src: self.me(ctx),
+            dst: cosched,
+            tag: op.tag(),
+            bytes: 16,
+            sent_at: SimTime::ZERO,
+            payload: u64::from(ctx.tid.0),
+        }))
+    }
+}
+
+impl Program for RankProgram {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action {
+        // MPI init: report our pid to the co-scheduler's control pipe.
+        if !self.registered {
+            self.registered = true;
+            if self.cfg.register_with_cosched {
+                if let Some(a) = self.ctrl_message(CtrlOp::Register, ctx) {
+                    return a;
+                }
+            }
+        }
+        loop {
+            if let Some(a) = self.queue.pop_front() {
+                return a;
+            }
+            // Queue drained: the in-flight collective (if any) finished at
+            // the step that brought us here.
+            if let Some(cur) = self.cur.take() {
+                self.recorder
+                    .borrow_mut()
+                    .record(self.rank, cur.seq, cur.kind, cur.start, ctx.now);
+            }
+            match self.workload.next_op(self.rank, self.nranks) {
+                MpiOp::Compute(d) => return Action::Compute(d),
+                MpiOp::Allreduce { bytes } => self.begin_collective(OpKind::Allreduce, bytes, ctx),
+                MpiOp::Barrier => self.begin_collective(OpKind::Barrier, 8, ctx),
+                MpiOp::Allgather { bytes } => self.begin_collective(OpKind::Allgather, bytes, ctx),
+                MpiOp::Reduce { bytes } => self.begin_collective(OpKind::Reduce, bytes, ctx),
+                MpiOp::Bcast { bytes } => self.begin_collective(OpKind::Bcast, bytes, ctx),
+                MpiOp::Exchange { peers, bytes } => self.begin_exchange(&peers, bytes, ctx),
+                MpiOp::IoRead { bytes } | MpiOp::IoWrite { bytes } => {
+                    // Preferred path: GPFS request to a (possibly remote)
+                    // server node; the rank blocks on the reply, freeing
+                    // its CPU, while the *server's* mmfsd must win a CPU
+                    // there. Falls back to the node-local kernel I/O queue
+                    // when no GPFS servers are registered.
+                    let token = self.next_io;
+                    self.next_io += 1;
+                    let server = self.layout.borrow().gpfs_server_for(self.rank, token);
+                    match server {
+                        Some(server) => {
+                            use pa_kernel::msg::ioproto;
+                            self.queue.push_back(Action::Send(Message {
+                                src: self.me(ctx),
+                                dst: server,
+                                tag: ioproto::req_tag(token),
+                                bytes: 64,
+                                sent_at: SimTime::ZERO,
+                                payload: bytes,
+                            }));
+                            self.queue.push_back(Action::Recv {
+                                tag: TagSel::Exact(ioproto::resp_tag(token)),
+                                src: SrcSel::Exact(server),
+                                wait: WaitMode::Block,
+                            });
+                        }
+                        None => return Action::IoSubmit { bytes },
+                    }
+                }
+                MpiOp::DetachCosched => {
+                    if let Some(a) = self.ctrl_message(CtrlOp::Detach, ctx) {
+                        return a;
+                    }
+                }
+                MpiOp::AttachCosched => {
+                    if let Some(a) = self.ctrl_message(CtrlOp::Attach, ctx) {
+                        return a;
+                    }
+                }
+                MpiOp::Mark(aux) => {
+                    return Action::Trace {
+                        hook: HookId::AppMarker,
+                        aux,
+                    }
+                }
+                MpiOp::Done => return Action::Exit,
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "mpi_rank"
+    }
+}
+
+/// A workload defined by a fixed operation list (tests and simple cases).
+pub struct OpList {
+    ops: std::vec::IntoIter<MpiOp>,
+}
+
+impl OpList {
+    /// Workload that performs `ops` then finishes.
+    pub fn new(ops: Vec<MpiOp>) -> OpList {
+        OpList {
+            ops: ops.into_iter(),
+        }
+    }
+}
+
+impl RankWorkload for OpList {
+    fn next_op(&mut self, _rank: u32, _nranks: u32) -> MpiOp {
+        self.ops.next().unwrap_or(MpiOp::Done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oplist_terminates_with_done() {
+        let mut w = OpList::new(vec![MpiOp::Barrier]);
+        assert_eq!(w.next_op(0, 4), MpiOp::Barrier);
+        assert_eq!(w.next_op(0, 4), MpiOp::Done);
+        assert_eq!(w.next_op(0, 4), MpiOp::Done);
+    }
+
+    #[test]
+    fn config_defaults_match_study() {
+        let c = MpiConfig::default();
+        assert!(c.polling, "IBM MPI busy-polls by default");
+        assert_eq!(c.algorithm, Algorithm::BinomialTree);
+        assert!(c.register_with_cosched);
+        assert_eq!(c.wait_mode(), WaitMode::Poll);
+        let blocking = MpiConfig {
+            polling: false,
+            ..c
+        };
+        assert_eq!(blocking.wait_mode(), WaitMode::Block);
+    }
+}

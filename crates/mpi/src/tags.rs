@@ -1,0 +1,136 @@
+//! Message-tag encoding.
+//!
+//! The kernel matches messages by a single `u64` tag plus source filter;
+//! this module packs MPI-level envelopes into that space:
+//!
+//! ```text
+//! bits 60..64  kind   (1 = collective, 2 = point-to-point, 3 = control)
+//! bits 12..60  seq    (per-job operation sequence number)
+//! bits  0..12  phase  (round within the collective)
+//! ```
+//!
+//! Control messages model the POE "control pipe" of §4: task registration
+//! with the co-scheduler at MPI init, and the attach/detach requests the
+//! prototype MPI library exposes for I/O phases.
+
+/// Tag kind: collective traffic.
+pub const KIND_COLL: u64 = 1;
+/// Tag kind: point-to-point traffic.
+pub const KIND_P2P: u64 = 2;
+/// Tag kind: control-pipe traffic.
+pub const KIND_CTRL: u64 = 3;
+
+const SEQ_BITS: u32 = 48;
+const PHASE_BITS: u32 = 12;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+const PHASE_MASK: u64 = (1 << PHASE_BITS) - 1;
+
+/// Pack a collective-message tag.
+pub fn coll_tag(seq: u64, phase: u16) -> u64 {
+    debug_assert!(seq <= SEQ_MASK, "collective sequence overflow");
+    debug_assert!(u64::from(phase) <= PHASE_MASK, "phase overflow");
+    (KIND_COLL << 60) | ((seq & SEQ_MASK) << PHASE_BITS) | u64::from(phase)
+}
+
+/// Pack a point-to-point tag (phase distinguishes concurrent exchanges).
+pub fn p2p_tag(seq: u64, phase: u16) -> u64 {
+    debug_assert!(seq <= SEQ_MASK);
+    (KIND_P2P << 60) | ((seq & SEQ_MASK) << PHASE_BITS) | u64::from(phase)
+}
+
+/// Control-pipe opcodes (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlOp {
+    /// A task reports its kernel tid to the co-scheduler at MPI init.
+    Register,
+    /// The application requests release from co-scheduling (I/O phase).
+    Detach,
+    /// The application requests co-scheduling be resumed.
+    Attach,
+}
+
+impl CtrlOp {
+    /// Encode as a tag.
+    pub fn tag(self) -> u64 {
+        let code = match self {
+            CtrlOp::Register => 1,
+            CtrlOp::Detach => 2,
+            CtrlOp::Attach => 3,
+        };
+        (KIND_CTRL << 60) | code
+    }
+
+    /// Decode from a tag (None for non-control tags).
+    pub fn from_tag(tag: u64) -> Option<CtrlOp> {
+        if tag >> 60 != KIND_CTRL {
+            return None;
+        }
+        match tag & 0xfff {
+            1 => Some(CtrlOp::Register),
+            2 => Some(CtrlOp::Detach),
+            3 => Some(CtrlOp::Attach),
+            _ => None,
+        }
+    }
+}
+
+/// Extract the kind field of any tag.
+pub fn tag_kind(tag: u64) -> u64 {
+    tag >> 60
+}
+
+/// Extract the sequence field of a collective/p2p tag.
+pub fn tag_seq(tag: u64) -> u64 {
+    (tag >> PHASE_BITS) & SEQ_MASK
+}
+
+/// Extract the phase field of a collective/p2p tag.
+pub fn tag_phase(tag: u64) -> u16 {
+    (tag & PHASE_MASK) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coll_roundtrip() {
+        let t = coll_tag(4095, 17);
+        assert_eq!(tag_kind(t), KIND_COLL);
+        assert_eq!(tag_seq(t), 4095);
+        assert_eq!(tag_phase(t), 17);
+    }
+
+    #[test]
+    fn p2p_roundtrip() {
+        let t = p2p_tag(99, 3);
+        assert_eq!(tag_kind(t), KIND_P2P);
+        assert_eq!(tag_seq(t), 99);
+        assert_eq!(tag_phase(t), 3);
+    }
+
+    #[test]
+    fn kinds_do_not_collide() {
+        assert_ne!(coll_tag(1, 1), p2p_tag(1, 1));
+        assert_ne!(coll_tag(0, 1), CtrlOp::Register.tag());
+    }
+
+    #[test]
+    fn ctrl_roundtrip() {
+        for op in [CtrlOp::Register, CtrlOp::Detach, CtrlOp::Attach] {
+            assert_eq!(CtrlOp::from_tag(op.tag()), Some(op));
+        }
+        assert_eq!(CtrlOp::from_tag(coll_tag(1, 1)), None);
+        assert_eq!(CtrlOp::from_tag((KIND_CTRL << 60) | 99), None);
+    }
+
+    #[test]
+    fn distinct_seqs_distinct_tags() {
+        let mut seen = std::collections::HashSet::new();
+        for seq in 0..100 {
+            for phase in 0..30 {
+                assert!(seen.insert(coll_tag(seq, phase)));
+            }
+        }
+    }
+}

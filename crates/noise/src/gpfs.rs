@@ -1,0 +1,356 @@
+//! The GPFS client daemon (mmfsd) service loop.
+//!
+//! mmfsd plays two roles in the study:
+//!
+//! 1. **I/O service** — applications' reads and restart dumps complete
+//!    only when mmfsd gets CPU time (§4's "escape mechanism" discussion
+//!    and §5.3's ALE3D I/O-starvation finding).
+//! 2. **Background interference** — GPFS housekeeping shows up in the
+//!    Allreduce traces like any other daemon (modeled separately with a
+//!    [`DaemonSpec`](crate::daemons::DaemonSpec)).
+//!
+//! This module implements role 1: a service loop that pulls pending
+//! requests, burns the service time from the kernel's
+//! `IoServiceModel`, and completes them.
+
+use pa_kernel::{Action, IoRequest, IoServiceModel, Program, StepCtx};
+use pa_simkit::SimDur;
+
+/// mmfsd's request-service state machine.
+#[derive(Debug)]
+pub struct GpfsDaemon {
+    model: IoServiceModel,
+    /// Request currently being serviced (service burst issued, completion
+    /// pending).
+    in_service: Option<IoRequest>,
+    /// Extra fixed latency charged per request beyond CPU demand — models
+    /// disk/NSD-server round trips the daemon waits on while holding the
+    /// request. Charged as CPU here because what matters to the study is
+    /// *when the requester wakes*, not mmfsd's own utilization split.
+    pub extra_latency: SimDur,
+    serviced: u64,
+}
+
+impl GpfsDaemon {
+    /// New service loop with the given service-time model.
+    pub fn new(model: IoServiceModel) -> GpfsDaemon {
+        GpfsDaemon {
+            model,
+            in_service: None,
+            extra_latency: SimDur::from_micros(300),
+            serviced: 0,
+        }
+    }
+
+    /// Number of requests completed (test introspection; note the program
+    /// is owned by the kernel once spawned).
+    pub fn serviced(&self) -> u64 {
+        self.serviced
+    }
+}
+
+impl Program for GpfsDaemon {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action {
+        if let Some(req) = self.in_service.take() {
+            self.serviced += 1;
+            return Action::IoComplete(req);
+        }
+        match ctx.take_io_request() {
+            Some(req) => {
+                let demand = self.model.service_time(req.bytes) + self.extra_latency;
+                self.in_service = Some(req);
+                Action::Compute(demand)
+            }
+            None => Action::IoIdle,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "mmfsd"
+    }
+}
+
+/// Message-served GPFS daemon (the cluster configuration).
+///
+/// Ranks send [`ioproto`](pa_kernel::msg::ioproto) requests — possibly
+/// from *other nodes* (GPFS metanode/NSD-server semantics) — and block on
+/// the reply. The daemon services requests FIFO: for each, it burns the
+/// service-time CPU demand at its own dispatching priority, then replies.
+/// If the favored parallel job monopolizes every CPU of this node, the
+/// request (and the remote, blocked rank) waits — the §5.3 cascade.
+#[derive(Debug)]
+pub struct GpfsServer {
+    model: IoServiceModel,
+    /// Extra per-request latency (disk / NSD round trips).
+    pub extra_latency: SimDur,
+    /// Reply being prepared (service burst already issued).
+    reply: Option<pa_kernel::Message>,
+    serviced: u64,
+}
+
+impl GpfsServer {
+    /// New server with the given service-time model.
+    pub fn new(model: IoServiceModel) -> GpfsServer {
+        GpfsServer {
+            model,
+            extra_latency: SimDur::from_micros(300),
+            reply: None,
+            serviced: 0,
+        }
+    }
+
+    /// Requests completed.
+    pub fn serviced(&self) -> u64 {
+        self.serviced
+    }
+}
+
+impl Program for GpfsServer {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action {
+        use pa_kernel::msg::ioproto;
+        use pa_kernel::{SrcSel, TagSel, WaitMode};
+        if let Some(reply) = self.reply.take() {
+            self.serviced += 1;
+            return Action::Send(reply);
+        }
+        if let Some(req) = ctx.try_received() {
+            if let Some((token, true)) = ioproto::parse(req.tag) {
+                let bytes = req.payload;
+                let demand = self.model.service_time(bytes) + self.extra_latency;
+                self.reply = Some(pa_kernel::Message {
+                    src: req.dst,
+                    dst: req.src,
+                    tag: ioproto::resp_tag(token),
+                    bytes: 64,
+                    sent_at: pa_simkit::SimTime::ZERO,
+                    payload: bytes,
+                });
+                return Action::Compute(demand);
+            }
+            // Stray message: ignore and wait for the next request.
+        }
+        Action::Recv {
+            tag: TagSel::Any,
+            src: SrcSel::Any,
+            wait: WaitMode::Block,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "mmfsd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_kernel::{
+        Action as A, ClockModel, CpuId, Kernel, Prio, SchedOptions, Script, SoloRunner, ThreadSpec,
+        ThreadState,
+    };
+    use pa_simkit::{SimRng, SimTime};
+    use pa_trace::{HookMask, ThreadClass};
+
+    fn build(io_prio: Prio, app_burst_after: SimDur) -> (SoloRunner, pa_kernel::Tid) {
+        let mut k = Kernel::new(
+            0,
+            2,
+            SchedOptions::vanilla(),
+            ClockModel::synced(),
+            SimRng::from_seed(3),
+            1 << 14,
+        );
+        k.trace_mut().set_mask(HookMask::ALL);
+        let app = k.spawn(
+            ThreadSpec::new("app", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![
+                A::IoSubmit { bytes: 4 << 20 },
+                A::Compute(app_burst_after),
+            ])),
+        );
+        let d = k.spawn(
+            ThreadSpec::new("mmfsd", ThreadClass::Daemon, io_prio).on_cpu(CpuId(1)),
+            Box::new(GpfsDaemon::new(IoServiceModel::default())),
+        );
+        k.set_io_daemon(d);
+        let mut r = SoloRunner::new(k);
+        r.boot();
+        (r, app)
+    }
+
+    #[test]
+    fn request_completes_and_app_resumes() {
+        let (mut r, app) = build(Prio::MMFSD, SimDur::from_micros(100));
+        r.run_until_apps_done(SimTime::from_secs(2));
+        assert_eq!(r.kernel.thread_state(app), ThreadState::Exited);
+    }
+
+    #[test]
+    fn service_time_scales_with_size() {
+        // Time-to-completion for 64 MiB should exceed that for 4 KiB.
+        let time_for = |bytes: u64| {
+            let mut k = Kernel::new(
+                0,
+                2,
+                SchedOptions::vanilla(),
+                ClockModel::synced(),
+                SimRng::from_seed(3),
+                1 << 14,
+            );
+            k.trace_mut().set_mask(HookMask::ALL);
+            k.spawn(
+                ThreadSpec::new("app", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+                Box::new(Script::new(vec![A::IoSubmit { bytes }])),
+            );
+            let d = k.spawn(
+                ThreadSpec::new("mmfsd", ThreadClass::Daemon, Prio::MMFSD).on_cpu(CpuId(1)),
+                Box::new(GpfsDaemon::new(IoServiceModel::default())),
+            );
+            k.set_io_daemon(d);
+            let mut r = SoloRunner::new(k);
+            r.boot();
+            r.run_until_apps_done(SimTime::from_secs(10)).nanos()
+        };
+        assert!(time_for(64 << 20) > time_for(4 << 10));
+    }
+
+    #[test]
+    fn starved_daemon_stalls_io() {
+        // A favored compute hog on the daemon's only eligible CPU delays
+        // I/O completion — the ALE3D §5.3 mechanism in miniature. Here we
+        // pin a FAVORED (30) spinner to CPU1 (mmfsd at 40 can't preempt
+        // it) and give the daemon nothing else to run on... on a 2-CPU
+        // node the daemon is stolen by CPU0 once the app blocks, so use a
+        // single-CPU node where the hog simply outranks everyone.
+        let mut k = Kernel::new(
+            0,
+            1,
+            SchedOptions::vanilla(),
+            ClockModel::synced(),
+            SimRng::from_seed(3),
+            1 << 14,
+        );
+        k.trace_mut().set_mask(HookMask::ALL);
+        let app = k.spawn(
+            ThreadSpec::new("app", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![A::IoSubmit { bytes: 1 << 20 }])),
+        );
+        let d = k.spawn(
+            ThreadSpec::new("mmfsd", ThreadClass::Daemon, Prio::MMFSD).on_cpu(CpuId(0)),
+            Box::new(GpfsDaemon::new(IoServiceModel::default())),
+        );
+        k.set_io_daemon(d);
+        // The hog: favored above mmfsd, runs 50ms then exits.
+        k.spawn(
+            ThreadSpec::new("hog", ThreadClass::App, Prio::FAVORED).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![A::Compute(SimDur::from_millis(50))])),
+        );
+        let mut r = SoloRunner::new(k);
+        r.boot();
+        let end = r.run_until_apps_done(SimTime::from_secs(2));
+        // The app's I/O cannot complete until the hog exits at ~50ms.
+        assert!(
+            end >= SimTime::from_millis(50),
+            "I/O completed during starvation: {end}"
+        );
+        assert_eq!(r.kernel.thread_state(app), ThreadState::Exited);
+    }
+}
+#[cfg(test)]
+mod server_tests {
+    use super::*;
+    use pa_kernel::msg::ioproto;
+    use pa_kernel::{
+        Action as A, ClockModel, CpuId, Endpoint, Kernel, Message, Prio, SchedOptions, Script,
+        SoloRunner, SrcSel, TagSel, ThreadSpec, ThreadState, Tid, WaitMode,
+    };
+    use pa_simkit::{SimRng, SimTime};
+    use pa_trace::{HookMask, ThreadClass};
+
+    #[test]
+    fn message_request_gets_reply() {
+        let mut k = Kernel::new(
+            0,
+            2,
+            SchedOptions::vanilla(),
+            ClockModel::synced(),
+            SimRng::from_seed(3),
+            1 << 14,
+        );
+        k.trace_mut().set_mask(HookMask::ALL);
+        let server_ep = Endpoint { node: 0, tid: Tid(1) };
+        let app = k.spawn(
+            ThreadSpec::new("app", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![
+                A::Send(Message {
+                    src: Endpoint { node: 0, tid: Tid(0) },
+                    dst: server_ep,
+                    tag: ioproto::req_tag(7),
+                    bytes: 64,
+                    sent_at: SimTime::ZERO,
+                    payload: 1 << 20,
+                }),
+                A::Recv {
+                    tag: TagSel::Exact(ioproto::resp_tag(7)),
+                    src: SrcSel::Any,
+                    wait: WaitMode::Block,
+                },
+            ])),
+        );
+        k.spawn(
+            ThreadSpec::new("mmfsd", ThreadClass::Daemon, Prio::MMFSD).on_cpu(CpuId(1)),
+            Box::new(GpfsServer::new(IoServiceModel::default())),
+        );
+        let mut r = SoloRunner::new(k);
+        r.boot();
+        let end = r.run_until_apps_done(SimTime::from_secs(2));
+        assert_eq!(r.kernel.thread_state(app), ThreadState::Exited);
+        // Service time for 1 MiB ≈ 200µs + 262µs + 300µs extra ≈ 760µs.
+        assert!(end >= SimTime::from_micros(700), "too fast: {end}");
+        assert!(end < SimTime::from_millis(5), "too slow: {end}");
+    }
+
+    #[test]
+    fn requests_are_serviced_fifo() {
+        // Two requests from two apps; both must complete.
+        let mut k = Kernel::new(
+            0,
+            4,
+            SchedOptions::vanilla(),
+            ClockModel::synced(),
+            SimRng::from_seed(3),
+            1 << 14,
+        );
+        k.trace_mut().set_mask(HookMask::NONE);
+        let server_ep = Endpoint { node: 0, tid: Tid(2) };
+        for i in 0..2u32 {
+            k.spawn(
+                ThreadSpec::new(format!("app{i}"), ThreadClass::App, Prio::USER)
+                    .on_cpu(CpuId(i as u8)),
+                Box::new(Script::new(vec![
+                    A::Send(Message {
+                        src: Endpoint { node: 0, tid: Tid(i) },
+                        dst: server_ep,
+                        tag: ioproto::req_tag(u64::from(i)),
+                        bytes: 64,
+                        sent_at: SimTime::ZERO,
+                        payload: 4096,
+                    }),
+                    A::Recv {
+                        tag: TagSel::Exact(ioproto::resp_tag(u64::from(i))),
+                        src: SrcSel::Any,
+                        wait: WaitMode::Block,
+                    },
+                ])),
+            );
+        }
+        k.spawn(
+            ThreadSpec::new("mmfsd", ThreadClass::Daemon, Prio::MMFSD).on_cpu(CpuId(3)),
+            Box::new(GpfsServer::new(IoServiceModel::default())),
+        );
+        let mut r = SoloRunner::new(k);
+        r.boot();
+        r.run_until_apps_done(SimTime::from_secs(2));
+        assert_eq!(r.kernel.app_alive(), 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Cancellable discrete-event queue.
+//!
+//! The engine is a classic calendar: events are `(time, payload)` pairs
+//! popped in time order, with FIFO tie-breaking so that same-timestamp
+//! events are processed in the order they were scheduled (this keeps
+//! whole-cluster runs deterministic).
+//!
+//! Cancellation is lazy: [`EventQueue::cancel`] removes the handle from the
+//! pending set and the heap entry is discarded when it surfaces. The
+//! simulated kernel relies on this for preempted compute segments and
+//! rescheduled timers.
+
+use crate::time::SimTime;
+use core::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event; use with [`EventQueue::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// A handle that never corresponds to a live event. Useful as an
+    /// initializer for "no event outstanding" slots.
+    pub const NONE: EventId = EventId(u64::MAX);
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    id: EventId,
+    payload: E,
+}
+
+// Order by (time, id): earliest first, insertion order among ties
+// (ids are handed out monotonically).
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.time, self.id).cmp(&(other.time, other.id))
+    }
+}
+
+/// A deterministic, cancellable event queue.
+///
+/// ```
+/// use pa_simkit::{EventQueue, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(SimTime::from_micros(10), "b");
+/// let a = q.schedule(SimTime::from_micros(5), "a");
+/// q.cancel(a);
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Ids scheduled but neither fired nor cancelled. A heap entry whose id
+    /// is absent from this set is a tombstone.
+    pending: HashSet<EventId>,
+    next_id: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at the epoch.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_id: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (the simulation
+    /// clock). Starts at [`SimTime::ZERO`].
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True iff no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedule `payload` at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the current clock — an event in the
+    /// past is always a simulator bug and silently reordering it would
+    /// corrupt causality.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        assert!(
+            time >= self.now,
+            "scheduled event at {time} before current time {}",
+            self.now
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Reverse(Entry { time, id, payload }));
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (and is now dead), `false` if it had already fired,
+    /// been cancelled, or is [`EventId::NONE`].
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// True iff `id` is scheduled and has neither fired nor been cancelled.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.pending.contains(&id)
+    }
+
+    /// Pop the earliest live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if !self.pending.remove(&entry.id) {
+                continue; // tombstone of a cancelled event
+            }
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.now = entry.time;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.pending.contains(&entry.id) {
+                return Some(entry.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), 3);
+        q.schedule(SimTime::from_micros(10), 1);
+        q.schedule(SimTime::from_micros(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), ());
+        q.pop();
+        q.schedule(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_micros(1), "dead");
+        q.schedule(SimTime::from_micros(2), "live");
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id), "double cancel reports false");
+        assert_eq!(q.pop().unwrap().1, "live");
+    }
+
+    #[test]
+    fn cancel_none_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId::NONE));
+    }
+
+    #[test]
+    fn cancel_after_fire_reports_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_micros(1), ());
+        q.pop();
+        assert!(!q.cancel(id));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(1), ());
+        q.schedule(SimTime::from_micros(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn is_pending_lifecycle() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_micros(1), ());
+        assert!(q.is_pending(id));
+        q.pop();
+        assert!(!q.is_pending(id));
+        assert!(!q.is_pending(EventId::NONE));
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(1), ());
+        q.schedule(SimTime::from_micros(9), ());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(9)));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), 0u32);
+        let (t, _) = q.pop().unwrap();
+        q.schedule(t + SimDur::from_micros(5), 1u32);
+        q.schedule(t + SimDur::from_micros(3), 2u32);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+    }
+}

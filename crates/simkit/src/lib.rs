@@ -1,0 +1,31 @@
+//! # pa-simkit — deterministic discrete-event simulation kit
+//!
+//! Foundation crate for the PACE reproduction of *"Improving the Scalability
+//! of Parallel Jobs by adding Parallel Awareness to the Operating System"*
+//! (Jones et al., SC'03).
+//!
+//! Provides the pieces every higher layer builds on:
+//!
+//! * [`SimTime`] / [`SimDur`] — nanosecond-resolution simulation time;
+//! * [`EventQueue`] — a deterministic, cancellable calendar queue;
+//! * [`SeedSpace`] / [`SimRng`] — per-component reproducible RNG streams;
+//! * [`stats`] — Welford accumulators, summaries, percentiles, OLS fits;
+//! * [`report`] — the table/series formats used by the figure harnesses.
+//!
+//! The crate is intentionally free of any OS- or MPI-specific notions: it
+//! knows nothing about CPUs, daemons, or collectives.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod events;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::{EventId, EventQueue};
+pub use report::{Series, SeriesPoint, Table};
+pub use rng::{SeedSpace, SimRng};
+pub use stats::{linfit, LineFit, OnlineStats, Summary};
+pub use time::{SimDur, SimTime};

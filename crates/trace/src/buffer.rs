@@ -1,0 +1,262 @@
+//! Per-node trace buffers.
+//!
+//! Each simulated node owns one [`TraceBuffer`]: a bounded ring of
+//! [`TraceEvent`] records plus a registry mapping thread ids to names and
+//! classes. Hooks can be enabled/disabled at runtime, mirroring how the
+//! study turned AIX tracing on only around the Allreduce loops.
+
+use crate::hooks::{HookId, HookMask, ThreadClass};
+use pa_simkit::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Global simulation time of the event.
+    pub time: SimTime,
+    /// CPU index on the node (u8::MAX when not CPU-specific).
+    pub cpu: u8,
+    /// What happened.
+    pub hook: HookId,
+    /// The thread involved (node-local id), 0 when not thread-specific.
+    pub tid: u32,
+    /// Hook-specific auxiliary value (new priority, marker id, ...).
+    pub aux: u64,
+}
+
+/// Thread metadata registered with the buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadMeta {
+    /// Node-local thread id.
+    pub tid: u32,
+    /// Human-readable name ("syncd", "mpi_rank_17", "cron.perl", ...).
+    pub name: String,
+    /// Coarse class for attribution.
+    pub class: ThreadClass,
+}
+
+/// A bounded per-node trace ring.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    mask: HookMask,
+    threads: HashMap<u32, ThreadMeta>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Buffer with room for `capacity` events. Older events are dropped
+    /// once full (counted in [`TraceBuffer::dropped`]).
+    pub fn new(capacity: usize) -> TraceBuffer {
+        assert!(capacity > 0, "trace buffer needs nonzero capacity");
+        TraceBuffer {
+            events: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            mask: HookMask::NONE,
+            threads: HashMap::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Set the enabled-hook mask (returns the previous mask).
+    pub fn set_mask(&mut self, mask: HookMask) -> HookMask {
+        core::mem::replace(&mut self.mask, mask)
+    }
+
+    /// The current enabled-hook mask.
+    pub fn mask(&self) -> HookMask {
+        self.mask
+    }
+
+    /// Register thread metadata (idempotent; re-registration overwrites).
+    pub fn register_thread(&mut self, tid: u32, name: impl Into<String>, class: ThreadClass) {
+        self.threads.insert(
+            tid,
+            ThreadMeta {
+                tid,
+                name: name.into(),
+                class,
+            },
+        );
+    }
+
+    /// Metadata for a thread id, if registered.
+    pub fn thread(&self, tid: u32) -> Option<&ThreadMeta> {
+        self.threads.get(&tid)
+    }
+
+    /// Display name of `tid` (`tid<N>` if unregistered).
+    pub fn thread_name(&self, tid: u32) -> String {
+        self.threads
+            .get(&tid)
+            .map(|m| m.name.clone())
+            .unwrap_or_else(|| format!("tid{tid}"))
+    }
+
+    /// Class of `tid` (Kernel if unregistered).
+    pub fn thread_class(&self, tid: u32) -> ThreadClass {
+        self.threads.get(&tid).map(|m| m.class).unwrap_or(ThreadClass::Kernel)
+    }
+
+    /// Record an event if its hook is enabled.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if !self.mask.contains(ev.hook) {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        debug_assert!(
+            self.events.back().is_none_or(|last| last.time <= ev.time),
+            "trace events must be recorded in time order"
+        );
+        self.events.push_back(ev);
+    }
+
+    /// Convenience: record with explicit fields.
+    pub fn emit(&mut self, time: SimTime, cpu: u8, hook: HookId, tid: u32, aux: u64) {
+        self.record(TraceEvent {
+            time,
+            cpu,
+            hook,
+            tid,
+            aux,
+        });
+    }
+
+    /// All retained events in time order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained events within `[start, end)`.
+    pub fn events_in(&self, start: SimTime, end: SimTime) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.time >= start && e.time < end)
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True iff no events retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discard all retained events (keeps registrations and mask).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Times of `AppMarker` events with the given marker value, in order.
+    /// The aggregate benchmark brackets every 64-call block with markers,
+    /// so this is how the figure harness finds block boundaries.
+    pub fn marker_times(&self, marker: u64) -> Vec<SimTime> {
+        self.events
+            .iter()
+            .filter(|e| e.hook == HookId::AppMarker && e.aux == marker)
+            .map(|e| e.time)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_simkit::SimTime;
+
+    fn ev(us: u64, hook: HookId, tid: u32) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_micros(us),
+            cpu: 0,
+            hook,
+            tid,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_hooks_are_not_recorded() {
+        let mut b = TraceBuffer::new(16);
+        b.set_mask(HookMask::of(&[HookId::Tick]));
+        b.record(ev(1, HookId::Dispatch, 1));
+        b.record(ev(2, HookId::Tick, 1));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.events().next().unwrap().hook, HookId::Tick);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut b = TraceBuffer::new(3);
+        b.set_mask(HookMask::ALL);
+        for i in 0..5 {
+            b.record(ev(i, HookId::Tick, 0));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dropped(), 2);
+        let times: Vec<u64> = b.events().map(|e| e.time.micros()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn interval_query() {
+        let mut b = TraceBuffer::new(16);
+        b.set_mask(HookMask::ALL);
+        for i in 0..10 {
+            b.record(ev(i, HookId::Tick, 0));
+        }
+        let got: Vec<u64> = b
+            .events_in(SimTime::from_micros(3), SimTime::from_micros(7))
+            .map(|e| e.time.micros())
+            .collect();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let mut b = TraceBuffer::new(4);
+        b.register_thread(7, "syncd", ThreadClass::Daemon);
+        assert_eq!(b.thread_name(7), "syncd");
+        assert_eq!(b.thread_class(7), ThreadClass::Daemon);
+        assert_eq!(b.thread_name(8), "tid8");
+        assert_eq!(b.thread_class(8), ThreadClass::Kernel);
+        assert_eq!(b.thread(7).unwrap().tid, 7);
+    }
+
+    #[test]
+    fn clear_keeps_registrations() {
+        let mut b = TraceBuffer::new(4);
+        b.set_mask(HookMask::ALL);
+        b.register_thread(1, "app", ThreadClass::App);
+        b.record(ev(1, HookId::Dispatch, 1));
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.dropped(), 0);
+        assert_eq!(b.thread_name(1), "app");
+        assert!(b.mask().contains(HookId::Dispatch));
+    }
+
+    #[test]
+    fn marker_times_filters_by_value() {
+        let mut b = TraceBuffer::new(16);
+        b.set_mask(HookMask::ALL);
+        b.emit(SimTime::from_micros(1), 0, HookId::AppMarker, 1, 64);
+        b.emit(SimTime::from_micros(2), 0, HookId::AppMarker, 1, 128);
+        b.emit(SimTime::from_micros(3), 0, HookId::AppMarker, 1, 64);
+        assert_eq!(
+            b.marker_times(64),
+            vec![SimTime::from_micros(1), SimTime::from_micros(3)]
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! The ALE3D proxy application (§5.1).
+//!
+//! ALE3D is LLNL's arbitrary-Lagrange-Eulerian multi-physics code. The
+//! paper's test problem is *"an explicit time integrated hydrodynamics
+//! ALE calculation on a simple cylindrical geometry with slide surfaces
+//! ... approximately 50 timesteps, and each timestep involved a large
+//! amount of point-to-point MPI message passing, as well as several
+//! global reduction operations. The problem performed a fair amount of
+//! I/O by reading an initial state file at the beginning of the run, and
+//! dumping a restart file at the calculation's terminus."*
+//!
+//! The proxy reproduces exactly those couplings: per-timestep jittered
+//! compute (load imbalance), a ~6-neighbour halo exchange on a 3-D
+//! decomposition, several 8-byte Allreduces (time-step control /
+//! stability checks), and GPFS-routed I/O at start and end — optionally
+//! bracketed with the co-scheduler detach/attach API of §4.
+
+use pa_mpi::{MpiOp, RankWorkload};
+use pa_simkit::{SimDur, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Proxy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ale3dSpec {
+    /// Timesteps (paper: ~50).
+    pub timesteps: u32,
+    /// Mean compute per timestep per rank.
+    pub compute_per_step: SimDur,
+    /// Multiplicative compute imbalance across ranks/steps.
+    pub imbalance: f64,
+    /// Halo message size per neighbour.
+    pub halo_bytes: u32,
+    /// Global reductions per timestep ("several").
+    pub reductions_per_step: u32,
+    /// Initial state read per rank.
+    pub initial_read_bytes: u64,
+    /// Restart dump per rank.
+    pub restart_bytes: u64,
+    /// Use the attach/detach API around I/O phases (§4's escape hatch).
+    pub io_detach: bool,
+    /// Every this many timesteps one rotating rank writes a plot/graphics
+    /// file *without* detaching (GPFS write-behind during computation).
+    /// This is the coupling that §5.3's profiling exposed: the writer
+    /// blocks on a (possibly remote) mmfsd that must win a CPU against
+    /// favored, spinning ranks. 0 disables.
+    pub plot_every: u32,
+    /// Plot-file size.
+    pub plot_bytes: u64,
+}
+
+impl Default for Ale3dSpec {
+    fn default() -> Self {
+        Ale3dSpec {
+            timesteps: 50,
+            compute_per_step: SimDur::from_millis(20),
+            imbalance: 0.12,
+            halo_bytes: 48 << 10,
+            reductions_per_step: 4,
+            initial_read_bytes: 8 << 20,
+            restart_bytes: 16 << 20,
+            io_detach: true,
+            plot_every: 5,
+            plot_bytes: 4 << 20,
+        }
+    }
+}
+
+/// 3-D decomposition neighbours: ranks ±1 (x), ±nx (y), ±nx·ny (z) on a
+/// near-cubic grid, clamped to the domain (no periodic wrap — the paper's
+/// cylinder has boundaries).
+pub fn grid3d_neighbors(rank: u32, nranks: u32) -> Vec<u32> {
+    let (nx, ny, nz) = grid_dims(nranks);
+    let x = rank % nx;
+    let y = (rank / nx) % ny;
+    let z = rank / (nx * ny);
+    let mut out = Vec::with_capacity(6);
+    let idx = |x: u32, y: u32, z: u32| z * nx * ny + y * nx + x;
+    if x > 0 {
+        out.push(idx(x - 1, y, z));
+    }
+    if x + 1 < nx && idx(x + 1, y, z) < nranks {
+        out.push(idx(x + 1, y, z));
+    }
+    if y > 0 {
+        out.push(idx(x, y - 1, z));
+    }
+    if y + 1 < ny && idx(x, y + 1, z) < nranks {
+        out.push(idx(x, y + 1, z));
+    }
+    if z > 0 {
+        out.push(idx(x, y, z - 1));
+    }
+    if z + 1 < nz && idx(x, y, z + 1) < nranks {
+        out.push(idx(x, y, z + 1));
+    }
+    out.retain(|&p| p < nranks && p != rank);
+    out
+}
+
+/// Near-cubic factorization nx·ny·nz ≥ n with nx ≥ ny ≥ nz.
+fn grid_dims(n: u32) -> (u32, u32, u32) {
+    let mut nz = (n as f64).cbrt().floor() as u32;
+    while nz > 1 && n % nz != 0 {
+        nz -= 1;
+    }
+    let rest = n / nz.max(1);
+    let mut ny = (rest as f64).sqrt().floor() as u32;
+    while ny > 1 && rest % ny != 0 {
+        ny -= 1;
+    }
+    let nx = rest / ny.max(1);
+    (nx.max(1), ny.max(1), nz.max(1))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    InitIo,
+    Stepping,
+    FinalIo,
+    Finished,
+}
+
+/// The proxy's per-rank state machine.
+#[derive(Debug)]
+pub struct Ale3d {
+    spec: Ale3dSpec,
+    rng: SimRng,
+    phase: Phase,
+    step: u32,
+    pending: Vec<MpiOp>,
+}
+
+impl Ale3d {
+    /// New instance with a per-rank RNG stream.
+    pub fn new(spec: Ale3dSpec, rng: SimRng) -> Ale3d {
+        Ale3d {
+            spec,
+            rng,
+            phase: Phase::InitIo,
+            step: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Queue (reversed: `pending` is a stack) the I/O bracket.
+    fn queue_io(&mut self, read: bool) {
+        if self.spec.io_detach {
+            self.pending.push(MpiOp::AttachCosched);
+        }
+        let bytes = if read {
+            self.spec.initial_read_bytes
+        } else {
+            self.spec.restart_bytes
+        };
+        self.pending.push(if read {
+            MpiOp::IoRead { bytes }
+        } else {
+            MpiOp::IoWrite { bytes }
+        });
+        if self.spec.io_detach {
+            self.pending.push(MpiOp::DetachCosched);
+        }
+    }
+
+    fn queue_timestep(&mut self, rank: u32, nranks: u32) {
+        // Stack order: compute, halo exchange, [plot write], reductions.
+        for _ in 0..self.spec.reductions_per_step {
+            self.pending.push(MpiOp::Allreduce { bytes: 8 });
+        }
+        if self.spec.plot_every > 0 && self.step % self.spec.plot_every == 0 {
+            let writer = (u64::from(self.step / self.spec.plot_every) * 7 % u64::from(nranks)) as u32;
+            if writer == rank {
+                self.pending.push(MpiOp::IoWrite {
+                    bytes: self.spec.plot_bytes,
+                });
+            }
+        }
+        let peers = grid3d_neighbors(rank, nranks);
+        if !peers.is_empty() {
+            self.pending.push(MpiOp::Exchange {
+                peers,
+                bytes: self.spec.halo_bytes,
+            });
+        }
+        self.pending.push(MpiOp::Compute(
+            self.rng.jitter(self.spec.compute_per_step, self.spec.imbalance),
+        ));
+    }
+}
+
+impl RankWorkload for Ale3d {
+    fn next_op(&mut self, rank: u32, nranks: u32) -> MpiOp {
+        loop {
+            if let Some(op) = self.pending.pop() {
+                return op;
+            }
+            match self.phase {
+                Phase::InitIo => {
+                    self.queue_io(true);
+                    self.phase = Phase::Stepping;
+                }
+                Phase::Stepping => {
+                    if self.step >= self.spec.timesteps {
+                        self.phase = Phase::FinalIo;
+                        continue;
+                    }
+                    self.step += 1;
+                    self.queue_timestep(rank, nranks);
+                }
+                Phase::FinalIo => {
+                    self.queue_io(false);
+                    self.phase = Phase::Finished;
+                }
+                Phase::Finished => return MpiOp::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dims_cover_n() {
+        for n in [1u32, 2, 8, 16, 27, 64, 944, 1000] {
+            let (nx, ny, nz) = grid_dims(n);
+            assert!(nx * ny * nz >= n, "{n} -> {nx}x{ny}x{nz}");
+            assert!(nx * ny * nz == n || n % nz != 0, "exact when divisible");
+        }
+        assert_eq!(grid_dims(27), (3, 3, 3));
+        assert_eq!(grid_dims(64), (4, 4, 4));
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let n = 64;
+        for r in 0..n {
+            for p in grid3d_neighbors(r, n) {
+                assert!(
+                    grid3d_neighbors(p, n).contains(&r),
+                    "asymmetric: {r} -> {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interior_rank_has_six_neighbors() {
+        // 4x4x4 grid: rank at (1,1,1) = 1 + 4 + 16 = 21.
+        let nb = grid3d_neighbors(21, 64);
+        assert_eq!(nb.len(), 6);
+        // Corner rank 0 has 3.
+        assert_eq!(grid3d_neighbors(0, 64).len(), 3);
+    }
+
+    #[test]
+    fn neighbors_valid_for_non_cubic_counts() {
+        for n in [2u32, 5, 13, 944] {
+            for r in (0..n).step_by((n as usize / 7).max(1)) {
+                for p in grid3d_neighbors(r, n) {
+                    assert!(p < n);
+                    assert_ne!(p, r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_stream_structure() {
+        let spec = Ale3dSpec {
+            timesteps: 2,
+            reductions_per_step: 3,
+            io_detach: true,
+            ..Ale3dSpec::default()
+        };
+        let mut w = Ale3d::new(spec, SimRng::from_seed(3));
+        let mut ops = Vec::new();
+        loop {
+            let op = w.next_op(21, 64);
+            if op == MpiOp::Done {
+                break;
+            }
+            ops.push(op);
+        }
+        // Detach, read, attach; 2 × (compute, exchange, 3 reductions);
+        // detach, write, attach.
+        assert_eq!(ops[0], MpiOp::DetachCosched);
+        assert!(matches!(ops[1], MpiOp::IoRead { .. }));
+        assert_eq!(ops[2], MpiOp::AttachCosched);
+        let reduces = ops.iter().filter(|o| matches!(o, MpiOp::Allreduce { .. })).count();
+        assert_eq!(reduces, 6);
+        let exchanges = ops.iter().filter(|o| matches!(o, MpiOp::Exchange { .. })).count();
+        assert_eq!(exchanges, 2);
+        assert!(matches!(ops[ops.len() - 2], MpiOp::IoWrite { .. }));
+        assert_eq!(*ops.last().unwrap(), MpiOp::AttachCosched);
+    }
+
+    #[test]
+    fn no_detach_when_disabled() {
+        let spec = Ale3dSpec {
+            timesteps: 1,
+            io_detach: false,
+            ..Ale3dSpec::default()
+        };
+        let mut w = Ale3d::new(spec, SimRng::from_seed(3));
+        let mut ops = Vec::new();
+        loop {
+            let op = w.next_op(0, 8);
+            if op == MpiOp::Done {
+                break;
+            }
+            ops.push(op);
+        }
+        assert!(!ops.iter().any(|o| matches!(o, MpiOp::DetachCosched | MpiOp::AttachCosched)));
+    }
+}

@@ -1,0 +1,168 @@
+//! Background-load audit (the §2 overhead claim).
+//!
+//! *"Experiments show that typical operating system and daemon activity
+//! consumes 0.2% to 1.1% of each CPU for large dedicated RS/6000 SP
+//! systems with 16 processors per node."* \[Jones03\]
+//!
+//! The audit boots a node with a noise profile, spins one low-priority
+//! soaker per CPU (so daemons behave as they do under a loaded node), and
+//! reports per-thread and per-class CPU shares over a configurable
+//! window.
+
+use pa_kernel::{
+    Action, ClockModel, CpuId, Kernel, Prio, SchedOptions, Script, SoloRunner, ThreadSpec,
+};
+use pa_noise::NoiseProfile;
+use pa_simkit::{SeedSpace, SimDur, SimTime};
+use pa_trace::ThreadClass;
+use serde::{Deserialize, Serialize};
+
+/// One audited thread's share.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRow {
+    /// Thread name.
+    pub name: String,
+    /// Class.
+    pub class: ThreadClass,
+    /// CPU time consumed.
+    pub cpu_time: SimDur,
+    /// Share of one CPU (cpu_time / window).
+    pub one_cpu_share: f64,
+}
+
+/// Result of a node audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditResult {
+    /// Observation window.
+    pub window: SimDur,
+    /// CPUs on the node.
+    pub ncpus: u8,
+    /// Per-interference-thread rows, largest first.
+    pub rows: Vec<AuditRow>,
+    /// Total interference share of one CPU.
+    pub total_one_cpu_share: f64,
+    /// Interference share averaged over the node's CPUs.
+    pub per_cpu_share: f64,
+}
+
+/// Run the audit: one node, `ncpus` CPUs, `window` of simulated time.
+pub fn audit_node(
+    noise: &NoiseProfile,
+    opts: SchedOptions,
+    ncpus: u8,
+    window: SimDur,
+    seed: u64,
+) -> AuditResult {
+    let seeds = SeedSpace::new(seed);
+    let mut kernel = Kernel::new(
+        0,
+        ncpus,
+        opts,
+        ClockModel::synced(),
+        seeds.stream_at("audit/kernel", 0, 0),
+        1 << 12,
+    );
+    // Soakers stand in for the parallel job: they keep every CPU busy so
+    // daemon activity is measured under contention, and never exit.
+    for c in 0..ncpus {
+        kernel.spawn(
+            ThreadSpec::new(format!("soak{c}"), ThreadClass::App, Prio::USER).on_cpu(CpuId(c)),
+            Box::new(Script::new(vec![Action::Compute(SimDur::from_secs(
+                36_000,
+            ))])),
+        );
+    }
+    let installed = noise.install(&mut kernel, &seeds, 0);
+    let mut runner = SoloRunner::new(kernel);
+    runner.boot();
+    runner.run_until(SimTime::ZERO + window);
+
+    let mut rows: Vec<AuditRow> = runner
+        .kernel
+        .usage_report()
+        .into_iter()
+        .filter(|r| r.class.is_interference())
+        .map(|r| AuditRow {
+            one_cpu_share: r.cpu_time.nanos() as f64 / window.nanos() as f64,
+            name: r.name,
+            class: r.class,
+            cpu_time: r.cpu_time,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.cpu_time.cmp(&a.cpu_time).then(a.name.cmp(&b.name)));
+    let total: f64 = rows.iter().map(|r| r.one_cpu_share).sum();
+    let _ = installed;
+    AuditResult {
+        window,
+        ncpus,
+        rows,
+        total_one_cpu_share: total,
+        per_cpu_share: total / f64::from(ncpus),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_profile_lands_near_paper_band() {
+        let r = audit_node(
+            &NoiseProfile::production(),
+            SchedOptions::vanilla(),
+            16,
+            SimDur::from_secs(120),
+            7,
+        );
+        // §2's band is 0.2%–1.1% per CPU; daemons concentrate on a few
+        // CPUs at a time so the node-wide total (in units of one CPU)
+        // lands around 16×that. Accept a generous envelope: the audit
+        // binary prints the exact value for EXPERIMENTS.md.
+        assert!(
+            r.total_one_cpu_share > 0.002 && r.total_one_cpu_share < 0.05,
+            "total {:.4}",
+            r.total_one_cpu_share
+        );
+        assert!(!r.rows.is_empty());
+        // Rows sorted descending.
+        for w in r.rows.windows(2) {
+            assert!(w[0].cpu_time >= w[1].cpu_time);
+        }
+    }
+
+    #[test]
+    fn silent_profile_measures_zero_daemon_time() {
+        let r = audit_node(
+            &NoiseProfile::silent(),
+            SchedOptions::vanilla(),
+            4,
+            SimDur::from_secs(10),
+            7,
+        );
+        assert_eq!(r.rows.len(), 0);
+        assert_eq!(r.total_one_cpu_share, 0.0);
+    }
+
+    #[test]
+    fn scaled_noise_scales_the_audit() {
+        let base = audit_node(
+            &NoiseProfile::production().without_cron(),
+            SchedOptions::vanilla(),
+            8,
+            SimDur::from_secs(60),
+            7,
+        );
+        let double = audit_node(
+            &NoiseProfile::production().without_cron().scaled(2.0),
+            SchedOptions::vanilla(),
+            8,
+            SimDur::from_secs(60),
+            7,
+        );
+        let ratio = double.total_one_cpu_share / base.total_one_cpu_share;
+        assert!(
+            ratio > 1.5 && ratio < 2.6,
+            "doubling noise gave ratio {ratio}"
+        );
+    }
+}

@@ -1,0 +1,548 @@
+//! Drivers for the paper's scaling figures (3, 5, 6) and the outlier
+//! study (Figure 4).
+//!
+//! Each driver builds the corresponding §5 configuration, runs it over
+//! multiple seeds ("each plotted datum is the average of at least 3
+//! runs"), and returns structured results the `pa-bench` binaries print
+//! as paper-style rows. Simulated call counts are smaller than the
+//! paper's 3×4096 loops (documented time compression — the statistic is
+//! the mean/variance of per-call times, which converges far earlier).
+
+use crate::aggregate::{AggregateSpec, AggregateTrace};
+use pa_core::{CoschedSetup, Experiment, RunOutput};
+use pa_kernel::SchedOptions;
+use pa_mpi::{OpKind, ProgressSpec, RankWorkload};
+use pa_noise::NoiseProfile;
+use pa_simkit::{linfit, LineFit, SeedSpace, SimDur, SimTime, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a Figure-3/5-style scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingConfig {
+    /// Cluster sizes to sample (nodes).
+    pub node_counts: Vec<u32>,
+    /// Tasks per node.
+    pub tasks_per_node: u32,
+    /// CPUs per node.
+    pub cpus_per_node: u8,
+    /// Allreduce calls per run.
+    pub allreduces: u32,
+    /// Seeds ("at least 3 runs" per datum).
+    pub seeds: Vec<u64>,
+    /// Kernel options.
+    pub kernel: SchedOptions,
+    /// Co-scheduler deployment.
+    pub cosched: Option<CoschedSetup>,
+    /// Noise profile.
+    pub noise: NoiseProfile,
+    /// MPI timer threads.
+    pub progress: Option<ProgressSpec>,
+    /// Benchmark shape.
+    pub agg: AggregateSpec,
+    /// When set, the loop runs for this much *simulated time* instead of
+    /// a fixed call count (the call count becomes effectively unbounded
+    /// and the run is cut at the horizon). Full-mode sweeps use this so
+    /// every point spans several co-scheduler windows, like the paper's
+    /// minutes-long loops.
+    pub target_sim_time: Option<SimDur>,
+}
+
+impl ScalingConfig {
+    fn base(quick: bool) -> ScalingConfig {
+        let (node_counts, allreduces, seeds, target) = if quick {
+            (vec![2, 4, 8], 160, vec![42, 43], None)
+        } else {
+            (
+                vec![4, 8, 16, 32, 44, 59, 76, 100, 121],
+                512,
+                vec![42, 43, 44],
+                Some(SimDur::from_millis(3_000)),
+            )
+        };
+        ScalingConfig {
+            node_counts,
+            tasks_per_node: 16,
+            cpus_per_node: 16,
+            allreduces,
+            seeds,
+            kernel: SchedOptions::vanilla(),
+            cosched: None,
+            // Scaling points exclude the 15-minute cron job (it is the
+            // subject of Figure 4); daemons and timer threads remain.
+            noise: NoiseProfile::production().without_cron(),
+            progress: Some(ProgressSpec::default()),
+            agg: AggregateSpec::default(),
+            target_sim_time: target,
+        }
+    }
+
+    /// Figure 3: 16 tasks/node on the standard kernel.
+    pub fn fig3(quick: bool) -> ScalingConfig {
+        ScalingConfig::base(quick)
+    }
+
+    /// Figure 5: 16 tasks/node on the prototype kernel with the
+    /// co-scheduler at the study's settings.
+    ///
+    /// The priority window is compressed from 5 s to 250 ms (duty cycle
+    /// unchanged) so a tractable simulated loop spans several favored and
+    /// unfavored windows, like the paper's minutes-long loops did — the
+    /// same time compression applied to cron in Figure 4. The big-tick
+    /// period divides the window, and windows still end on clock-aligned
+    /// boundaries, so all of §4's alignment invariants hold.
+    pub fn fig5(quick: bool) -> ScalingConfig {
+        let mut setup = CoschedSetup::default();
+        // Compressed window: 1.25 s at 80% duty instead of 5 s at 90%.
+        // Both edges (1.0 s and 1.25 s) are multiples of the 250 ms big
+        // tick, so the callout-quantized co-scheduler still observes both
+        // windows; the full-mode 3 s loops then span several periods, as
+        // the paper's minutes-long loops spanned several 5 s periods.
+        setup.params.period = SimDur::from_millis(1_250);
+        setup.params.duty = 0.8;
+        ScalingConfig {
+            kernel: SchedOptions::prototype(),
+            cosched: Some(setup),
+            ..ScalingConfig::base(quick)
+        }
+    }
+
+    /// The 15-tasks-per-node baseline configuration (§5.3).
+    pub fn vanilla_15(quick: bool) -> ScalingConfig {
+        ScalingConfig {
+            tasks_per_node: 15,
+            ..ScalingConfig::base(quick)
+        }
+    }
+}
+
+/// One datum of a scaling figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Processor (task) count.
+    pub procs: u32,
+    /// Per-seed mean Allreduce time, µs.
+    pub seed_means_us: Vec<f64>,
+    /// Mean over seeds.
+    pub mean_us: f64,
+    /// Standard deviation over seeds (run-to-run variability).
+    pub std_us: f64,
+    /// Fastest seed mean.
+    pub min_us: f64,
+    /// Slowest seed mean.
+    pub max_us: f64,
+}
+
+/// Run one sweep.
+pub fn run_scaling(
+    cfg: &ScalingConfig,
+    mut progress: Option<&mut dyn FnMut(&str)>,
+) -> Vec<ScalePoint> {
+    let mut points = Vec::new();
+    for &nodes in &cfg.node_counts {
+        let procs = nodes * cfg.tasks_per_node;
+        let mut seed_means = Vec::new();
+        for &seed in &cfg.seeds {
+            let out = run_one(cfg, nodes, seed);
+            assert!(
+                out.completed || cfg.target_sim_time.is_some(),
+                "sweep run did not finish: {nodes} nodes seed {seed}"
+            );
+            seed_means.push(out.mean_allreduce_us());
+        }
+        let s = Summary::of(&seed_means);
+        if let Some(cb) = progress.as_deref_mut() {
+            cb(&format!(
+                "procs {procs}: mean {:.1}µs (±{:.1})",
+                s.mean, s.stddev
+            ));
+        }
+        points.push(ScalePoint {
+            procs,
+            seed_means_us: seed_means,
+            mean_us: s.mean,
+            std_us: s.stddev,
+            min_us: s.min,
+            max_us: s.max,
+        });
+    }
+    points
+}
+
+/// Run one configuration at one size and seed.
+pub fn run_one(cfg: &ScalingConfig, nodes: u32, seed: u64) -> RunOutput {
+    let seeds = SeedSpace::new(seed);
+    let calls = if cfg.target_sim_time.is_some() {
+        u32::MAX // cut by the horizon, not the loop bound
+    } else {
+        cfg.allreduces
+    };
+    let agg = cfg.agg.with_calls(calls);
+    let mut make = |rank: u32| -> Box<dyn RankWorkload> {
+        Box::new(AggregateTrace::new(
+            agg,
+            seeds.stream_at("wl/agg", u64::from(rank), 0),
+        ))
+    };
+    let mut e = Experiment::new(nodes, cfg.tasks_per_node)
+        .with_cpus_per_node(cfg.cpus_per_node)
+        .with_kernel(cfg.kernel)
+        .with_noise(cfg.noise.clone())
+        .with_mpi(pa_mpi::MpiConfig::default())
+        .with_progress(cfg.progress)
+        .with_seed(seed);
+    if let Some(t) = cfg.target_sim_time {
+        e = e.with_horizon(t);
+    }
+    if let Some(cs) = cfg.cosched {
+        e = e.with_cosched(cs);
+    }
+    e.run(&mut make)
+}
+
+/// Figure 6: the fitted lines and their ratio. The paper reports
+/// `y_vanilla = 0.70x + 166` and `y_prototype = 0.22x + 210` (µs vs
+/// processors), a ~3× slope improvement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// Fit over the vanilla (Figure 3) data.
+    pub vanilla: LineFit,
+    /// Fit over the prototype (Figure 5) data.
+    pub prototype: LineFit,
+    /// Slope ratio (vanilla / prototype).
+    pub slope_ratio: f64,
+    /// Point speedups (vanilla mean / prototype mean) at common sizes.
+    pub speedups: Vec<(u32, f64)>,
+}
+
+/// Fit both series (every seed mean is a point, like the paper's
+/// scatter).
+pub fn fig6(vanilla: &[ScalePoint], prototype: &[ScalePoint]) -> Fig6Result {
+    let pts = |series: &[ScalePoint]| -> Vec<(f64, f64)> {
+        series
+            .iter()
+            .flat_map(|p| {
+                p.seed_means_us
+                    .iter()
+                    .map(move |&m| (f64::from(p.procs), m))
+            })
+            .collect()
+    };
+    let vfit = linfit(&pts(vanilla));
+    let pfit = linfit(&pts(prototype));
+    let speedups = vanilla
+        .iter()
+        .filter_map(|v| {
+            prototype
+                .iter()
+                .find(|p| p.procs == v.procs)
+                .map(|p| (v.procs, v.mean_us / p.mean_us))
+        })
+        .collect();
+    Fig6Result {
+        vanilla: vfit,
+        prototype: pfit,
+        slope_ratio: vfit.slope / pfit.slope,
+        speedups,
+    }
+}
+
+/// Configuration of the Figure-4 outlier study.
+#[derive(Debug, Clone)]
+pub struct Fig4Config {
+    /// Nodes (paper: 59 × 16 = 944 processors).
+    pub nodes: u32,
+    /// Tasks per node.
+    pub tasks_per_node: u32,
+    /// Sampled Allreduce calls (paper plots 448).
+    pub samples: u32,
+    /// Seed.
+    pub seed: u64,
+    /// The health-check job. The real one runs every 15 minutes; the
+    /// benchmark window is sub-minute, so its period is compressed to
+    /// guarantee the one firing the paper's sample happened to contain
+    /// (time compression documented in DESIGN.md).
+    pub cron: pa_noise::CronSpec,
+}
+
+impl Fig4Config {
+    /// Paper-shaped config (59 nodes, 448 samples; quick mode shrinks the
+    /// cluster and the cron burst proportionally).
+    ///
+    /// The cron period is compressed so that exactly ~one firing lands
+    /// inside the 448-call loop, as in the paper's sample; the firing's
+    /// total CPU demand is kept comparable to the loop's aggregate time
+    /// (600 ms against ~1 s in the paper), which is what makes the single
+    /// slowest call dominate the total.
+    pub fn paper(quick: bool) -> Fig4Config {
+        if quick {
+            // 8 nodes: a ~200 ms loop with the job "launched 120 ms
+            // before the quarter-hour" — exactly one ~120 ms cron firing
+            // lands mid-loop (the period stays the real 15 minutes).
+            Fig4Config {
+                nodes: 8,
+                tasks_per_node: 16,
+                samples: 1_000,
+                seed: 42,
+                cron: pa_noise::CronSpec {
+                    phase: SimDur::from_millis(120),
+                    components: 12,
+                    component_median: SimDur::from_millis(20),
+                    component_sigma: 0.45,
+                    ..pa_noise::CronSpec::default()
+                },
+            }
+        } else {
+            // 59 nodes (944 procs): a ~2 s loop; the real ~600 ms cron
+            // job fires once, 700 ms in.
+            Fig4Config {
+                nodes: 59,
+                tasks_per_node: 16,
+                samples: 1_500,
+                seed: 42,
+                cron: pa_noise::CronSpec {
+                    phase: SimDur::from_millis(700),
+                    ..pa_noise::CronSpec::default()
+                },
+            }
+        }
+    }
+}
+
+/// A culprit row of the Figure-4 analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CulpritRow {
+    /// Thread name.
+    pub name: String,
+    /// Class (rendered).
+    pub class: String,
+    /// CPU time inside the slowest call's interval, µs.
+    pub us: f64,
+}
+
+/// Results of the Figure-4 study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// Sorted per-call times of the observed rank, µs.
+    pub sorted_us: Vec<f64>,
+    /// Mean per-call time.
+    pub mean_us: f64,
+    /// Median per-call time.
+    pub median_us: f64,
+    /// Fastest call.
+    pub fastest_us: f64,
+    /// Slowest call.
+    pub slowest_us: f64,
+    /// The model prediction the paper compares with (≈350 µs at 944).
+    pub model_us: f64,
+    /// Share of total time consumed by the slowest call.
+    pub slowest_share: f64,
+    /// Culprits during the slowest call, from the node's trace.
+    pub culprits: Vec<CulpritRow>,
+}
+
+/// Run the Figure-4 study.
+pub fn fig4(cfg: &Fig4Config) -> Fig4Result {
+    let seeds = SeedSpace::new(cfg.seed);
+    let mut noise = NoiseProfile::production();
+    noise.cron = Some(cfg.cron.clone());
+    let agg = AggregateSpec::default().with_calls(cfg.samples);
+    let mut make = |rank: u32| -> Box<dyn RankWorkload> {
+        Box::new(AggregateTrace::new(
+            agg,
+            seeds.stream_at("wl/agg", u64::from(rank), 0),
+        ))
+    };
+    let mut e = Experiment::new(cfg.nodes, cfg.tasks_per_node)
+        .with_noise(noise)
+        .with_seed(cfg.seed)
+        .with_watch_node(0);
+    // Trace every node: the §5.3 analysis found the culprit cron "on
+    // multiple nodes" — the delay seen by a watched rank is usually
+    // caused on someone else's node.
+    for node in 0..cfg.nodes {
+        e = e.with_trace_node(node);
+    }
+    e.trace_capacity = 1 << 17;
+    let out = e.run(&mut make);
+    assert!(out.completed, "fig4 run did not finish");
+
+    let recorder = out.job.recorder.borrow();
+    let samples = recorder
+        .samples(0)
+        .expect("rank 0 was on the watch list")
+        .into_iter()
+        .filter(|s| s.kind == OpKind::Allreduce)
+        .collect::<Vec<_>>();
+    let mut sorted_us: Vec<f64> = samples.iter().map(|s| s.dur().as_micros_f64()).collect();
+    sorted_us.sort_by(f64::total_cmp);
+    // The figure plots 448 sorted values; longer loops are subsampled
+    // evenly after sorting, and — like the paper's figure — the reported
+    // statistics describe that 448-point sample.
+    let figure_points = 448usize;
+    let sorted_for_figure: Vec<f64> = if sorted_us.len() > figure_points {
+        (0..figure_points)
+            .map(|i| sorted_us[i * (sorted_us.len() - 1) / (figure_points - 1)])
+            .collect()
+    } else {
+        sorted_us.clone()
+    };
+    let total: f64 = sorted_for_figure.iter().sum();
+    let summary = Summary::of(&sorted_for_figure);
+
+    // Attribute the slowest call across the whole machine: sum each
+    // interferer's CPU time over all nodes during the interval.
+    let worst = samples
+        .iter()
+        .max_by_key(|s| s.dur())
+        .expect("at least one sample");
+    let mut merged: std::collections::BTreeMap<(String, String), f64> = Default::default();
+    for node in 0..cfg.nodes {
+        let report = out.attribute(node, worst.start, worst.end);
+        for c in &report.culprits {
+            *merged
+                .entry((c.name.clone(), format!("{:?}", c.class)))
+                .or_default() += c.cpu_time.as_micros_f64();
+        }
+    }
+    let mut culprits: Vec<CulpritRow> = merged
+        .into_iter()
+        .map(|((name, class), us)| CulpritRow { name, class, us })
+        .collect();
+    culprits.sort_by(|a, b| b.us.total_cmp(&a.us));
+    culprits.truncate(12);
+    drop(recorder);
+
+    // The reference ("model") value, analogous to the paper's ~350 µs
+    // prediction at 944 procs: 2·⌈log₂⌉ phases, split into cross-node
+    // hops (switch latency + overheads) and on-node hops (shared memory
+    // + overheads).
+    let rounds = |x: u32| if x <= 1 { 0 } else { 32 - (x - 1).leading_zeros() };
+    let net_phases = 2 * rounds(cfg.nodes);
+    let shm_phases = 2 * rounds(cfg.tasks_per_node);
+    let model_us = f64::from(net_phases) * 22.0 + f64::from(shm_phases) * 8.0;
+
+    Fig4Result {
+        mean_us: summary.mean,
+        median_us: summary.median,
+        fastest_us: summary.min,
+        slowest_us: summary.max,
+        model_us,
+        slowest_share: if total > 0.0 { summary.max / total } else { 0.0 },
+        sorted_us: sorted_for_figure,
+        culprits,
+    }
+}
+
+/// Shared helper for table drivers: mean Allreduce µs of one config.
+pub fn mean_allreduce_of(cfg: &ScalingConfig, nodes: u32) -> f64 {
+    let means: Vec<f64> = cfg
+        .seeds
+        .iter()
+        .map(|&s| run_one(cfg, nodes, s).mean_allreduce_us())
+        .collect();
+    Summary::of(&means).mean
+}
+
+/// Timestamp helper for attribution intervals.
+pub fn t0() -> SimTime {
+    SimTime::ZERO
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig3_scales_upward() {
+        let mut cfg = ScalingConfig::fig3(true);
+        cfg.node_counts = vec![1, 4];
+        cfg.allreduces = 96;
+        cfg.seeds = vec![42];
+        let pts = run_scaling(&cfg, None);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].procs == 16 && pts[1].procs == 64);
+        assert!(
+            pts[1].mean_us > pts[0].mean_us,
+            "more procs should be slower: {} vs {}",
+            pts[1].mean_us,
+            pts[0].mean_us
+        );
+    }
+
+    #[test]
+    fn prototype_beats_vanilla_at_same_size() {
+        let mut v = ScalingConfig::fig3(true);
+        v.node_counts = vec![4];
+        v.allreduces = 200;
+        v.seeds = vec![42];
+        let mut p = ScalingConfig::fig5(true);
+        p.node_counts = vec![4];
+        p.allreduces = 200;
+        p.seeds = vec![42];
+        let vm = run_scaling(&v, None)[0].mean_us;
+        let pm = run_scaling(&p, None)[0].mean_us;
+        assert!(
+            pm < vm,
+            "prototype ({pm:.1}µs) should beat vanilla ({vm:.1}µs)"
+        );
+    }
+
+    #[test]
+    fn fig6_fits_lines() {
+        let mk = |procs: &[u32], slope: f64, icept: f64| -> Vec<ScalePoint> {
+            procs
+                .iter()
+                .map(|&p| {
+                    let y = slope * f64::from(p) + icept;
+                    ScalePoint {
+                        procs: p,
+                        seed_means_us: vec![y, y * 1.01],
+                        mean_us: y,
+                        std_us: 0.0,
+                        min_us: y,
+                        max_us: y,
+                    }
+                })
+                .collect()
+        };
+        let v = mk(&[64, 128, 512, 1024], 0.70, 166.0);
+        let p = mk(&[64, 128, 512, 1024], 0.22, 210.0);
+        let f = fig6(&v, &p);
+        assert!((f.vanilla.slope - 0.70).abs() < 0.01);
+        assert!((f.prototype.slope - 0.22).abs() < 0.01);
+        assert!((f.slope_ratio - 3.18).abs() < 0.1);
+        assert_eq!(f.speedups.len(), 4);
+    }
+
+    #[test]
+    fn fig4_quick_finds_outliers_and_culprits() {
+        let cfg = Fig4Config {
+            nodes: 2,
+            // Fully populated nodes: on a half-idle node the cron job
+            // would just ride the idle CPUs (the §2 reserve-CPU effect).
+            tasks_per_node: 16,
+            samples: 300,
+            seed: 42,
+            // A miniature cron: fires every 5 ms with ~2 ms of work, so a
+            // 30 ms quick run sees several hits.
+            cron: pa_noise::CronSpec {
+                period: SimDur::from_millis(5),
+                components: 2,
+                component_median: SimDur::from_millis(1),
+                component_sigma: 0.2,
+                page_fault_prob: 0.0,
+                ..pa_noise::CronSpec::default()
+            },
+        };
+        let r = fig4(&cfg);
+        assert_eq!(r.sorted_us.len(), 300);
+        assert!(r.slowest_us > r.median_us, "no outlier tail");
+        assert!(
+            r.slowest_us >= 2.0 * r.median_us,
+            "cron should make a large outlier: slowest {} median {}",
+            r.slowest_us,
+            r.median_us
+        );
+        assert!(!r.culprits.is_empty(), "no culprits attributed");
+    }
+}

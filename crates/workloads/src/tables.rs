@@ -1,0 +1,399 @@
+//! Drivers for the paper's in-text results (the "tables"):
+//!
+//! * **T-15v16** — 15 vs 16 tasks/node and the 154% claim (§5.3);
+//! * **T-timer** — MPI timer-thread interference and the
+//!   `MP_POLLING_INTERVAL` mitigation (§5.3);
+//! * **T-ale3d** — the ALE3D end-to-end run-time comparison (§5.3);
+//! * **T-ale3d-io** — the I/O-starvation ablation: naive vs I/O-aware
+//!   favored priorities vs the detach API (§5.3);
+//! * **A-ablate** — per-mechanism ablation of the prototype kernel and
+//!   co-scheduler (DESIGN.md's design-choice index).
+
+use crate::ale3d::{Ale3d, Ale3dSpec};
+use crate::figures::{run_one, ScalingConfig};
+use pa_core::{CoschedSetup, Experiment};
+use pa_kernel::{DaemonQueuePolicy, PreemptMode, SchedOptions, TickAlign};
+use pa_mpi::{OpKind, ProgressSpec, RankWorkload};
+use pa_noise::NoiseProfile;
+use pa_simkit::{SeedSpace, Summary};
+use serde::{Deserialize, Serialize};
+
+/// One labelled scalar result row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledRow {
+    /// Configuration label.
+    pub label: String,
+    /// Measured value.
+    pub value: f64,
+}
+
+/// T-15v16 output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct T15v16Result {
+    /// Mean Allreduce µs per configuration.
+    pub rows: Vec<LabeledRow>,
+    /// vanilla-16 / vanilla-15 (15 t/n should be faster: ratio > 1).
+    pub van16_over_van15: f64,
+    /// vanilla-15 / prototype-16 (the paper's "154% speedup" comparison:
+    /// fully populated prototype nodes vs 15-task vanilla nodes).
+    pub proto16_speedup_vs_van15: f64,
+}
+
+/// Run T-15v16 at `nodes` nodes (paper: 100).
+pub fn tab_15v16(nodes: u32, quick: bool) -> T15v16Result {
+    let mut base = ScalingConfig::fig3(quick);
+    base.node_counts = vec![nodes];
+    if quick {
+        base.allreduces = 160;
+        base.seeds = vec![42];
+    }
+    let mut van15 = base.clone();
+    van15.tasks_per_node = 15;
+    let mut proto16 = ScalingConfig::fig5(quick);
+    proto16.node_counts = vec![nodes];
+    proto16.allreduces = base.allreduces;
+    proto16.seeds = base.seeds.clone();
+
+    let mean = |cfg: &ScalingConfig| -> f64 {
+        let ms: Vec<f64> = cfg
+            .seeds
+            .iter()
+            .map(|&s| run_one(cfg, nodes, s).mean_allreduce_us())
+            .collect();
+        Summary::of(&ms).mean
+    };
+    let m_van16 = mean(&base);
+    let m_van15 = mean(&van15);
+    let m_proto16 = mean(&proto16);
+    T15v16Result {
+        rows: vec![
+            LabeledRow {
+                label: "vanilla 16 t/n".into(),
+                value: m_van16,
+            },
+            LabeledRow {
+                label: "vanilla 15 t/n".into(),
+                value: m_van15,
+            },
+            LabeledRow {
+                label: "prototype+cosched 16 t/n".into(),
+                value: m_proto16,
+            },
+        ],
+        van16_over_van15: m_van16 / m_van15,
+        proto16_speedup_vs_van15: m_van15 / m_proto16,
+    }
+}
+
+/// T-timer output: per-call global-duration statistics with the default
+/// 400 ms progress engine vs the 400 s mitigation, at 15 t/n on the
+/// vanilla kernel (the §5.3 residual-interference configuration).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimerResult {
+    /// (label, mean µs, p99 µs, max µs).
+    pub rows: Vec<(String, f64, f64, f64)>,
+    /// p99 improvement factor from the mitigation.
+    pub p99_improvement: f64,
+}
+
+/// Run T-timer.
+///
+/// In quick mode the 400 ms/400 s intervals are scaled down 10× along
+/// with a shorter call loop, preserving the firings-per-run ratio (time
+/// compression, documented in DESIGN.md); the full mode uses the paper's
+/// literal settings over a multi-second loop.
+pub fn tab_timer(nodes: u32, quick: bool) -> TimerResult {
+    let (interval, calls) = if quick {
+        (pa_simkit::SimDur::from_millis(40), 800)
+    } else {
+        (pa_simkit::SimDur::from_millis(400), 4096)
+    };
+    let run = |progress: ProgressSpec, label: &str| -> (String, f64, f64, f64) {
+        let mut cfg = ScalingConfig::vanilla_15(quick);
+        cfg.node_counts = vec![nodes];
+        // Isolate the timer threads: dedicated(ish) system, no cron.
+        cfg.noise = NoiseProfile::dedicated();
+        cfg.progress = Some(progress);
+        cfg.allreduces = calls;
+        cfg.seeds = vec![42];
+        let out = run_one(&cfg, nodes, cfg.seeds[0]);
+        assert!(out.completed);
+        let s = out
+            .job
+            .recorder
+            .borrow()
+            .global_dur_summary_us(OpKind::Allreduce);
+        (label.to_string(), s.mean, s.p99, s.max)
+    };
+    let with_default = run(
+        ProgressSpec {
+            interval,
+            ..ProgressSpec::default()
+        },
+        "MP_POLLING_INTERVAL default (timer threads firing)",
+    );
+    let mitigated = run(
+        ProgressSpec {
+            interval: interval * 1000,
+            ..ProgressSpec::default()
+        },
+        "MP_POLLING_INTERVAL huge (mitigated)",
+    );
+    let p99_improvement = with_default.2 / mitigated.2;
+    TimerResult {
+        rows: vec![with_default, mitigated],
+        p99_improvement,
+    }
+}
+
+/// Configuration label for an ALE3D run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AleMode {
+    /// Standard kernel, no co-scheduler.
+    Vanilla,
+    /// Prototype kernel + co-scheduler at benchmark settings (favored 30)
+    /// with the application *not* using the detach API — the §5.3
+    /// configuration that "actually slowed it down".
+    NaiveCosched,
+    /// Same, but the application detaches around its big I/O phases.
+    NaiveWithDetach,
+    /// Prototype kernel + I/O-aware priorities (mmfsd 40 / favored 41) —
+    /// the §5.3 fix.
+    IoAware,
+}
+
+impl AleMode {
+    /// Human label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AleMode::Vanilla => "vanilla kernel, no cosched",
+            AleMode::NaiveCosched => "prototype + cosched favored=30 (no detach)",
+            AleMode::NaiveWithDetach => "prototype + cosched favored=30 + detach API",
+            AleMode::IoAware => "prototype + cosched favored=41/mmfsd=40 (I/O-aware)",
+        }
+    }
+}
+
+/// One ALE3D measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AleRow {
+    /// Mode label.
+    pub label: String,
+    /// Wall-clock run time, seconds.
+    pub wall_s: f64,
+    /// Whether the run finished before the horizon.
+    pub completed: bool,
+}
+
+/// Run the ALE3D proxy in one mode.
+pub fn run_ale3d(nodes: u32, spec: Ale3dSpec, mode: AleMode, seed: u64) -> AleRow {
+    let seeds = SeedSpace::new(seed);
+    let mut spec = spec;
+    spec.io_detach = matches!(mode, AleMode::NaiveWithDetach);
+    let mut make = |rank: u32| -> Box<dyn RankWorkload> {
+        Box::new(Ale3d::new(spec, seeds.stream_at("wl/ale3d", u64::from(rank), 0)))
+    };
+    let mut e = Experiment::new(nodes, 16)
+        .with_noise(NoiseProfile::production().without_cron())
+        .with_seed(seed)
+        .with_horizon(pa_simkit::SimDur::from_secs(7_200));
+    match mode {
+        AleMode::Vanilla => {}
+        AleMode::NaiveCosched | AleMode::NaiveWithDetach => {
+            e = e
+                .with_kernel(SchedOptions::prototype())
+                .with_cosched(CoschedSetup::default());
+        }
+        AleMode::IoAware => {
+            e = e
+                .with_kernel(SchedOptions::prototype())
+                .with_cosched(CoschedSetup::io_aware());
+        }
+    }
+    let out = e.run(&mut make);
+    AleRow {
+        label: mode.label().to_string(),
+        wall_s: out.wall.as_secs_f64(),
+        completed: out.completed,
+    }
+}
+
+/// T-ale3d: vanilla vs the I/O-aware prototype (the paper's 1315 s →
+/// 1152 s comparison).
+pub fn tab_ale3d(nodes: u32, spec: Ale3dSpec, seed: u64) -> Vec<AleRow> {
+    vec![
+        run_ale3d(nodes, spec, AleMode::Vanilla, seed),
+        run_ale3d(nodes, spec, AleMode::IoAware, seed),
+    ]
+}
+
+/// T-ale3d-io: the §5.3 I/O-starvation story in four rows.
+pub fn tab_ale3d_io(nodes: u32, spec: Ale3dSpec, seed: u64) -> Vec<AleRow> {
+    vec![
+        run_ale3d(nodes, spec, AleMode::Vanilla, seed),
+        run_ale3d(nodes, spec, AleMode::NaiveCosched, seed),
+        run_ale3d(nodes, spec, AleMode::NaiveWithDetach, seed),
+        run_ale3d(nodes, spec, AleMode::IoAware, seed),
+    ]
+}
+
+/// A-ablate: contribution of each prototype mechanism to the Allreduce
+/// improvement, one toggle at a time over the vanilla baseline.
+pub fn tab_ablation(nodes: u32, quick: bool) -> Vec<LabeledRow> {
+    let base = ScalingConfig::fig3(quick);
+    let mut configs: Vec<(String, SchedOptions, Option<CoschedSetup>)> = Vec::new();
+    configs.push(("vanilla".into(), SchedOptions::vanilla(), None));
+    let mut big = SchedOptions::vanilla();
+    big.big_tick = 25;
+    configs.push(("+ big ticks (250ms)".into(), big, None));
+    let mut aligned = SchedOptions::vanilla();
+    aligned.tick_align = TickAlign::Aligned;
+    configs.push(("+ aligned ticks".into(), aligned, None));
+    let mut rt = SchedOptions::vanilla();
+    rt.preempt = PreemptMode::RtIpiImproved;
+    configs.push(("+ improved RT preemption".into(), rt, None));
+    let mut gq = SchedOptions::vanilla();
+    gq.daemon_queue = DaemonQueuePolicy::Global;
+    configs.push(("+ global daemon queue".into(), gq, None));
+    configs.push((
+        "prototype kernel (no cosched)".into(),
+        SchedOptions::prototype(),
+        None,
+    ));
+    configs.push((
+        "vanilla kernel + cosched".into(),
+        SchedOptions::vanilla(),
+        Some(CoschedSetup::default()),
+    ));
+    configs.push((
+        "prototype + cosched (full)".into(),
+        SchedOptions::prototype(),
+        Some(CoschedSetup::default()),
+    ));
+
+    configs
+        .into_iter()
+        .map(|(label, kernel, cosched)| {
+            let mut cfg = base.clone();
+            cfg.kernel = kernel;
+            cfg.cosched = cosched;
+            cfg.node_counts = vec![nodes];
+            if quick {
+                cfg.allreduces = 160;
+                cfg.seeds = vec![42];
+            }
+            let ms: Vec<f64> = cfg
+                .seeds
+                .iter()
+                .map(|&s| run_one(&cfg, nodes, s).mean_allreduce_us())
+                .collect();
+            LabeledRow {
+                label,
+                value: Summary::of(&ms).mean,
+            }
+        })
+        .collect()
+}
+
+/// The unfavored-window sensitivity sweep (§4 discusses the latitude the
+/// administrator has; the paper warns a too-aggressive window starves the
+/// node). Returns (duty, mean Allreduce µs).
+/// Use tick-aligned duties (multiples of 0.2 with the compressed 1.25 s
+/// window and 250 ms big tick) so the unfavored edge is not swallowed by
+/// callout quantization.
+pub fn duty_cycle_sweep(nodes: u32, duties: &[f64], quick: bool) -> Vec<(f64, f64)> {
+    duties
+        .iter()
+        .map(|&duty| {
+            let mut cfg = ScalingConfig::fig5(quick);
+            cfg.node_counts = vec![nodes];
+            cfg.seeds = vec![42];
+            // Runs must span several windows for the duty cycle to show.
+            cfg.target_sim_time = Some(pa_simkit::SimDur::from_millis(if quick {
+                2_600
+            } else {
+                4_000
+            }));
+            let mut setup = cfg.cosched.expect("fig5 deploys the co-scheduler");
+            setup.params.duty = duty;
+            cfg.cosched = Some(setup);
+            let ms: Vec<f64> = cfg
+                .seeds
+                .iter()
+                .map(|&s| run_one(&cfg, nodes, s).mean_allreduce_us())
+                .collect();
+            (duty, Summary::of(&ms).mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> Ale3dSpec {
+        Ale3dSpec {
+            timesteps: 6,
+            compute_per_step: pa_simkit::SimDur::from_millis(4),
+            initial_read_bytes: 1 << 20,
+            restart_bytes: 1 << 20,
+            plot_every: 2,
+            plot_bytes: 1 << 20,
+            ..Ale3dSpec::default()
+        }
+    }
+
+    #[test]
+    fn ale3d_naive_cosched_is_a_disaster() {
+        // §5.3: "the first tests of ALE3D were very disappointing: the
+        // co-scheduler actually slowed it down."
+        let vanilla = run_ale3d(2, quick_spec(), AleMode::Vanilla, 42);
+        let naive = run_ale3d(2, quick_spec(), AleMode::NaiveCosched, 42);
+        assert!(vanilla.completed && naive.completed);
+        assert!(
+            naive.wall_s > 1.5 * vanilla.wall_s,
+            "naive cosched should stall on I/O: naive {:.2}s vs vanilla {:.2}s",
+            naive.wall_s,
+            vanilla.wall_s
+        );
+    }
+
+    #[test]
+    fn ale3d_io_aware_fixes_the_disaster() {
+        let naive = run_ale3d(2, quick_spec(), AleMode::NaiveCosched, 42);
+        let aware = run_ale3d(2, quick_spec(), AleMode::IoAware, 42);
+        assert!(
+            aware.wall_s < naive.wall_s / 1.5,
+            "I/O-aware priorities should fix the stall: {:.2}s vs {:.2}s",
+            aware.wall_s,
+            naive.wall_s
+        );
+    }
+
+    #[test]
+    fn timer_mitigation_reduces_tail() {
+        let r = tab_timer(2, true);
+        assert_eq!(r.rows.len(), 2);
+        assert!(
+            r.p99_improvement > 1.0,
+            "mitigation should shrink the tail: {:?}",
+            r.rows
+        );
+    }
+
+    #[test]
+    fn ablation_runs_all_configs() {
+        // 4 nodes: at very small scale the prototype's intercept overhead
+        // can exceed its benefit (the paper's own fitted lines cross near
+        // x≈90 procs), so the assertion needs a size where noise
+        // amplification dominates.
+        let rows = tab_ablation(4, true);
+        assert_eq!(rows.len(), 8);
+        let vanilla = rows[0].value;
+        let full = rows.last().unwrap().value;
+        assert!(
+            full < vanilla,
+            "full prototype should beat vanilla: {full:.1} vs {vanilla:.1}"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! The ALE3D I/O story (§5.3), end to end.
+//!
+//! Runs the ALE3D proxy (BSP timesteps, halo exchange, reductions, GPFS
+//! I/O) in four configurations and shows why the first co-scheduler tests
+//! "were very disappointing" — and how I/O-aware priorities fix it.
+//!
+//! Run with: `cargo run --release -p pa-examples --bin ale3d_cosched`
+
+use pa_simkit::SimDur;
+use pa_workloads::{run_ale3d, Ale3dSpec, AleMode};
+
+fn main() {
+    pa_examples::section("ALE3D proxy: 2 nodes x 16 ranks, GPFS-routed I/O");
+    let spec = Ale3dSpec {
+        timesteps: 10,
+        compute_per_step: SimDur::from_millis(8),
+        initial_read_bytes: 2 << 20,
+        restart_bytes: 4 << 20,
+        plot_every: 3,  // a rotating rank writes a plot file mid-run
+        plot_bytes: 2 << 20,
+        ..Ale3dSpec::default()
+    };
+    for mode in [
+        AleMode::Vanilla,
+        AleMode::NaiveCosched,
+        AleMode::NaiveWithDetach,
+        AleMode::IoAware,
+    ] {
+        let row = run_ale3d(2, spec, mode, 42);
+        println!(
+            "{:<52} {:>9.3} s{}",
+            row.label,
+            row.wall_s,
+            if row.completed { "" } else { "  (hit horizon!)" }
+        );
+    }
+    pa_examples::section("what happened");
+    println!("naive favored=30 outranks mmfsd=40: a rank blocked on a plot write waits");
+    println!("for the unfavored window while every other rank spins in the collective —");
+    println!("the whole machine stalls on one small file. favored=41 lets mmfsd preempt");
+    println!("briefly (a tolerable interference), which is the paper's recommended fix.");
+}

@@ -1,0 +1,11 @@
+//! Shared helpers for the PACE examples.
+//!
+//! Each example binary is a self-contained walkthrough of one part of the
+//! public API; this crate only hosts tiny formatting utilities so the
+//! examples stay focused.
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!();
+    println!("── {title} ──");
+}

@@ -1,0 +1,38 @@
+//! Audit the simulated node's background load against the paper's §2
+//! measurement: "typical operating system and daemon activity consumes
+//! 0.2% to 1.1% of each CPU".
+//!
+//! Run with: `cargo run --release -p pa-examples --bin noise_audit`
+
+use pa_kernel::SchedOptions;
+use pa_noise::NoiseProfile;
+use pa_simkit::SimDur;
+use pa_workloads::audit_node;
+
+fn main() {
+    pa_examples::section("background-load audit: 16-way node, 120 s window");
+    let result = audit_node(
+        &NoiseProfile::production(),
+        SchedOptions::vanilla(),
+        16,
+        SimDur::from_secs(120),
+        42,
+    );
+    println!("{:<16} {:<10} {:>12} {:>10}", "thread", "class", "cpu time", "% of 1 CPU");
+    for row in &result.rows {
+        println!(
+            "{:<16} {:<10} {:>12} {:>9.3}%",
+            row.name,
+            format!("{:?}", row.class),
+            row.cpu_time.to_string(),
+            100.0 * row.one_cpu_share
+        );
+    }
+    pa_examples::section("totals");
+    println!(
+        "node total {:.2}% of one CPU  ->  {:.3}% per CPU on the 16-way node",
+        100.0 * result.total_one_cpu_share,
+        100.0 * result.per_cpu_share
+    );
+    println!("paper band: 0.2%–1.1% per CPU on production SP nodes");
+}

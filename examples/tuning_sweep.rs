@@ -1,0 +1,54 @@
+//! Administrator tuning: the /etc/poe.priority interface and the duty
+//! cycle latitude §4 describes ("it is possible to give the tasks
+//! priority ... for a very long time. This can starve system daemons and
+//! make the node unusable").
+//!
+//! Run with: `cargo run --release -p pa-examples --bin tuning_sweep`
+
+use pa_core::{schedtune, schedtune_render, AdminTable, PriorityGrant, SchedOptions};
+use pa_workloads::duty_cycle_sweep;
+
+fn main() {
+    pa_examples::section("schedtune (kernel options, §3.2.1)");
+    let proto = schedtune(
+        SchedOptions::vanilla(),
+        "bigtick=25 tickalign=simultaneous preempt=rtplus daemonq=global",
+    )
+    .expect("valid schedtune settings");
+    println!("vanilla  : {}", schedtune_render(&SchedOptions::vanilla()));
+    println!("prototype: {}", schedtune_render(&proto));
+    assert_eq!(proto, SchedOptions::prototype());
+
+    pa_examples::section("/etc/poe.priority");
+    let table = AdminTable::parse(
+        "# class:uid:favored:unfavored:period_s:duty_pct\n\
+         BENCH:1001:30:100:5:90\n\
+         PROD:1002:41:100:10:95\n",
+    )
+    .expect("valid priority file");
+    print!("{}", table.render());
+
+    pa_examples::section("MP_PRIORITY request flow");
+    match table.request("BENCH", 1001) {
+        PriorityGrant::Granted(p) => println!(
+            "uid 1001, MP_PRIORITY=BENCH -> granted favored {:?}, unfavored {:?}, {} @ {:.0}%",
+            p.favored,
+            p.unfavored,
+            p.period,
+            p.duty * 100.0
+        ),
+        PriorityGrant::Refused { attention } => println!("{attention}"),
+    }
+    match table.request("BENCH", 4242) {
+        PriorityGrant::Granted(_) => unreachable!("uid 4242 is not authorized"),
+        PriorityGrant::Refused { attention } => println!("uid 4242: {attention}"),
+    }
+
+    pa_examples::section("favored-window duty cycle sweep (4 nodes x 16)");
+    println!("{:>6} {:>12}", "duty", "Allreduce µs");
+    for (duty, us) in duty_cycle_sweep(4, &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0], true) {
+        println!("{duty:>6.2} {us:>12.1}");
+    }
+    println!("(higher duty favors the job; §4 warns against starving the daemons entirely —");
+    println!(" see the ale3d_cosched example for what that does to I/O)");
+}

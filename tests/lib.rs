@@ -1,0 +1,2 @@
+//! Cross-crate integration tests for the PACE reproduction live in
+//! `tests/tests/`. This stub library only anchors the package.

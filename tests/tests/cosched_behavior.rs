@@ -1,0 +1,119 @@
+//! Behavioural tests of the co-scheduler itself, end to end.
+
+use pa_core::{CoschedSetup, Experiment, SchedOptions};
+use pa_kernel::Prio;
+use pa_mpi::{MpiOp, OpList, RankWorkload};
+use pa_noise::NoiseProfile;
+use pa_simkit::{SimDur, SimTime};
+use pa_trace::HookId;
+
+fn spin_workload(calls: usize) -> impl FnMut(u32) -> Box<dyn RankWorkload> {
+    move |_r| Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 8 }; calls]))
+}
+
+/// Times at which a node's co-scheduler applied the unfavored priority.
+fn unfavored_times(out: &pa_core::RunOutput, node: u32) -> Vec<SimTime> {
+    out.sim
+        .kernel(node)
+        .trace()
+        .events()
+        .filter(|e| e.hook == HookId::PrioChange && e.aux == u64::from(Prio::UNFAVORED.0))
+        .map(|e| e.time)
+        .collect()
+}
+
+#[test]
+fn clock_sync_aligns_windows_across_nodes() {
+    // Run the same configuration with and without the switch-clock sync
+    // and compare the first unfavored edges of the two nodes. Gaps are
+    // tick-quantized, so the comparison is synced-vs-unsynced rather than
+    // against absolute thresholds.
+    let gap = |sync: bool| -> u64 {
+        let mut setup = CoschedSetup::default();
+        setup.params.period = SimDur::from_millis(1_250);
+        setup.params.duty = 0.8;
+        setup.sync_clocks = sync;
+        let mut e = Experiment::new(2, 16)
+            .with_kernel(SchedOptions::prototype())
+            .with_cosched(setup)
+            .with_noise(NoiseProfile::dedicated())
+            .with_trace_node(0)
+            .with_trace_node(1)
+            .with_seed(21)
+            .with_horizon(SimDur::from_millis(2_900));
+        // Exaggerated skew makes the unsynced misalignment unambiguous
+        // despite big-tick quantization of the window edges.
+        e.skew_max = SimDur::from_millis(620);
+        let out = e.run(&mut spin_workload(1_000_000));
+        let a = unfavored_times(&out, 0);
+        let b = unfavored_times(&out, 1);
+        assert!(!a.is_empty() && !b.is_empty(), "no unfavored windows observed");
+        a[0].nanos().abs_diff(b[0].nanos())
+    };
+    let synced = gap(true);
+    let unsynced = gap(false);
+    // Synced: within one big tick. Unsynced: the boot skew shows through.
+    assert!(
+        synced <= SimDur::from_millis(260).nanos(),
+        "synced windows {synced}ns apart"
+    );
+    assert!(
+        unsynced > synced + SimDur::from_millis(50).nanos(),
+        "unsynced ({unsynced}ns) should misalign more than synced ({synced}ns)"
+    );
+}
+
+#[test]
+fn detach_restores_base_priority() {
+    // A workload that detaches mid-run: the co-scheduler must set the
+    // registered tasks back to the base (USER) priority when it sees the
+    // request at a window edge.
+    let mut make = |_r: u32| -> Box<dyn RankWorkload> {
+        let mut ops = vec![MpiOp::Allreduce { bytes: 8 }; 40];
+        ops.push(MpiOp::DetachCosched);
+        // Enough follow-on work for a window edge to pass.
+        for _ in 0..4000 {
+            ops.push(MpiOp::Compute(SimDur::from_micros(200)));
+        }
+        Box::new(OpList::new(ops))
+    };
+    let mut setup = CoschedSetup::default();
+    setup.params.period = SimDur::from_millis(500);
+    setup.params.duty = 0.5; // edges at 250ms/500ms: big-tick aligned
+    let out = Experiment::new(1, 16)
+        .with_kernel(SchedOptions::prototype())
+        .with_cosched(setup)
+        .with_noise(NoiseProfile::dedicated())
+        .with_trace_node(0)
+        .with_seed(33)
+        .run(&mut make);
+    assert!(out.completed);
+    let base_applied = out
+        .sim
+        .kernel(0)
+        .trace()
+        .events()
+        .any(|e| e.hook == HookId::PrioChange && e.aux == u64::from(Prio::USER.0));
+    assert!(base_applied, "detach never restored the base priority");
+}
+
+#[test]
+fn cosched_never_loses_a_registered_task() {
+    // All ranks must end at a co-scheduler-managed priority (favored or
+    // unfavored), not at their spawn priority.
+    let out = Experiment::new(2, 16)
+        .with_kernel(SchedOptions::prototype())
+        .with_cosched(CoschedSetup::default())
+        .with_noise(NoiseProfile::dedicated())
+        .with_seed(13)
+        .run(&mut spin_workload(2_000));
+    assert!(out.completed);
+    for ep in &out.job.rank_tids {
+        let prio = out.sim.kernel(ep.node).thread_prio(ep.tid);
+        assert!(
+            prio == Prio::FAVORED || prio == Prio::UNFAVORED,
+            "rank on node {} ended at unmanaged priority {prio:?}",
+            ep.node
+        );
+    }
+}

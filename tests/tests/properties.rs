@@ -1,0 +1,252 @@
+//! Property-based tests over the stack's core invariants (proptest).
+
+use pa_core::{AdminTable, CoschedParams, PriorityRecord};
+use pa_kernel::{ClockModel, Prio};
+use pa_mpi::coll::{
+    binomial_allreduce, dissemination_barrier, recursive_doubling_allreduce, ring_allgather,
+    CollStep,
+};
+use pa_simkit::{EventQueue, SimDur, SimTime, Summary};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+// ---------------------------------------------------------------------
+// Collective schedules: deadlock freedom + full contribution, any size.
+// ---------------------------------------------------------------------
+
+/// Abstract executor: runs all ranks' schedules with in-order semantics
+/// and unlimited buffering; returns per-rank contribution sets, or None
+/// on deadlock.
+fn simulate(schedules: &[Vec<CollStep>]) -> Option<Vec<HashSet<u32>>> {
+    let n = schedules.len();
+    let mut values: Vec<HashSet<u32>> = (0..n as u32).map(|r| HashSet::from([r])).collect();
+    let mut pc = vec![0usize; n];
+    let mut in_flight: HashMap<(u32, u32, u16), VecDeque<HashSet<u32>>> = HashMap::new();
+    loop {
+        let mut progressed = false;
+        for r in 0..n {
+            while pc[r] < schedules[r].len() {
+                match schedules[r][pc[r]] {
+                    CollStep::Send { peer, phase } => {
+                        let v = values[r].clone();
+                        in_flight
+                            .entry((r as u32, peer, phase))
+                            .or_default()
+                            .push_back(v);
+                        pc[r] += 1;
+                        progressed = true;
+                    }
+                    CollStep::Recv { peer, phase, reduce } => {
+                        let key = (peer, r as u32, phase);
+                        let Some(q) = in_flight.get_mut(&key) else { break };
+                        let Some(v) = q.pop_front() else { break };
+                        if reduce {
+                            values[r].extend(v);
+                        } else {
+                            values[r] = v;
+                        }
+                        pc[r] += 1;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        if pc.iter().enumerate().all(|(r, &p)| p == schedules[r].len()) {
+            return Some(values);
+        }
+        if !progressed {
+            return None;
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn binomial_allreduce_is_correct_for_any_size(n in 1u32..260) {
+        let schedules: Vec<_> = (0..n).map(|r| binomial_allreduce(r, n)).collect();
+        let result = simulate(&schedules).expect("deadlock");
+        let full: HashSet<u32> = (0..n).collect();
+        for v in result {
+            prop_assert_eq!(&v, &full);
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_is_correct_for_any_size(n in 1u32..260) {
+        let schedules: Vec<_> = (0..n).map(|r| recursive_doubling_allreduce(r, n)).collect();
+        let result = simulate(&schedules).expect("deadlock");
+        let full: HashSet<u32> = (0..n).collect();
+        for v in result {
+            prop_assert_eq!(&v, &full);
+        }
+    }
+
+    #[test]
+    fn barrier_and_allgather_complete(n in 1u32..160) {
+        let b: Vec<_> = (0..n).map(|r| dissemination_barrier(r, n)).collect();
+        prop_assert!(simulate(&b).is_some(), "barrier deadlocked at n={}", n);
+        let g: Vec<_> = (0..n).map(|r| ring_allgather(r, n)).collect();
+        let result = simulate(&g).expect("allgather deadlocked");
+        let full: HashSet<u32> = (0..n).collect();
+        for v in result {
+            prop_assert_eq!(&v, &full);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Event queue: total order, cancellation safety.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0usize;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn cancelled_events_never_fire(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_nanos(t), i))
+            .collect();
+        let mut cancelled = HashSet::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                q.cancel(*id);
+                cancelled.insert(i);
+            }
+        }
+        let mut fired = HashSet::new();
+        while let Some((_, v)) = q.pop() {
+            fired.insert(v);
+        }
+        prop_assert!(fired.is_disjoint(&cancelled));
+        prop_assert_eq!(fired.len() + cancelled.len(), times.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Time and clock arithmetic.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn align_up_lands_on_boundary_at_or_after(
+        t in 0u64..u64::MAX / 4,
+        period in 1u64..1_000_000_000,
+        phase in 0u64..1_000_000_000,
+    ) {
+        let p = SimDur::from_nanos(period);
+        let ph = SimDur::from_nanos(phase);
+        let aligned = SimTime::from_nanos(t).align_up(p, ph);
+        prop_assert!(aligned >= SimTime::from_nanos(t));
+        prop_assert_eq!((aligned.nanos() + period - phase % period) % period, 0);
+        prop_assert!(aligned.nanos() - t < period);
+    }
+
+    #[test]
+    fn clock_roundtrip(offset in 0u64..1_000_000_000, t in 0u64..u64::MAX / 4) {
+        let c = ClockModel::with_offset(SimDur::from_nanos(offset));
+        let g = SimTime::from_nanos(t);
+        prop_assert_eq!(c.to_global(c.to_local(g)), g);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Statistics.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn summary_orders_its_statistics(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p90 + 1e-9);
+        prop_assert!(s.p90 <= s.p99 + 1e-9);
+        prop_assert!(s.p99 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.stddev >= 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Co-scheduler window arithmetic.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn next_edge_is_future_and_within_period(
+        t in 0u64..100_000_000_000u64,
+        period_ms in 1u64..20_000,
+        duty_pct in 0u32..=100,
+    ) {
+        let mut p = CoschedParams::benchmark();
+        p.period = SimDur::from_millis(period_ms);
+        p.duty = f64::from(duty_pct) / 100.0;
+        let now = SimTime::from_nanos(t);
+        let edge = p.next_edge(now);
+        prop_assert!(edge > now, "edge {} not after {}", edge, now);
+        prop_assert!(edge - now <= p.period);
+        // The phase flips across (or the window repeats at) the edge.
+        let before = p.in_favored(edge - SimDur::from_nanos(1));
+        let after = p.in_favored(edge);
+        if p.duty > 0.0 && p.duty < 1.0 {
+            prop_assert_ne!(before, after, "no flip at {}", edge);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admin table round trip.
+// ---------------------------------------------------------------------
+
+fn arb_record() -> impl Strategy<Value = PriorityRecord> {
+    (
+        "[A-Z]{2,8}",
+        0u32..65_536,
+        1u8..100,
+        1u8..120,
+        1u64..3_600,
+        0u32..=100,
+    )
+        .prop_filter_map("favored must beat unfavored", |(class, uid, f, u, per, duty)| {
+            if f >= u {
+                return None;
+            }
+            let mut params = CoschedParams::benchmark();
+            params.favored = Prio(f);
+            params.unfavored = Prio(u);
+            params.period = SimDur::from_secs(per);
+            params.duty = f64::from(duty) / 100.0;
+            Some(PriorityRecord { class, uid, params })
+        })
+}
+
+proptest! {
+    #[test]
+    fn admin_table_render_parse_roundtrip(records in prop::collection::vec(arb_record(), 0..8)) {
+        let mut t = AdminTable::new();
+        for r in records {
+            t.add(r);
+        }
+        let parsed = AdminTable::parse(&t.render()).expect("rendered table parses");
+        prop_assert_eq!(parsed.render(), t.render());
+    }
+}

@@ -1,0 +1,170 @@
+//! Robustness: edge configurations and failure-injection-style stress.
+
+use pa_core::{CoschedSetup, Experiment, SchedOptions};
+use pa_mpi::{Algorithm, MpiConfig, MpiOp, OpList, RankWorkload};
+use pa_noise::NoiseProfile;
+use pa_simkit::SimDur;
+
+fn allreduces(n: usize) -> impl FnMut(u32) -> Box<dyn RankWorkload> {
+    move |_r| Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 8 }; n]))
+}
+
+#[test]
+fn single_node_single_task() {
+    let out = Experiment::new(1, 1)
+        .with_cpus_per_node(1)
+        .with_noise(NoiseProfile::silent())
+        .with_progress(None)
+        .with_seed(1)
+        .run(&mut allreduces(50));
+    assert!(out.completed, "degenerate 1×1 cluster must still work");
+}
+
+#[test]
+fn one_task_per_node_cross_node_only() {
+    let out = Experiment::new(8, 1)
+        .with_cpus_per_node(2)
+        .with_noise(NoiseProfile::dedicated())
+        .with_seed(2)
+        .run(&mut allreduces(100));
+    assert!(out.completed);
+    assert!(out.mean_allreduce_us() > 0.0);
+}
+
+#[test]
+fn extreme_clock_skew_does_not_break_collectives() {
+    let mut e = Experiment::new(4, 8)
+        .with_cpus_per_node(8)
+        .with_noise(NoiseProfile::dedicated())
+        .with_seed(3);
+    e.skew_max = SimDur::from_secs(2);
+    let out = e.run(&mut allreduces(100));
+    assert!(out.completed, "skewed clocks must not deadlock the job");
+}
+
+#[test]
+fn heavy_noise_storm_still_completes() {
+    // 10× production noise: a daemon storm. Slower, but never stuck.
+    // Long enough (~0.5 s simulated) that every storm daemon fires.
+    let out = Experiment::new(2, 16)
+        .with_noise(NoiseProfile::production().without_cron().scaled(10.0))
+        .with_seed(4)
+        .with_horizon(SimDur::from_secs(600))
+        .run(&mut allreduces(1_500));
+    assert!(out.completed, "noise storm deadlocked the job");
+    let calm = Experiment::new(2, 16)
+        .with_noise(NoiseProfile::production().without_cron())
+        .with_seed(4)
+        .run(&mut allreduces(1_500));
+    assert!(
+        out.mean_allreduce_us() > calm.mean_allreduce_us(),
+        "storm {} vs calm {}",
+        out.mean_allreduce_us(),
+        calm.mean_allreduce_us()
+    );
+}
+
+#[test]
+fn blocking_mpi_mode_works() {
+    // Interrupt-driven (blocking) waits instead of busy polling.
+    let cfg = MpiConfig {
+        polling: false,
+        ..MpiConfig::default()
+    };
+    let out = Experiment::new(2, 8)
+        .with_cpus_per_node(8)
+        .with_mpi(cfg)
+        .with_noise(NoiseProfile::dedicated())
+        .with_seed(5)
+        .run(&mut allreduces(100));
+    assert!(out.completed, "blocking-mode collectives deadlocked");
+}
+
+#[test]
+fn recursive_doubling_algorithm_end_to_end() {
+    let cfg = MpiConfig {
+        algorithm: Algorithm::RecursiveDoubling,
+        ..MpiConfig::default()
+    };
+    // Non-power-of-two rank count exercises the fold-in/fold-out path.
+    let out = Experiment::new(3, 5)
+        .with_cpus_per_node(8)
+        .with_mpi(cfg)
+        .with_noise(NoiseProfile::dedicated())
+        .with_seed(6)
+        .run(&mut allreduces(80));
+    assert!(out.completed);
+    out.job
+        .recorder
+        .borrow()
+        .verify_complete(15)
+        .expect("all 15 ranks completed every op");
+}
+
+#[test]
+fn cosched_with_partial_nodes() {
+    // 15 t/n with the co-scheduler: the idle CPU plus priority windows.
+    let out = Experiment::new(2, 15)
+        .with_kernel(SchedOptions::prototype())
+        .with_cosched(CoschedSetup::default())
+        .with_noise(NoiseProfile::production().without_cron())
+        .with_seed(7)
+        .run(&mut allreduces(200));
+    assert!(out.completed);
+}
+
+#[test]
+fn zero_duty_cycle_is_survivable() {
+    // duty = 0: the job is permanently unfavored. It must still finish —
+    // daemons are a tiny fraction of CPU; the job is just never boosted.
+    let mut setup = CoschedSetup::default();
+    setup.params.duty = 0.0;
+    let out = Experiment::new(2, 8)
+        .with_cpus_per_node(8)
+        .with_kernel(SchedOptions::prototype())
+        .with_cosched(setup)
+        .with_noise(NoiseProfile::dedicated())
+        .with_seed(8)
+        .run(&mut allreduces(100));
+    assert!(out.completed);
+}
+
+#[test]
+fn large_payload_allreduce() {
+    // 1 MiB payloads shift the fabric into the bandwidth regime.
+    let small = Experiment::new(2, 8)
+        .with_cpus_per_node(8)
+        .with_noise(NoiseProfile::silent())
+        .with_progress(None)
+        .with_seed(9)
+        .run(&mut |_r| {
+            Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 8 }; 20])) as Box<dyn RankWorkload>
+        });
+    let big = Experiment::new(2, 8)
+        .with_cpus_per_node(8)
+        .with_noise(NoiseProfile::silent())
+        .with_progress(None)
+        .with_seed(9)
+        .run(&mut |_r| {
+            Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 1 << 20 }; 20]))
+                as Box<dyn RankWorkload>
+        });
+    assert!(small.completed && big.completed);
+    assert!(
+        big.mean_allreduce_us() > 10.0 * small.mean_allreduce_us(),
+        "1 MiB payloads should be bandwidth-bound: {} vs {}",
+        big.mean_allreduce_us(),
+        small.mean_allreduce_us()
+    );
+}
+
+#[test]
+fn empty_workload_exits_immediately() {
+    let out = Experiment::new(2, 4)
+        .with_cpus_per_node(4)
+        .with_noise(NoiseProfile::dedicated())
+        .with_seed(10)
+        .run(&mut |_r| Box::new(OpList::new(Vec::new())) as Box<dyn RankWorkload>);
+    assert!(out.completed);
+    assert!(out.wall < SimDur::from_millis(50), "empty job took {}", out.wall);
+}
