@@ -16,7 +16,8 @@ fn bench_event_queue(c: &mut Criterion) {
             |mut q| {
                 for i in 0..10_000u32 {
                     // Pseudo-random but deterministic times.
-                    let t = SimTime::from_nanos(u64::from(i.wrapping_mul(2_654_435_761) % 1_000_000));
+                    let t =
+                        SimTime::from_nanos(u64::from(i.wrapping_mul(2_654_435_761) % 1_000_000));
                     q.schedule(t, i);
                 }
                 let mut acc = 0u64;

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pa_core::{CoschedSetup, Experiment};
 use pa_mpi::{MpiOp, OpList, RankWorkload};
 use pa_noise::NoiseProfile;
-use pa_simkit::{SimTime, SimDur};
+use pa_simkit::{SimDur, SimTime};
 use pa_trace::{AttributionReport, CpuTimeline};
 use std::hint::black_box;
 
@@ -47,7 +47,12 @@ fn bench_cluster(c: &mut Criterion) {
                 plot_every: 0,
                 ..pa_workloads::Ale3dSpec::default()
             };
-            black_box(pa_workloads::run_ale3d(2, spec, pa_workloads::AleMode::IoAware, 7))
+            black_box(pa_workloads::run_ale3d(
+                2,
+                spec,
+                pa_workloads::AleMode::IoAware,
+                7,
+            ))
         })
     });
     g.finish();

@@ -7,7 +7,10 @@ use pa_workloads::fig1;
 
 fn main() {
     let args = Args::parse();
-    banner("Figure 1 · interference overlap vs all-CPU availability", args.mode);
+    banner(
+        "Figure 1 · interference overlap vs all-CPU availability",
+        args.mode,
+    );
     let r = fig1(args.seed, args.mode == Mode::Quick);
     emit(args.json, &r, || {
         println!("                     green (all CPUs run app)   red (some CPU runs noise)");

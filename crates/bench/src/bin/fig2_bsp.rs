@@ -7,10 +7,16 @@ use pa_workloads::fig2;
 
 fn main() {
     let args = Args::parse();
-    banner("Figure 2 · BSP phase structure (ALE3D proxy, node 0)", args.mode);
+    banner(
+        "Figure 2 · BSP phase structure (ALE3D proxy, node 0)",
+        args.mode,
+    );
     let rows = fig2(args.seed);
     emit(args.json, &rows, || {
-        println!("{:>5} {:>12} {:>12} {:>12}", "rank", "compute ms", "exchange ms", "reduce ms");
+        println!(
+            "{:>5} {:>12} {:>12} {:>12}",
+            "rank", "compute ms", "exchange ms", "reduce ms"
+        );
         for r in &rows {
             println!(
                 "{:>5} {:>12} {:>12} {:>12}",

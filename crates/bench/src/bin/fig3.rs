@@ -3,20 +3,22 @@
 //! run-to-run variability — not the logarithmic curve the tree algorithm
 //! predicts.
 
-use pa_bench::{banner, emit, scale_sweep, Args, Mode};
+use pa_bench::{banner, emit, require_complete, scale_sweep, Args, Mode};
 use pa_simkit::{report, Table};
-use pa_workloads::{run_scaling, ScalingConfig};
+use pa_workloads::{run_scaling_campaign, ScalingConfig};
 
 fn main() {
     let args = Args::parse();
-    banner("Figure 3 · Allreduce µs vs processors (vanilla, 16 t/n)", args.mode);
+    banner(
+        "Figure 3 · Allreduce µs vs processors (vanilla, 16 t/n)",
+        args.mode,
+    );
     let cfg = scale_sweep(
         ScalingConfig::fig3(args.mode == Mode::Quick),
         args.mode,
         args.seed,
     );
-    let mut log = |s: &str| eprintln!("  [fig3] {s}");
-    let points = run_scaling(&cfg, Some(&mut log));
+    let (points, _) = require_complete(run_scaling_campaign(&cfg, &args.campaign("fig3")));
     emit(args.json, &points, || {
         let mut t = Table::new(
             "Allreduce scaling — vanilla AIX-like kernel",

@@ -8,7 +8,10 @@ use pa_workloads::{fig4, Fig4Config};
 
 fn main() {
     let args = Args::parse();
-    banner("Figure 4 · sorted Allreduce times + outlier attribution", args.mode);
+    banner(
+        "Figure 4 · sorted Allreduce times + outlier attribution",
+        args.mode,
+    );
     let mut cfg = Fig4Config::paper(args.mode != Mode::Full);
     cfg.seed = args.seed;
     if args.mode == Mode::Quick {

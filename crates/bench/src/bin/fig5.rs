@@ -2,9 +2,9 @@
 //! prototype kernel plus co-scheduler. Expect a large improvement and far
 //! smaller variability than Figure 3.
 
-use pa_bench::{banner, emit, scale_sweep, Args, Mode};
+use pa_bench::{banner, emit, require_complete, scale_sweep, Args, Mode};
 use pa_simkit::{report, Table};
-use pa_workloads::{run_scaling, ScalingConfig};
+use pa_workloads::{run_scaling_campaign, ScalingConfig};
 
 fn main() {
     let args = Args::parse();
@@ -17,8 +17,7 @@ fn main() {
         args.mode,
         args.seed,
     );
-    let mut log = |s: &str| eprintln!("  [fig5] {s}");
-    let points = run_scaling(&cfg, Some(&mut log));
+    let (points, _) = require_complete(run_scaling_campaign(&cfg, &args.campaign("fig5")));
     emit(args.json, &points, || {
         let mut t = Table::new(
             "Allreduce scaling — prototype kernel + co-scheduler",

@@ -2,9 +2,9 @@
 //! headline slope ratio (paper: 0.70/0.22 ≈ 3.2×, "a speedup of over
 //! 300% on synchronizing collectives").
 
-use pa_bench::{banner, emit, scale_sweep, Args, Mode};
+use pa_bench::{banner, emit, require_complete, scale_sweep, Args, Mode};
 use pa_simkit::report;
-use pa_workloads::{fig6, run_scaling, ScalingConfig};
+use pa_workloads::{fig6, run_scaling_campaign, ScalingConfig};
 
 fn main() {
     let args = Args::parse();
@@ -12,10 +12,12 @@ fn main() {
     let quick = args.mode == Mode::Quick;
     let vcfg = scale_sweep(ScalingConfig::fig3(quick), args.mode, args.seed);
     let pcfg = scale_sweep(ScalingConfig::fig5(quick), args.mode, args.seed);
-    let mut vlog = |s: &str| eprintln!("  [vanilla] {s}");
-    let vanilla = run_scaling(&vcfg, Some(&mut vlog));
-    let mut plog = |s: &str| eprintln!("  [proto]   {s}");
-    let prototype = run_scaling(&pcfg, Some(&mut plog));
+    let (vanilla, _) =
+        require_complete(run_scaling_campaign(&vcfg, &args.campaign("fig6/vanilla")));
+    let (prototype, _) = require_complete(run_scaling_campaign(
+        &pcfg,
+        &args.campaign("fig6/prototype"),
+    ));
     let result = fig6(&vanilla, &prototype);
     emit(args.json, &result, || {
         println!(

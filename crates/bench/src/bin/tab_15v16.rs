@@ -2,7 +2,7 @@
 //! the paper's claim that 100 fully-populated prototype nodes beat 100
 //! vanilla nodes running 15 tasks each by 154%.
 
-use pa_bench::{banner, emit, Args, Mode};
+use pa_bench::{banner, emit, require_complete, Args, Mode};
 use pa_simkit::{report, Table};
 use pa_workloads::tab_15v16;
 
@@ -14,7 +14,11 @@ fn main() {
         Mode::Standard => 32,
         Mode::Full => 100,
     };
-    let r = tab_15v16(nodes, args.mode == Mode::Quick);
+    let r = require_complete(tab_15v16(
+        nodes,
+        args.mode == Mode::Quick,
+        &args.campaign("tab_15v16"),
+    ));
     emit(args.json, &r, || {
         let mut t = Table::new(
             format!("Mean Allreduce µs at {nodes} nodes"),

@@ -2,7 +2,7 @@
 //! ticks, improved RT preemption, global daemon queue, co-scheduler) to
 //! the Allreduce improvement.
 
-use pa_bench::{banner, emit, Args, Mode};
+use pa_bench::{banner, emit, require_complete, Args, Mode};
 use pa_simkit::{report, Table};
 use pa_workloads::tab_ablation;
 
@@ -14,7 +14,11 @@ fn main() {
         Mode::Standard => 16,
         Mode::Full => 59,
     };
-    let rows = tab_ablation(nodes, args.mode == Mode::Quick);
+    let rows = require_complete(tab_ablation(
+        nodes,
+        args.mode == Mode::Quick,
+        &args.campaign("tab_ablation"),
+    ));
     emit(args.json, &rows, || {
         let base = rows[0].value;
         let mut t = Table::new(

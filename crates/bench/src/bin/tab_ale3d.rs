@@ -10,13 +10,24 @@ fn main() {
     banner("T-ale3d · ALE3D proxy run time", args.mode);
     let (nodes, spec) = ale3d_scale(args.mode);
     let rows = tab_ale3d(nodes, spec, args.seed);
+    // A proxy run cut off by the simulation horizon is not a
+    // reproduction; report it and exit non-zero after showing the rows.
+    let cut: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.completed)
+        .map(|r| r.label.as_str())
+        .collect();
     emit(args.json, &rows, || {
         let mut t = Table::new(
-            format!("ALE3D proxy at {nodes} nodes x 16", ),
+            format!("ALE3D proxy at {nodes} nodes x 16",),
             &["configuration", "run time s", "completed"],
         );
         for r in &rows {
-            t.row(&[r.label.clone(), report::fnum(r.wall_s, 2), r.completed.to_string()]);
+            t.row(&[
+                r.label.clone(),
+                report::fnum(r.wall_s, 2),
+                r.completed.to_string(),
+            ]);
         }
         print!("{}", t.render());
         let speedup = rows[0].wall_s / rows[1].wall_s;
@@ -25,6 +36,14 @@ fn main() {
             report::fnum(speedup, 2)
         );
     });
+    if !cut.is_empty() {
+        eprintln!(
+            "error: T-ale3d: {} run(s) cut by the horizon: {}",
+            cut.len(),
+            cut.join(", ")
+        );
+        std::process::exit(1);
+    }
 }
 
 fn ale3d_scale(mode: Mode) -> (u32, Ale3dSpec) {

@@ -26,15 +26,36 @@ fn main() {
         Mode::Full => (59, Ale3dSpec::default()),
     };
     let rows = tab_ale3d_io(nodes, spec, args.seed);
+    // A proxy run cut off by the simulation horizon is not a
+    // reproduction; report it and exit non-zero after showing the rows.
+    let cut: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.completed)
+        .map(|r| r.label.as_str())
+        .collect();
     emit(args.json, &rows, || {
         let mut t = Table::new(
             format!("ALE3D proxy I/O configurations at {nodes} nodes x 16"),
             &["configuration", "run time s", "completed"],
         );
         for r in &rows {
-            t.row(&[r.label.clone(), report::fnum(r.wall_s, 2), r.completed.to_string()]);
+            t.row(&[
+                r.label.clone(),
+                report::fnum(r.wall_s, 2),
+                r.completed.to_string(),
+            ]);
         }
         print!("{}", t.render());
-        println!("(paper: naive co-scheduling slowed ALE3D; favored=41 just above mmfsd=40 fixed it)");
+        println!(
+            "(paper: naive co-scheduling slowed ALE3D; favored=41 just above mmfsd=40 fixed it)"
+        );
     });
+    if !cut.is_empty() {
+        eprintln!(
+            "error: T-ale3d-io: {} run(s) cut by the horizon: {}",
+            cut.len(),
+            cut.join(", ")
+        );
+        std::process::exit(1);
+    }
 }

@@ -2,7 +2,7 @@
 //! warns that an over-aggressive favored window starves the node; the
 //! study settled on 90%.
 
-use pa_bench::{banner, emit, Args, Mode};
+use pa_bench::{banner, emit, require_complete, Args, Mode};
 use pa_simkit::{report, Table};
 use pa_workloads::duty_cycle_sweep;
 
@@ -16,7 +16,12 @@ fn main() {
     };
     // Tick-aligned duties for the compressed 1.25 s window.
     let duties = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
-    let rows = duty_cycle_sweep(nodes, &duties, args.mode == Mode::Quick);
+    let rows = require_complete(duty_cycle_sweep(
+        nodes,
+        &duties,
+        args.mode == Mode::Quick,
+        &args.campaign("tab_duty"),
+    ));
     emit(args.json, &rows, || {
         let mut t = Table::new(
             format!("Mean Allreduce µs vs favored duty cycle at {nodes} nodes"),

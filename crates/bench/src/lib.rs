@@ -8,7 +8,11 @@
 //! * `--full`  — the paper-shaped configuration (≥59 nodes; tens of
 //!   minutes for the scaling sweeps);
 //! * `--json`  — machine-readable output instead of tables;
-//! * `--seed N` — override the master seed.
+//! * `--seed N` — override the master seed;
+//! * `--jobs N` — campaign worker threads (results are bit-identical at
+//!   any job count; each DES run is single-threaded);
+//! * `--no-cache` — skip the `results/cache/` result cache entirely;
+//! * `--rerun` — ignore cached entries but refresh them with new runs.
 //!
 //! The default mode is a balanced configuration that reproduces every
 //! qualitative result in a few minutes.
@@ -16,6 +20,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use pa_campaign::{Cache, ExecutorConfig, TruncatedPoints};
 use serde::Serialize;
 
 /// Scale at which to run a regeneration binary.
@@ -38,31 +43,69 @@ pub struct Args {
     pub json: bool,
     /// Master seed.
     pub seed: u64,
+    /// Campaign worker threads.
+    pub jobs: usize,
+    /// Disable the result cache.
+    pub no_cache: bool,
+    /// Ignore cached entries (but refresh them).
+    pub rerun: bool,
 }
 
 impl Args {
     /// Parse `std::env::args`, exiting with usage on error.
     pub fn parse() -> Args {
-        let mut mode = Mode::Standard;
-        let mut json = false;
-        let mut seed = 42u64;
+        let mut args = Args {
+            mode: Mode::Standard,
+            json: false,
+            seed: 42,
+            jobs: 1,
+            no_cache: false,
+            rerun: false,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--quick" => mode = Mode::Quick,
-                "--full" => mode = Mode::Full,
-                "--json" => json = true,
+                "--quick" => args.mode = Mode::Quick,
+                "--full" => args.mode = Mode::Full,
+                "--json" => args.json = true,
                 "--seed" => {
-                    seed = it
+                    args.seed = it
                         .next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage("--seed needs an integer"));
                 }
+                "--jobs" => {
+                    args.jobs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--jobs needs a positive integer"));
+                }
+                "--no-cache" => args.no_cache = true,
+                "--rerun" => args.rerun = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument '{other}'")),
             }
         }
-        Args { mode, json, seed }
+        args
+    }
+
+    /// Build the campaign executor these arguments describe: `--jobs`
+    /// workers, the `results/cache/` content-addressed cache unless
+    /// `--no-cache`, lookups bypassed under `--rerun`. Progress goes to
+    /// stderr so stdout stays byte-identical across cache states and job
+    /// counts.
+    pub fn campaign(&self, label: &str) -> ExecutorConfig {
+        let mut exec = ExecutorConfig::serial(label).with_jobs(self.jobs);
+        exec.progress = true;
+        exec.rerun = self.rerun;
+        if !self.no_cache {
+            match Cache::at(Cache::default_dir()) {
+                Ok(c) => exec = exec.with_cache(c),
+                Err(e) => eprintln!("warning: result cache disabled: {e}"),
+            }
+        }
+        exec
     }
 }
 
@@ -70,8 +113,20 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bin> [--quick|--full] [--json] [--seed N]");
+    eprintln!(
+        "usage: <bin> [--quick|--full] [--json] [--seed N] [--jobs N] [--no-cache] [--rerun]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Unwrap a campaign result, exiting non-zero if a fixed-call-count run
+/// was cut by the simulation horizon (an incomplete reproduction must
+/// not pass silently in scripts or CI).
+pub fn require_complete<T>(r: Result<T, TruncatedPoints>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
 }
 
 /// Print a serializable result as JSON or run the text closure.

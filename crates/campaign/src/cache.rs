@@ -1,0 +1,216 @@
+//! Content-addressed on-disk result cache: one JSON file per point at
+//! `results/cache/<key>.json`, where `<key>` is the spec's content hash.
+//! Invalidation is purely by key: changing any spec field or the schema
+//! version changes the key, so stale entries are never read — only
+//! orphaned (and can be deleted freely).
+
+use crate::spec::PointSpec;
+use pa_core::RunOutput;
+use pa_mpi::OpKind;
+use serde::value::{get, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bump when the meaning of cached fields changes; old entries become
+/// unreachable (different keys) rather than misread.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Whether a point was served from disk or freshly simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from `results/cache`.
+    Hit,
+    /// Simulated this invocation.
+    Miss,
+}
+
+/// The cacheable extract of one run. `RunOutput` itself holds the whole
+/// post-run cluster and is deliberately not serialized; campaigns cache
+/// the scalars the figures and tables consume.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointResult {
+    /// Mean per-rank Allreduce time, µs (the scaling figures' y-axis).
+    pub mean_allreduce_us: f64,
+    /// Simulated job duration, seconds.
+    pub wall_s: f64,
+    /// Did every rank exit before the horizon?
+    pub completed: bool,
+    /// Events the simulator processed (throughput metric input).
+    pub events: u64,
+    /// Driver-specific extra scalars (e.g. p99 for the timer table).
+    pub extra: BTreeMap<String, f64>,
+}
+
+impl PointResult {
+    /// Standard extraction from a finished run.
+    pub fn from_run(out: &RunOutput) -> PointResult {
+        PointResult {
+            mean_allreduce_us: out.mean_allreduce_us(),
+            wall_s: out.wall.as_secs_f64(),
+            completed: out.completed,
+            events: out.events,
+            extra: BTreeMap::new(),
+        }
+    }
+
+    /// Extraction including the global per-call duration summary (what
+    /// the timer table reports).
+    pub fn from_run_with_global_summary(out: &RunOutput) -> PointResult {
+        let s = out
+            .job
+            .recorder
+            .borrow()
+            .global_dur_summary_us(OpKind::Allreduce);
+        let mut r = PointResult::from_run(out);
+        r.extra.insert("global_mean_us".into(), s.mean);
+        r.extra.insert("global_p99_us".into(), s.p99);
+        r.extra.insert("global_max_us".into(), s.max);
+        r
+    }
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Handle on one cache directory.
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Open (creating if needed) a cache at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> io::Result<Cache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Cache { dir })
+    }
+
+    /// The conventional location relative to the repo root.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("results").join("cache")
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// File that does (or would) hold `key`'s entry.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Read a stored result, if a valid entry for `key` exists. Corrupt
+    /// or mismatched entries read as misses, never as wrong data.
+    pub fn lookup(&self, key: &str) -> Option<PointResult> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let value = serde_json::parse(&text).ok()?;
+        let map = value.as_map()?;
+        if get(map, "schema")?.as_u64()? != u64::from(CACHE_SCHEMA_VERSION) {
+            return None;
+        }
+        if get(map, "key")?.as_str()? != key {
+            return None;
+        }
+        PointResult::from_value(get(map, "result")?).ok()
+    }
+
+    /// Store an entry atomically (temp file + rename), so a concurrent
+    /// reader sees either nothing or a complete entry.
+    pub fn store<W: Serialize>(
+        &self,
+        key: &str,
+        spec: &PointSpec<W>,
+        result: &PointResult,
+    ) -> io::Result<()> {
+        let entry = Value::Map(vec![
+            ("schema".into(), CACHE_SCHEMA_VERSION.to_value()),
+            ("key".into(), key.to_value()),
+            ("spec".into(), spec.to_value()),
+            ("result".into(), result.to_value()),
+        ]);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{key}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, entry.to_json_string_pretty() + "\n")?;
+        std::fs::rename(&tmp, self.path_for(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_kernel::SchedOptions;
+    use pa_mpi::MpiConfig;
+    use pa_noise::NoiseProfile;
+
+    fn spec() -> PointSpec<u32> {
+        PointSpec {
+            family: "unit".into(),
+            nodes: 2,
+            tasks_per_node: 4,
+            cpus_per_node: 4,
+            kernel: SchedOptions::vanilla(),
+            cosched: None,
+            noise: NoiseProfile::dedicated(),
+            mpi: MpiConfig::default(),
+            progress: None,
+            workload: 1,
+            seed: 5,
+            horizon: None,
+        }
+    }
+
+    fn result() -> PointResult {
+        let mut extra = BTreeMap::new();
+        extra.insert("global_p99_us".into(), 123.5);
+        PointResult {
+            mean_allreduce_us: 456.25,
+            wall_s: 1.5,
+            completed: true,
+            events: 100_000,
+            extra,
+        }
+    }
+
+    fn tmp_cache(tag: &str) -> Cache {
+        let dir = std::env::temp_dir().join(format!("pa-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Cache::at(dir).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_result_exactly() {
+        let cache = tmp_cache("roundtrip");
+        let s = spec();
+        let key = s.content_key();
+        assert!(cache.lookup(&key).is_none(), "cold cache must miss");
+        cache.store(&key, &s, &result()).unwrap();
+        let back = cache.lookup(&key).expect("stored entry reads back");
+        assert_eq!(back, result());
+        assert_eq!(
+            back.mean_allreduce_us.to_bits(),
+            result().mean_allreduce_us.to_bits()
+        );
+    }
+
+    #[test]
+    fn key_mismatch_and_corruption_read_as_misses() {
+        let cache = tmp_cache("corrupt");
+        let s = spec();
+        let key = s.content_key();
+        cache.store(&key, &s, &result()).unwrap();
+        // An entry stored under the wrong name must not satisfy lookups.
+        let other = "0".repeat(64);
+        std::fs::copy(cache.path_for(&key), cache.path_for(&other)).unwrap();
+        assert!(cache.lookup(&other).is_none());
+        // Truncated JSON reads as a miss, not an error.
+        std::fs::write(cache.path_for(&key), "{\"schema\": 1,").unwrap();
+        assert!(cache.lookup(&key).is_none());
+    }
+}

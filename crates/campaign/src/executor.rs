@@ -1,0 +1,344 @@
+//! The campaign executor: a crossbeam thread pool pulling points from a
+//! shared queue. Each DES run is single-threaded internally and fully
+//! determined by its spec, so results are bit-identical at any `--jobs`;
+//! the executor restores submission order before returning.
+
+use crate::cache::{Cache, PointResult};
+use crate::manifest::{CampaignManifest, CampaignMetrics, ManifestPoint};
+use crate::spec::PointSpec;
+use serde::Serialize;
+use std::fmt;
+use std::time::Instant;
+
+/// How a campaign executes: parallelism, caching, reporting.
+#[derive(Debug)]
+pub struct ExecutorConfig {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Result cache; `None` disables caching entirely.
+    pub cache: Option<Cache>,
+    /// Ignore existing cache entries (but still store fresh results).
+    pub rerun: bool,
+    /// Print per-point progress lines to stderr (stdout stays reserved
+    /// for figure output, which must be byte-identical across runs).
+    pub progress: bool,
+    /// Campaign label, used for progress lines and the manifest name.
+    pub label: String,
+}
+
+impl ExecutorConfig {
+    /// One worker, no cache, no progress — the in-process default used
+    /// by library helpers and tests.
+    pub fn serial(label: impl Into<String>) -> ExecutorConfig {
+        ExecutorConfig {
+            jobs: 1,
+            cache: None,
+            rerun: false,
+            progress: false,
+            label: label.into(),
+        }
+    }
+
+    /// Set the worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> ExecutorConfig {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Attach a cache.
+    pub fn with_cache(mut self, cache: Cache) -> ExecutorConfig {
+        self.cache = Some(cache);
+        self
+    }
+}
+
+/// Everything a campaign produced.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// One result per input spec, in input order.
+    pub results: Vec<PointResult>,
+    /// Invocation statistics.
+    pub metrics: CampaignMetrics,
+    /// Indices of fixed-work points (no horizon override) that were
+    /// nevertheless cut off — each one a failed reproduction.
+    pub truncated: Vec<usize>,
+}
+
+/// Error listing the points a campaign failed to complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruncatedPoints {
+    /// Campaign label.
+    pub label: String,
+    /// Offending point indices.
+    pub indices: Vec<usize>,
+}
+
+impl fmt::Display for TruncatedPoints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "campaign '{}': {} fixed-work point(s) cut by the horizon (indices {:?})",
+            self.label,
+            self.indices.len(),
+            self.indices
+        )
+    }
+}
+
+impl CampaignOutcome {
+    /// Fail if any fixed-work point was cut by the horizon.
+    pub fn ensure_complete(&self, label: &str) -> Result<(), TruncatedPoints> {
+        if self.truncated.is_empty() {
+            Ok(())
+        } else {
+            Err(TruncatedPoints {
+                label: label.to_string(),
+                indices: self.truncated.clone(),
+            })
+        }
+    }
+}
+
+/// Run every spec through `runner`, in parallel, consulting the cache.
+///
+/// `runner` must be a pure function of the spec (the DES guarantees
+/// this: one seed, one single-threaded simulation); under that contract
+/// the returned results are identical for any `jobs` value.
+pub fn run_campaign<W, F>(
+    specs: &[PointSpec<W>],
+    cfg: &ExecutorConfig,
+    runner: F,
+) -> CampaignOutcome
+where
+    W: Serialize + Sync,
+    F: Fn(&PointSpec<W>) -> PointResult + Sync,
+{
+    let started = Instant::now();
+    let total = specs.len();
+    let keys: Vec<String> = specs.iter().map(|s| s.content_key()).collect();
+
+    let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, PointResult, bool)>();
+    for i in 0..total {
+        task_tx.send(i).expect("queue open");
+    }
+    drop(task_tx);
+
+    let jobs = cfg.jobs.max(1).min(total.max(1));
+    let cache = cfg.cache.as_ref();
+    let runner = &runner;
+    let keys_ref = &keys;
+
+    let mut slots: Vec<Option<(PointResult, bool)>> = (0..total).map(|_| None).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..jobs {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            s.spawn(move |_| {
+                while let Ok(i) = task_rx.recv() {
+                    let spec = &specs[i];
+                    let key = &keys_ref[i];
+                    let (result, cached) = match cache {
+                        Some(c) if !cfg.rerun => match c.lookup(key) {
+                            Some(r) => (r, true),
+                            None => {
+                                let r = runner(spec);
+                                let _ = c.store(key, spec, &r);
+                                (r, false)
+                            }
+                        },
+                        Some(c) => {
+                            let r = runner(spec);
+                            let _ = c.store(key, spec, &r);
+                            (r, false)
+                        }
+                        None => (runner(spec), false),
+                    };
+                    if res_tx.send((i, result, cached)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut done = 0usize;
+        while let Ok((i, result, cached)) = res_rx.recv() {
+            done += 1;
+            if cfg.progress {
+                eprintln!(
+                    "  [{}] point {done}/{total}: {} procs seed {} — {} ({:.1} µs)",
+                    cfg.label,
+                    specs[i].procs(),
+                    specs[i].seed,
+                    if cached { "cache hit" } else { "ran" },
+                    result.mean_allreduce_us,
+                );
+            }
+            slots[i] = Some((result, cached));
+        }
+    })
+    .expect("campaign worker panicked");
+
+    let wall_s = started.elapsed().as_secs_f64();
+    let mut results = Vec::with_capacity(total);
+    let mut cache_hits = 0usize;
+    let mut sim_events = 0u64;
+    let mut cached_flags = Vec::with_capacity(total);
+    for slot in slots {
+        let (r, cached) = slot.expect("every point produced a result");
+        if cached {
+            cache_hits += 1;
+        } else {
+            sim_events += r.events;
+        }
+        cached_flags.push(cached);
+        results.push(r);
+    }
+    let truncated: Vec<usize> = specs
+        .iter()
+        .zip(&results)
+        .enumerate()
+        .filter(|(_, (s, r))| s.horizon.is_none() && !r.completed)
+        .map(|(i, _)| i)
+        .collect();
+    let metrics = CampaignMetrics {
+        points_total: total,
+        points_run: total - cache_hits,
+        cache_hits,
+        sim_events,
+        wall_s,
+        events_per_sec: if wall_s > 0.0 {
+            sim_events as f64 / wall_s
+        } else {
+            0.0
+        },
+    };
+    if cfg.progress {
+        eprintln!(
+            "  [{}] {} points ({} cache hits) in {:.2}s — {:.0} events/s",
+            cfg.label, total, cache_hits, wall_s, metrics.events_per_sec
+        );
+    }
+
+    if let Some(c) = cache {
+        let manifest = CampaignManifest {
+            label: cfg.label.clone(),
+            schema: crate::cache::CACHE_SCHEMA_VERSION,
+            points: specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ManifestPoint {
+                    index: i,
+                    key: keys[i].clone(),
+                    family: s.family.clone(),
+                    nodes: s.nodes,
+                    procs: s.procs(),
+                    seed: s.seed,
+                    cached: cached_flags[i],
+                    completed: results[i].completed,
+                    mean_allreduce_us: results[i].mean_allreduce_us,
+                })
+                .collect(),
+            metrics: metrics.clone(),
+        };
+        if let Err(e) = manifest.write(c.dir()) {
+            eprintln!("  [{}] warning: manifest not written: {e}", cfg.label);
+        }
+    }
+
+    CampaignOutcome {
+        results,
+        metrics,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pa_kernel::SchedOptions;
+    use pa_mpi::MpiConfig;
+    use pa_noise::NoiseProfile;
+    use std::collections::BTreeMap;
+
+    fn spec(seed: u64) -> PointSpec<u64> {
+        PointSpec {
+            family: "unit".into(),
+            nodes: 2,
+            tasks_per_node: 2,
+            cpus_per_node: 4,
+            kernel: SchedOptions::vanilla(),
+            cosched: None,
+            noise: NoiseProfile::dedicated(),
+            mpi: MpiConfig::default(),
+            progress: None,
+            workload: seed * 10,
+            seed,
+            horizon: None,
+        }
+    }
+
+    /// A cheap deterministic stand-in for a DES run.
+    fn fake_runner(s: &PointSpec<u64>) -> PointResult {
+        PointResult {
+            mean_allreduce_us: (s.seed * 3 + s.workload) as f64,
+            wall_s: 0.0,
+            completed: s.seed != 99,
+            events: s.seed,
+            extra: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn results_keep_submission_order_at_any_job_count() {
+        let specs: Vec<_> = (0..20).map(spec).collect();
+        let serial = run_campaign(&specs, &ExecutorConfig::serial("t"), fake_runner);
+        let parallel = run_campaign(
+            &specs,
+            &ExecutorConfig::serial("t").with_jobs(4),
+            fake_runner,
+        );
+        assert_eq!(serial.results, parallel.results);
+        assert_eq!(serial.results[7].mean_allreduce_us, 7.0 * 3.0 + 70.0);
+        assert_eq!(serial.metrics.points_total, 20);
+        assert_eq!(serial.metrics.cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_turns_second_run_into_all_hits() {
+        let dir = std::env::temp_dir().join(format!("pa-exec-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let specs: Vec<_> = (0..6).map(spec).collect();
+        let cfg = |rerun| ExecutorConfig {
+            jobs: 3,
+            cache: Some(Cache::at(&dir).unwrap()),
+            rerun,
+            progress: false,
+            label: "cached".into(),
+        };
+        let first = run_campaign(&specs, &cfg(false), fake_runner);
+        assert_eq!(first.metrics.cache_hits, 0);
+        let second = run_campaign(&specs, &cfg(false), fake_runner);
+        assert_eq!(second.metrics.cache_hits, 6);
+        assert_eq!(first.results, second.results);
+        // --rerun bypasses lookups but results stay identical.
+        let third = run_campaign(&specs, &cfg(true), fake_runner);
+        assert_eq!(third.metrics.cache_hits, 0);
+        assert_eq!(first.results, third.results);
+        // The manifest was written alongside the entries.
+        assert!(dir.join("cached.manifest.json").exists());
+    }
+
+    #[test]
+    fn truncated_fixed_work_points_are_flagged() {
+        let mut specs = vec![spec(1), spec(99), spec(3)];
+        let out = run_campaign(&specs, &ExecutorConfig::serial("t"), fake_runner);
+        assert_eq!(out.truncated, vec![1]);
+        assert!(out.ensure_complete("t").is_err());
+        // A horizon-bounded point is allowed to be cut.
+        specs[1].horizon = Some(pa_simkit::SimDur::from_millis(10));
+        let out = run_campaign(&specs, &ExecutorConfig::serial("t"), fake_runner);
+        assert!(out.truncated.is_empty());
+        assert!(out.ensure_complete("t").is_ok());
+    }
+}

@@ -112,11 +112,15 @@ mod tests {
     #[test]
     fn validation() {
         assert!(FabricModel::default().validate().is_ok());
-        let mut bad = FabricModel::default();
-        bad.net_bandwidth = 0.0;
+        let bad = FabricModel {
+            net_bandwidth: 0.0,
+            ..FabricModel::default()
+        };
         assert!(bad.validate().is_err());
-        let mut bad = FabricModel::default();
-        bad.shm_latency = SimDur::from_millis(1);
+        let bad = FabricModel {
+            shm_latency: SimDur::from_millis(1),
+            ..FabricModel::default()
+        };
         assert!(bad.validate().is_err());
     }
 }

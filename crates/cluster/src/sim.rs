@@ -176,8 +176,13 @@ impl ClusterSim {
                 (dst as usize) < self.kernels.len(),
                 "message to nonexistent node {dst}"
             );
-            self.queue
-                .schedule(now + delay, ClusterEvent { node: dst, ev: KernelEvent::Deliver { msg } });
+            self.queue.schedule(
+                now + delay,
+                ClusterEvent {
+                    node: dst,
+                    ev: KernelEvent::Deliver { msg },
+                },
+            );
         }
     }
 
@@ -228,7 +233,10 @@ impl ClusterSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pa_kernel::{Action, CpuId, Endpoint, Message, Prio, Script, SrcSel, TagSel, ThreadSpec, ThreadState, Tid, WaitMode};
+    use pa_kernel::{
+        Action, CpuId, Endpoint, Message, Prio, Script, SrcSel, TagSel, ThreadSpec, ThreadState,
+        Tid, WaitMode,
+    };
     use pa_trace::{HookMask, ThreadClass};
 
     fn two_node_cluster() -> ClusterSim {
@@ -247,7 +255,10 @@ mod tests {
     fn cross_node_ping_pong() {
         let mut sim = two_node_cluster();
         // Node 0 rank sends to node 1 rank, which replies; both then exit.
-        let ep = |node: u32, tid: u32| Endpoint { node, tid: Tid(tid) };
+        let ep = |node: u32, tid: u32| Endpoint {
+            node,
+            tid: Tid(tid),
+        };
         let msg = |src: Endpoint, dst: Endpoint, tag: u64| Message {
             src,
             dst,
@@ -285,10 +296,7 @@ mod tests {
         // Two network hops plus overheads: tens of microseconds.
         assert!(end >= SimTime::from_micros(26), "too fast: {end}");
         assert!(end < SimTime::from_millis(1), "too slow: {end}");
-        assert_eq!(
-            sim.kernel(0).thread_state(Tid(0)),
-            ThreadState::Exited
-        );
+        assert_eq!(sim.kernel(0).thread_state(Tid(0)), ThreadState::Exited);
     }
 
     #[test]
@@ -299,8 +307,7 @@ mod tests {
         };
         let sim = ClusterSim::build(&spec, &SeedSpace::new(1));
         let offsets: Vec<SimDur> = (0..4).map(|n| sim.kernel(n).clock().offset()).collect();
-        let distinct: std::collections::HashSet<u64> =
-            offsets.iter().map(|o| o.nanos()).collect();
+        let distinct: std::collections::HashSet<u64> = offsets.iter().map(|o| o.nanos()).collect();
         assert!(distinct.len() >= 3, "offsets look degenerate: {offsets:?}");
     }
 

@@ -202,10 +202,19 @@ PROD:1002:41:100:10:95
 
     #[test]
     fn bad_lines_rejected() {
-        assert!(AdminTable::parse("BENCH:1001:30:100:5").is_err(), "field count");
+        assert!(
+            AdminTable::parse("BENCH:1001:30:100:5").is_err(),
+            "field count"
+        );
         assert!(AdminTable::parse("BENCH:x:30:100:5:90").is_err(), "uid");
-        assert!(AdminTable::parse("BENCH:1001:200:100:5:90").is_err(), "prio range");
-        assert!(AdminTable::parse("BENCH:1001:30:100:5:150").is_err(), "duty range");
+        assert!(
+            AdminTable::parse("BENCH:1001:200:100:5:90").is_err(),
+            "prio range"
+        );
+        assert!(
+            AdminTable::parse("BENCH:1001:30:100:5:150").is_err(),
+            "duty range"
+        );
         assert!(
             AdminTable::parse("BENCH:1001:110:100:5:90").is_err(),
             "favored must beat unfavored"

@@ -170,7 +170,8 @@ impl CoschedDaemon {
             self.params.adjust_cost + self.params.adjust_cost_per_task * self.tasks.len() as u64,
         ));
         for &t in &self.tasks {
-            self.queue.push_back(Action::SetPriority { target: t, prio });
+            self.queue
+                .push_back(Action::SetPriority { target: t, prio });
         }
         self.adjustments += 1;
     }
@@ -184,7 +185,8 @@ impl CoschedDaemon {
                     // "As soon as a process registers, it is actively
                     // co-scheduled."
                     let prio = self.current_prio(local);
-                    self.queue.push_back(Action::SetPriority { target: tid, prio });
+                    self.queue
+                        .push_back(Action::SetPriority { target: tid, prio });
                 }
             }
             Some(CtrlOp::Detach) if !self.detached => {
@@ -290,11 +292,23 @@ mod tests {
         assert!(!p.in_favored(SimTime::from_millis(4_500)));
         assert!(!p.in_favored(SimTime::from_millis(4_999)));
         assert!(p.in_favored(SimTime::from_secs(5)));
-        assert_eq!(p.next_edge(SimTime::from_secs(0)), SimTime::from_millis(4_500));
-        assert_eq!(p.next_edge(SimTime::from_millis(4_500)), SimTime::from_secs(5));
-        assert_eq!(p.next_edge(SimTime::from_millis(4_700)), SimTime::from_secs(5));
+        assert_eq!(
+            p.next_edge(SimTime::from_secs(0)),
+            SimTime::from_millis(4_500)
+        );
+        assert_eq!(
+            p.next_edge(SimTime::from_millis(4_500)),
+            SimTime::from_secs(5)
+        );
+        assert_eq!(
+            p.next_edge(SimTime::from_millis(4_700)),
+            SimTime::from_secs(5)
+        );
         // Period boundaries land on whole seconds (§4's alignment rule).
-        assert_eq!(p.next_edge(SimTime::from_millis(9_999)).nanos() % 1_000_000_000, 0);
+        assert_eq!(
+            p.next_edge(SimTime::from_millis(9_999)).nanos() % 1_000_000_000,
+            0
+        );
     }
 
     #[test]

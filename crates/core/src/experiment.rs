@@ -28,9 +28,10 @@ use pa_mpi::{
 };
 use pa_simkit::{SeedSpace, SimDur, SimTime};
 use pa_trace::{AttributionReport, CpuTimeline, HookMask, ThreadClass};
+use serde::{Deserialize, Serialize};
 
 /// Co-scheduler deployment options.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CoschedSetup {
     /// Priority-cycling parameters.
     pub params: CoschedParams,
@@ -181,10 +182,7 @@ impl Experiment {
     }
 
     /// Assemble and run. `make_workload` is invoked once per rank.
-    pub fn run(
-        self,
-        make_workload: &mut dyn FnMut(u32) -> Box<dyn RankWorkload>,
-    ) -> RunOutput {
+    pub fn run(self, make_workload: &mut dyn FnMut(u32) -> Box<dyn RankWorkload>) -> RunOutput {
         assert!(
             self.tasks_per_node <= u32::from(self.cpus_per_node),
             "tasks per node exceeds CPUs"
@@ -284,7 +282,10 @@ pub struct RunOutput {
 impl RunOutput {
     /// Mean per-rank Allreduce time in µs (the Figure 3/5 y-axis).
     pub fn mean_allreduce_us(&self) -> f64 {
-        self.job.recorder.borrow().mean_rank_dur_us(OpKind::Allreduce)
+        self.job
+            .recorder
+            .borrow()
+            .mean_rank_dur_us(OpKind::Allreduce)
     }
 
     /// Fraction of total CPU time consumed by interference classes.
@@ -322,12 +323,7 @@ mod tests {
     use pa_trace::HookId;
 
     fn allreduce_workload(n: usize) -> impl FnMut(u32) -> Box<dyn RankWorkload> {
-        move |_rank| {
-            Box::new(OpList::new(vec![
-                MpiOp::Allreduce { bytes: 8 };
-                n
-            ]))
-        }
+        move |_rank| Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 8 }; n]))
     }
 
     #[test]
@@ -340,10 +336,7 @@ mod tests {
             .run(&mut wl);
         assert!(out.completed, "job did not finish");
         assert!(out.mean_allreduce_us() > 0.0);
-        assert_eq!(
-            out.job.recorder.borrow().count(OpKind::Allreduce),
-            16
-        );
+        assert_eq!(out.job.recorder.borrow().count(OpKind::Allreduce), 16);
         out.job
             .recorder
             .borrow()
@@ -387,15 +380,19 @@ mod tests {
     #[test]
     fn cosched_reduces_interference_impact() {
         // With heavy noise, the co-scheduled prototype must beat vanilla
-        // on mean Allreduce time. Small cluster keeps the test quick.
-        let noisy = pa_noise::NoiseProfile::production().without_cron().scaled(3.0);
-        let run = |cosched: bool, kernel: SchedOptions| {
+        // on mean Allreduce time. A single seed at this tiny scale can be
+        // a coin flip, so compare means over a few seeds; the small
+        // cluster keeps the test quick.
+        let noisy = pa_noise::NoiseProfile::production()
+            .without_cron()
+            .scaled(3.0);
+        let run = |cosched: bool, kernel: SchedOptions, seed: u64| {
             let mut wl = allreduce_workload(600);
             let mut e = Experiment::new(2, 4)
                 .with_cpus_per_node(4)
                 .with_kernel(kernel)
                 .with_noise(noisy.clone())
-                .with_seed(13);
+                .with_seed(seed);
             if cosched {
                 e = e.with_cosched(CoschedSetup::default());
             }
@@ -403,8 +400,12 @@ mod tests {
             assert!(out.completed);
             out.mean_allreduce_us()
         };
-        let vanilla = run(false, SchedOptions::vanilla());
-        let proto = run(true, SchedOptions::prototype());
+        let seeds = [13u64, 14, 15];
+        let mean = |cosched: bool, kernel: SchedOptions| {
+            seeds.iter().map(|&s| run(cosched, kernel, s)).sum::<f64>() / seeds.len() as f64
+        };
+        let vanilla = mean(false, SchedOptions::vanilla());
+        let proto = mean(true, SchedOptions::prototype());
         assert!(
             proto < vanilla,
             "prototype+cosched ({proto:.1}µs) should beat vanilla ({vanilla:.1}µs)"

@@ -28,8 +28,8 @@ pub mod schedtune;
 
 pub use admin::{AdminTable, PriorityGrant, PriorityRecord};
 pub use cosched::{CoschedDaemon, CoschedParams};
-pub use schedtune::{render as schedtune_render, schedtune};
 pub use experiment::{CoschedSetup, Experiment, RunOutput};
+pub use schedtune::{render as schedtune_render, schedtune};
 
 // The two kernels the paper compares, re-exported for discoverability.
 pub use pa_kernel::SchedOptions;

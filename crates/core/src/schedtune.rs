@@ -165,6 +165,10 @@ mod tests {
     fn partial_overrides_keep_the_rest() {
         let opts = schedtune(SchedOptions::prototype(), "bigtick=1").unwrap();
         assert_eq!(opts.big_tick, 1);
-        assert_eq!(opts.preempt, PreemptMode::RtIpiImproved, "unrelated options kept");
+        assert_eq!(
+            opts.preempt,
+            PreemptMode::RtIpiImproved,
+            "unrelated options kept"
+        );
     }
 }

@@ -39,7 +39,7 @@ pub struct IoServiceModel {
 impl Default for IoServiceModel {
     fn default() -> Self {
         IoServiceModel {
-            per_request_ns: 200_000,   // 200 µs
+            per_request_ns: 200_000,    // 200 µs
             per_byte_ns: 0.25e-3 * 1e3, // 0.25 ns/byte ≈ 1 µs per 4 KiB
         }
     }

@@ -32,7 +32,9 @@ use crate::msg::{Mailbox, Message, SrcSel, TagSel};
 use crate::options::SchedOptions;
 use crate::program::{Action, Program, StepCtx, WaitMode};
 use crate::runq::ReadyQueue;
-use crate::types::{CpuId, DaemonQueuePolicy, PreemptMode, Prio, QueueDiscipline, ThreadState, Tid};
+use crate::types::{
+    CpuId, DaemonQueuePolicy, PreemptMode, Prio, QueueDiscipline, ThreadState, Tid,
+};
 use pa_simkit::{SimDur, SimRng, SimTime};
 use pa_trace::{HookId, ThreadClass, TraceBuffer};
 use std::collections::{BTreeMap, VecDeque};
@@ -357,7 +359,8 @@ impl Kernel {
         if spec.class == ThreadClass::App {
             self.app_alive += 1;
         }
-        self.trace.register_thread(tid.0, spec.name.clone(), spec.class);
+        self.trace
+            .register_thread(tid.0, spec.name.clone(), spec.class);
         self.threads.push(ThreadSlot {
             name: spec.name,
             class: spec.class,
@@ -415,7 +418,8 @@ impl Kernel {
         for c in 0..self.ncpus {
             let phase = self.opts.tick_phase(c, self.ncpus);
             let first = self.clock.next_local_boundary(now, period, phase);
-            fx.schedule.push((first, KernelEvent::Tick { cpu: CpuId(c) }));
+            fx.schedule
+                .push((first, KernelEvent::Tick { cpu: CpuId(c) }));
         }
         for i in 0..self.interrupt_sources.len() {
             let mean = self.interrupt_sources[i].spec.mean_interval;
@@ -510,7 +514,8 @@ impl Kernel {
         steal += self.opts.costs.callout_cost * woken.len() as u64;
 
         let running = self.cpus[ci].running.map_or(0, |t| t.0);
-        self.trace.emit(now, cpu.0, HookId::Tick, running, steal.nanos());
+        self.trace
+            .emit(now, cpu.0, HookId::Tick, running, steal.nanos());
         if self.cpus[ci].seg_end.is_some() {
             self.cpus[ci].debt += steal;
         }
@@ -602,31 +607,36 @@ impl Kernel {
         slot.mailbox.deliver(msg);
         match (&slot.cont, slot.state) {
             (&Cont::PollWait { tag, src }, ThreadState::Running)
-                if slot.mailbox.has_match(tag, src) => {
-                    // Find the poller's CPU and schedule the notice.
-                    let cpu = self
-                        .cpus
-                        .iter()
-                        .position(|c| c.running == Some(tid))
-                        .expect("running thread must occupy a CPU");
-                    let token = self.cpus[cpu].token;
-                    fx.schedule.push((
-                        now + poll_detect,
-                        KernelEvent::PollNotice {
-                            cpu: CpuId(cpu as u8),
-                            token,
-                        },
-                    ));
-                }
+                if slot.mailbox.has_match(tag, src) =>
+            {
+                // Find the poller's CPU and schedule the notice.
+                let cpu = self
+                    .cpus
+                    .iter()
+                    .position(|c| c.running == Some(tid))
+                    .expect("running thread must occupy a CPU");
+                let token = self.cpus[cpu].token;
+                fx.schedule.push((
+                    now + poll_detect,
+                    KernelEvent::PollNotice {
+                        cpu: CpuId(cpu as u8),
+                        token,
+                    },
+                ));
+            }
             (&Cont::BlockedRecv { tag, src }, ThreadState::Blocked)
-                if slot.mailbox.has_match(tag, src) => {
-                    // Message wakeups are interrupt-driven (not callouts).
-                    let m = slot.mailbox.take_match(tag, src).expect("match just checked");
-                    slot.in_msg = Some(m);
-                    slot.cont = Cont::FinishRecv;
-                    slot.remaining = recv_cost;
-                    self.wake(tid, now, fx);
-                }
+                if slot.mailbox.has_match(tag, src) =>
+            {
+                // Message wakeups are interrupt-driven (not callouts).
+                let m = slot
+                    .mailbox
+                    .take_match(tag, src)
+                    .expect("match just checked");
+                slot.in_msg = Some(m);
+                slot.cont = Cont::FinishRecv;
+                slot.remaining = recv_cost;
+                self.wake(tid, now, fx);
+            }
             _ => {} // queued for a future Recv
         }
     }
@@ -639,7 +649,9 @@ impl Kernel {
             let burst_max = self.interrupt_sources[source].spec.burst_max;
             let itid = self.interrupt_sources[source].itid;
             let cpu = fixed.unwrap_or_else(|| CpuId(self.rng.range(0, u64::from(nc)) as u8));
-            let dur = self.rng.dur_range(burst_min, burst_max + SimDur::from_nanos(1));
+            let dur = self
+                .rng
+                .dur_range(burst_min, burst_max + SimDur::from_nanos(1));
             (cpu, dur, itid)
         };
         let ci = cpu.0 as usize;
@@ -814,7 +826,10 @@ impl Kernel {
                 fx.outbound.push(msg);
             }
             Cont::FinishRecv => {
-                let tag = self.threads[tid.0 as usize].in_msg.as_ref().map_or(0, |m| m.tag);
+                let tag = self.threads[tid.0 as usize]
+                    .in_msg
+                    .as_ref()
+                    .map_or(0, |m| m.tag);
                 self.trace.emit(now, cpu.0, HookId::MsgRecv, tid.0, tag);
             }
             Cont::Step => {}
@@ -1096,7 +1111,9 @@ impl Kernel {
         };
         let Some(victim) = victim else { return };
         let run_prio = {
-            let r = self.cpus[victim.0 as usize].running.expect("victim is busy");
+            let r = self.cpus[victim.0 as usize]
+                .running
+                .expect("victim is busy");
             self.threads[r.0 as usize].prio
         };
         if prio.beats(run_prio) {
@@ -1116,18 +1133,20 @@ impl Kernel {
                 // fixed).
                 if !self.ipi_in_flight {
                     self.ipi_in_flight = true;
-                    let lat = self
-                        .rng
-                        .dur_range(self.opts.costs.ipi_latency_min, self.opts.costs.ipi_latency_max);
+                    let lat = self.rng.dur_range(
+                        self.opts.costs.ipi_latency_min,
+                        self.opts.costs.ipi_latency_max,
+                    );
                     fx.schedule.push((now + lat, KernelEvent::Ipi { cpu }));
                 }
             }
             PreemptMode::RtIpiImproved => {
                 if !self.cpus[cpu.0 as usize].ipi_pending {
                     self.cpus[cpu.0 as usize].ipi_pending = true;
-                    let lat = self
-                        .rng
-                        .dur_range(self.opts.costs.ipi_latency_min, self.opts.costs.ipi_latency_max);
+                    let lat = self.rng.dur_range(
+                        self.opts.costs.ipi_latency_min,
+                        self.opts.costs.ipi_latency_max,
+                    );
                     fx.schedule.push((now + lat, KernelEvent::Ipi { cpu }));
                 }
             }
@@ -1161,8 +1180,13 @@ impl Kernel {
             return;
         }
         self.threads[target.0 as usize].prio = prio;
-        self.trace
-            .emit(now, u8::MAX, HookId::PrioChange, target.0, u64::from(prio.0));
+        self.trace.emit(
+            now,
+            u8::MAX,
+            HookId::PrioChange,
+            target.0,
+            u64::from(prio.0),
+        );
         match self.threads[target.0 as usize].state {
             ThreadState::Ready => {
                 // Re-key in its queue, then re-run placement (forward

@@ -44,8 +44,8 @@ pub use options::{CostModel, SchedOptions};
 pub use program::{Action, PeriodicLoop, Program, Script, StepCtx, WaitMode};
 pub use runq::ReadyQueue;
 pub use solo::SoloRunner;
-pub use types::{CpuId, DaemonQueuePolicy, PreemptMode, Prio, QueueDiscipline, ThreadState, Tid};
 pub use types::TickAlign;
+pub use types::{CpuId, DaemonQueuePolicy, PreemptMode, Prio, QueueDiscipline, ThreadState, Tid};
 
 #[cfg(test)]
 mod tests {
@@ -54,7 +54,14 @@ mod tests {
     use pa_trace::{HookId, HookMask, ThreadClass};
 
     fn mk_kernel(ncpus: u8, opts: SchedOptions) -> Kernel {
-        let mut k = Kernel::new(0, ncpus, opts, ClockModel::synced(), SimRng::from_seed(7), 1 << 16);
+        let mut k = Kernel::new(
+            0,
+            ncpus,
+            opts,
+            ClockModel::synced(),
+            SimRng::from_seed(7),
+            1 << 16,
+        );
         k.trace_mut().set_mask(HookMask::ALL);
         k
     }
@@ -160,8 +167,14 @@ mod tests {
             Box::new(Script::new(vec![
                 Action::Compute(SimDur::from_millis(3)),
                 Action::Send(Message {
-                    src: Endpoint { node: 0, tid: Tid(0) },
-                    dst: Endpoint { node: 0, tid: Tid(1) },
+                    src: Endpoint {
+                        node: 0,
+                        tid: Tid(0),
+                    },
+                    dst: Endpoint {
+                        node: 0,
+                        tid: Tid(1),
+                    },
                     tag: 1,
                     bytes: 8,
                     sent_at: SimTime::ZERO,
@@ -329,14 +342,20 @@ mod tests {
             }
             let mut daemons = Vec::new();
             for d in 0..2 {
-                daemons.push(k.spawn(
-                    ThreadSpec::new(format!("d{d}"), ThreadClass::Daemon, Prio::DAEMON_OBSERVED)
+                daemons.push(
+                    k.spawn(
+                        ThreadSpec::new(
+                            format!("d{d}"),
+                            ThreadClass::Daemon,
+                            Prio::DAEMON_OBSERVED,
+                        )
                         .on_cpu(CpuId(0)),
-                    Box::new(Script::new(vec![
-                        Action::SleepUntil(SimTime::from_millis(15)),
-                        Action::Compute(SimDur::from_millis(4)),
-                    ])),
-                ));
+                        Box::new(Script::new(vec![
+                            Action::SleepUntil(SimTime::from_millis(15)),
+                            Action::Compute(SimDur::from_millis(4)),
+                        ])),
+                    ),
+                );
             }
             let mut r = SoloRunner::new(k);
             r.boot();
@@ -381,8 +400,14 @@ mod tests {
         let mut fx = Effects::new();
         r.kernel.deliver_now(
             Message {
-                src: Endpoint { node: 0, tid: Tid(50) },
-                dst: Endpoint { node: 0, tid: Tid(0) },
+                src: Endpoint {
+                    node: 0,
+                    tid: Tid(50),
+                },
+                dst: Endpoint {
+                    node: 0,
+                    tid: Tid(0),
+                },
                 tag: 7,
                 bytes: 8,
                 sent_at: SimTime::from_millis(1),
@@ -418,8 +443,14 @@ mod tests {
             Box::new(Script::new(vec![
                 Action::Compute(SimDur::from_micros(500)),
                 Action::Send(Message {
-                    src: Endpoint { node: 0, tid: Tid(1) },
-                    dst: Endpoint { node: 0, tid: Tid(0) },
+                    src: Endpoint {
+                        node: 0,
+                        tid: Tid(1),
+                    },
+                    dst: Endpoint {
+                        node: 0,
+                        tid: Tid(0),
+                    },
                     tag: 9,
                     bytes: 8,
                     sent_at: SimTime::ZERO,
@@ -594,7 +625,10 @@ mod tests {
         let now = r.now();
         r.kernel.deliver_now(
             Message {
-                src: Endpoint { node: 0, tid: Tid(9) },
+                src: Endpoint {
+                    node: 0,
+                    tid: Tid(9),
+                },
                 dst: Endpoint { node: 0, tid: t },
                 tag: 1,
                 bytes: 8,

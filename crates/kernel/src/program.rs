@@ -229,10 +229,7 @@ mod tests {
     #[test]
     fn script_plays_actions_then_exits() {
         let mut io = VecDeque::new();
-        let mut s = Script::new(vec![
-            Action::Compute(SimDur::from_micros(5)),
-            Action::Yield,
-        ]);
+        let mut s = Script::new(vec![Action::Compute(SimDur::from_micros(5)), Action::Yield]);
         let mut c = ctx(&mut io);
         assert_eq!(s.step(&mut c), Action::Compute(SimDur::from_micros(5)));
         assert_eq!(s.step(&mut c), Action::Yield);
@@ -260,8 +257,14 @@ mod tests {
         let mut io = VecDeque::new();
         let mut c = ctx(&mut io);
         c.received = Some(Message {
-            src: crate::msg::Endpoint { node: 0, tid: Tid(2) },
-            dst: crate::msg::Endpoint { node: 0, tid: Tid(1) },
+            src: crate::msg::Endpoint {
+                node: 0,
+                tid: Tid(2),
+            },
+            dst: crate::msg::Endpoint {
+                node: 0,
+                tid: Tid(1),
+            },
             tag: 5,
             bytes: 8,
             sent_at: SimTime::ZERO,

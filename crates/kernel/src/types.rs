@@ -138,7 +138,12 @@ mod tests {
             Prio::IDLE,
         ];
         for w in chain.windows(2) {
-            assert!(w[0].0 < w[1].0, "{:?} should be more favored than {:?}", w[0], w[1]);
+            assert!(
+                w[0].0 < w[1].0,
+                "{:?} should be more favored than {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 

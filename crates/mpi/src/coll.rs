@@ -203,7 +203,10 @@ pub fn recursive_doubling_allreduce(rank: u32, n: u32) -> Vec<CollStep> {
                 partner_active + rem
             };
             let phase = 1 + k;
-            steps.push(CollStep::Send { peer: partner, phase });
+            steps.push(CollStep::Send {
+                peer: partner,
+                phase,
+            });
             steps.push(CollStep::Recv {
                 peer: partner,
                 phase,
@@ -264,7 +267,10 @@ pub fn ring_allgather(rank: u32, n: u32) -> Vec<CollStep> {
     let right = (rank + 1) % n;
     let left = (rank + n - 1) % n;
     for k in 0..(n - 1) as u16 {
-        steps.push(CollStep::Send { peer: right, phase: k });
+        steps.push(CollStep::Send {
+            peer: right,
+            phase: k,
+        });
         steps.push(CollStep::Recv {
             peer: left,
             phase: k,
@@ -285,7 +291,10 @@ pub fn recursive_doubling_allgather(rank: u32, n: u32) -> Option<Vec<CollStep>> 
     let rounds = n.trailing_zeros() as u16;
     for k in 0..rounds {
         let partner = rank ^ (1 << k);
-        steps.push(CollStep::Send { peer: partner, phase: k });
+        steps.push(CollStep::Send {
+            peer: partner,
+            phase: k,
+        });
         steps.push(CollStep::Recv {
             peer: partner,
             phase: k,
@@ -343,9 +352,15 @@ mod tests {
                             pc[r] += 1;
                             progressed = true;
                         }
-                        CollStep::Recv { peer, phase, reduce } => {
+                        CollStep::Recv {
+                            peer,
+                            phase,
+                            reduce,
+                        } => {
                             let key = (peer, r as u32, phase);
-                            let Some(q) = in_flight.get_mut(&key) else { break };
+                            let Some(q) = in_flight.get_mut(&key) else {
+                                break;
+                            };
                             let Some(v) = q.pop_front() else { break };
                             if reduce {
                                 values[r].extend(v);
@@ -369,8 +384,7 @@ mod tests {
 
     fn check_allreduce(n: u32, f: fn(u32, u32) -> Vec<CollStep>) {
         let schedules: Vec<_> = (0..n).map(|r| f(r, n)).collect();
-        let result = simulate(&schedules)
-            .unwrap_or_else(|| panic!("deadlock at n={n}"));
+        let result = simulate(&schedules).unwrap_or_else(|| panic!("deadlock at n={n}"));
         let full: HashSet<u32> = (0..n).collect();
         for (r, v) in result.iter().enumerate() {
             assert_eq!(v, &full, "rank {r} of {n} missing contributions");

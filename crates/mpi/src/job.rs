@@ -101,12 +101,8 @@ pub fn install_job(
                 spec.mpi,
             );
             let tid = kernel.spawn(
-                ThreadSpec::new(
-                    format!("mpi_rank_{rank}"),
-                    ThreadClass::App,
-                    spec.rank_prio,
-                )
-                .on_cpu(CpuId(local as u8)),
+                ThreadSpec::new(format!("mpi_rank_{rank}"), ThreadClass::App, spec.rank_prio)
+                    .on_cpu(CpuId(local as u8)),
                 Box::new(program),
             );
             rank_tids.push(Endpoint { node, tid });
@@ -114,12 +110,8 @@ pub fn install_job(
                 let rng = seeds.stream_at("mpi/timer", u64::from(node), u64::from(local));
                 let phase = timer_phase.expect("phase drawn when progress is set");
                 let ttid: Tid = kernel.spawn(
-                    ThreadSpec::new(
-                        format!("mpi_timer_{rank}"),
-                        ThreadClass::MpiAux,
-                        aux_prio,
-                    )
-                    .on_cpu(CpuId(local as u8)),
+                    ThreadSpec::new(format!("mpi_timer_{rank}"), ThreadClass::MpiAux, aux_prio)
+                        .on_cpu(CpuId(local as u8)),
                     Box::new(ProgressThread::with_phase(ps, phase, rng)),
                 );
                 timer_tids.push(Endpoint { node, tid: ttid });
@@ -230,9 +222,7 @@ mod tests {
             fresh_layout(),
             &spec,
             &SeedSpace::new(7),
-            &mut |_r| {
-                Box::new(RingExchange { left: 2 })
-            },
+            &mut |_r| Box::new(RingExchange { left: 2 }),
         );
         sim.boot();
         sim.run_until_apps_done(SimTime::from_secs(1));

@@ -123,10 +123,7 @@ mod tests {
     #[test]
     fn block_layout_queries() {
         let mut l = JobLayout::default();
-        l.set_ranks(
-            vec![ep(0, 1), ep(0, 2), ep(1, 1), ep(1, 2)],
-            2,
-        );
+        l.set_ranks(vec![ep(0, 1), ep(0, 2), ep(1, 1), ep(1, 2)], 2);
         assert_eq!(l.nranks(), 4);
         assert_eq!(l.tasks_per_node(), 2);
         assert_eq!(l.endpoint(2), ep(1, 1));

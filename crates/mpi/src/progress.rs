@@ -127,7 +127,10 @@ mod tests {
         k.trace_mut().set_mask(HookMask::NONE);
         let tid = k.spawn(
             ThreadSpec::new("mpi_timer", ThreadClass::MpiAux, Prio(85)).on_cpu(CpuId(0)),
-            Box::new(ProgressThread::new(ProgressSpec::default(), SimRng::from_seed(2))),
+            Box::new(ProgressThread::new(
+                ProgressSpec::default(),
+                SimRng::from_seed(2),
+            )),
         );
         let mut r = SoloRunner::new(k);
         r.boot();
@@ -163,6 +166,9 @@ mod tests {
         r.run_until(SimTime::from_secs(4));
         // At most the single boot-time burst.
         let t = r.kernel.thread_cpu_time(tid);
-        assert!(t <= SimDur::from_micros(600), "mitigated thread consumed {t}");
+        assert!(
+            t <= SimDur::from_micros(600),
+            "mitigated thread consumed {t}"
+        );
     }
 }

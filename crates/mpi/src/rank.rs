@@ -233,7 +233,11 @@ impl RankProgram {
                         payload: 0,
                     }));
                 }
-                CollStep::Recv { peer, phase, reduce } => {
+                CollStep::Recv {
+                    peer,
+                    phase,
+                    reduce,
+                } => {
                     self.queue.push_back(Action::Recv {
                         tag: TagSel::Exact(coll_tag(seq, phase)),
                         src: SrcSel::Exact(layout.endpoint(peer)),

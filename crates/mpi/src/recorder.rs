@@ -277,7 +277,13 @@ mod tests {
     fn summary_of_global_durations() {
         let mut r = RunRecorder::new();
         for (i, d) in [300u64, 400, 500].iter().enumerate() {
-            r.record(0, i as u64, OpKind::Allreduce, t(1000 * i as u64), t(1000 * i as u64 + d));
+            r.record(
+                0,
+                i as u64,
+                OpKind::Allreduce,
+                t(1000 * i as u64),
+                t(1000 * i as u64 + d),
+            );
         }
         let s = r.global_dur_summary_us(OpKind::Allreduce);
         assert_eq!(s.count, 3);

@@ -106,7 +106,8 @@ impl Program for CronJob {
             // Cron fires on local-clock boundaries (the same schedule on
             // every node, modulo clock offsets) — no per-node randomness.
             return Action::SleepUntil(
-                ctx.local_now.next_boundary(self.spec.period, self.spec.phase),
+                ctx.local_now
+                    .next_boundary(self.spec.period, self.spec.phase),
             );
         }
         self.remaining_components -= 1;
@@ -239,7 +240,10 @@ mod tests {
         let offset = fire_time(7);
         // The offset node's local 2s boundary is 7ms *earlier* in global
         // time; both wakes quantize to the node's tick grid.
-        assert!(synced > offset, "offset node should fire earlier: {synced} vs {offset}");
+        assert!(
+            synced > offset,
+            "offset node should fire earlier: {synced} vs {offset}"
+        );
         let gap = synced - offset;
         assert!(
             gap <= SimDur::from_millis(17),

@@ -42,7 +42,12 @@ pub struct DaemonSpec {
 
 impl DaemonSpec {
     /// A deterministic daemon (no burst spread, no page faults).
-    pub fn simple(name: impl Into<String>, prio: Prio, period: SimDur, burst: SimDur) -> DaemonSpec {
+    pub fn simple(
+        name: impl Into<String>,
+        prio: Prio,
+        period: SimDur,
+        burst: SimDur,
+    ) -> DaemonSpec {
         DaemonSpec {
             name: name.into(),
             prio,
@@ -125,7 +130,8 @@ impl Program for DaemonProgram {
         }
         self.fired = true;
         let mut burst = if self.spec.burst_sigma > 0.0 {
-            self.rng.lognormal_dur(self.spec.burst_median, self.spec.burst_sigma)
+            self.rng
+                .lognormal_dur(self.spec.burst_median, self.spec.burst_sigma)
         } else {
             self.spec.burst_median
         };
@@ -150,7 +156,7 @@ impl Program for DaemonProgram {
 mod tests {
     use super::*;
     use pa_kernel::{ClockModel, CpuId, Kernel, SchedOptions, SoloRunner, ThreadSpec};
-    use pa_simkit::{SimTime};
+    use pa_simkit::SimTime;
     use pa_trace::{HookMask, ThreadClass};
 
     fn spec_1ms_every_100ms() -> DaemonSpec {
@@ -245,6 +251,9 @@ mod tests {
         assert!(pf >= 4, "expected page-fault markers, got {pf}");
         // Burst inflated: ≥4ms per wakeup.
         let t = r.kernel.thread_cpu_time(tid);
-        assert!(t >= SimDur::from_millis(4 * pf as u64 - 4), "cpu time {t} for {pf} fires");
+        assert!(
+            t >= SimDur::from_millis(4 * pf as u64 - 4),
+            "cpu time {t} for {pf} fires"
+        );
     }
 }

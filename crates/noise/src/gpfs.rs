@@ -278,12 +278,18 @@ mod server_tests {
             1 << 14,
         );
         k.trace_mut().set_mask(HookMask::ALL);
-        let server_ep = Endpoint { node: 0, tid: Tid(1) };
+        let server_ep = Endpoint {
+            node: 0,
+            tid: Tid(1),
+        };
         let app = k.spawn(
             ThreadSpec::new("app", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
             Box::new(Script::new(vec![
                 A::Send(Message {
-                    src: Endpoint { node: 0, tid: Tid(0) },
+                    src: Endpoint {
+                        node: 0,
+                        tid: Tid(0),
+                    },
                     dst: server_ep,
                     tag: ioproto::req_tag(7),
                     bytes: 64,
@@ -322,14 +328,20 @@ mod server_tests {
             1 << 14,
         );
         k.trace_mut().set_mask(HookMask::NONE);
-        let server_ep = Endpoint { node: 0, tid: Tid(2) };
+        let server_ep = Endpoint {
+            node: 0,
+            tid: Tid(2),
+        };
         for i in 0..2u32 {
             k.spawn(
                 ThreadSpec::new(format!("app{i}"), ThreadClass::App, Prio::USER)
                     .on_cpu(CpuId(i as u8)),
                 Box::new(Script::new(vec![
                     A::Send(Message {
-                        src: Endpoint { node: 0, tid: Tid(i) },
+                        src: Endpoint {
+                            node: 0,
+                            tid: Tid(i),
+                        },
                         dst: server_ep,
                         tag: ioproto::req_tag(u64::from(i)),
                         bytes: 64,

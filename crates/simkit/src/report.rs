@@ -21,7 +21,7 @@ impl Table {
         Table {
             title: title.into(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
@@ -73,7 +73,11 @@ impl Table {
                 let cell = &cells[i];
                 let pad = widths[i] - cell.chars().count();
                 // Right-align numeric-looking cells, left-align the rest.
-                if cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+') {
+                if cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-' || c == '+')
+                {
                     s.push_str(&" ".repeat(pad));
                     s.push_str(cell);
                 } else {
@@ -175,7 +179,7 @@ mod tests {
 
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(3.17159, 2), "3.17");
         assert_eq!(fnum(1520.666, 1), "1520.7");
     }
 

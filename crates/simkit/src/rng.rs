@@ -44,7 +44,10 @@ impl SeedSpace {
         }
         // splitmix64-style finalizer over (master, label-hash) so that
         // nearby seeds and labels land far apart in seed space.
-        let mut z = self.master.wrapping_add(h.rotate_left(17)).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self
+            .master
+            .wrapping_add(h.rotate_left(17))
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
@@ -102,7 +105,10 @@ impl SimRng {
     ///
     /// Used for compute-phase imbalance and daemon burst variation.
     pub fn jitter(&mut self, base: SimDur, frac: f64) -> SimDur {
-        assert!((0.0..=1.0).contains(&frac), "jitter fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "jitter fraction must be in [0,1]"
+        );
         let k = 1.0 + frac * (2.0 * self.unit() - 1.0);
         base.mul_f64(k)
     }
@@ -159,7 +165,9 @@ mod tests {
         let s = SeedSpace::new(42);
         let mut ra = s.stream("daemon/0/1");
         let mut rb = s.stream("daemon/0/2");
-        let same = (0..64).filter(|_| ra.range(0, 1000) == rb.range(0, 1000)).count();
+        let same = (0..64)
+            .filter(|_| ra.range(0, 1000) == rb.range(0, 1000))
+            .count();
         assert!(same < 8, "streams look correlated: {same}/64 equal draws");
     }
 
@@ -167,7 +175,9 @@ mod tests {
     fn different_masters_decorrelate() {
         let mut ra = SeedSpace::new(1).stream("x");
         let mut rb = SeedSpace::new(2).stream("x");
-        let same = (0..64).filter(|_| ra.range(0, 1000) == rb.range(0, 1000)).count();
+        let same = (0..64)
+            .filter(|_| ra.range(0, 1000) == rb.range(0, 1000))
+            .count();
         assert!(same < 8);
     }
 
@@ -199,14 +209,19 @@ mod tests {
         let n = 20_000;
         let total: f64 = (0..n).map(|_| r.exp_dur(mean).as_micros_f64()).sum();
         let observed = total / n as f64;
-        assert!((observed - 500.0).abs() < 25.0, "mean {observed} too far from 500");
+        assert!(
+            (observed - 500.0).abs() < 25.0,
+            "mean {observed} too far from 500"
+        );
     }
 
     #[test]
     fn lognormal_median_is_close() {
         let mut r = SimRng::from_seed(4);
         let median = SimDur::from_micros(200);
-        let mut xs: Vec<f64> = (0..10_001).map(|_| r.lognormal_dur(median, 0.5).as_micros_f64()).collect();
+        let mut xs: Vec<f64> = (0..10_001)
+            .map(|_| r.lognormal_dur(median, 0.5).as_micros_f64())
+            .collect();
         xs.sort_by(f64::total_cmp);
         let med = xs[xs.len() / 2];
         assert!((med - 200.0).abs() < 20.0, "median {med} too far from 200");
@@ -228,6 +243,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should not stay sorted");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements should not stay sorted"
+        );
     }
 }

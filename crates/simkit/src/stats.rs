@@ -216,8 +216,16 @@ pub fn linfit(points: &[(f64, f64)]) -> LineFit {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    LineFit { slope, intercept, r2 }
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LineFit {
+        slope,
+        intercept,
+        r2,
+    }
 }
 
 /// A fixed-width histogram for quick-look distributions in reports.
@@ -358,7 +366,9 @@ mod tests {
 
     #[test]
     fn linfit_recovers_exact_line() {
-        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 0.7 * i as f64 + 166.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64, 0.7 * i as f64 + 166.0))
+            .collect();
         let f = linfit(&pts);
         assert!((f.slope - 0.7).abs() < 1e-9);
         assert!((f.intercept - 166.0).abs() < 1e-9);

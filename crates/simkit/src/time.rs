@@ -13,11 +13,15 @@ use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 use serde::{Deserialize, Serialize};
 
 /// An instant on the simulation timeline, in nanoseconds since the epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 /// A span of simulation time, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDur(pub u64);
 
 impl SimTime {
@@ -124,12 +128,18 @@ impl SimDur {
     }
     /// Duration from fractional microseconds (truncating to ns).
     pub fn from_micros_f64(us: f64) -> Self {
-        assert!(us >= 0.0 && us.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            us >= 0.0 && us.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDur((us * 1e3) as u64)
     }
     /// Duration from fractional seconds (truncating to ns).
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDur((s * 1e9) as u64)
     }
 
@@ -165,7 +175,10 @@ impl SimDur {
 
     /// Scale by a non-negative float (used for duty cycles and jitter).
     pub fn mul_f64(self, k: f64) -> SimDur {
-        assert!(k >= 0.0 && k.is_finite(), "scale factor must be finite and non-negative");
+        assert!(
+            k >= 0.0 && k.is_finite(),
+            "scale factor must be finite and non-negative"
+        );
         SimDur((self.0 as f64 * k) as u64)
     }
 }

@@ -57,7 +57,10 @@ impl CpuTimeline {
                 }
                 HookId::Undispatch => {
                     if let Some((tid, start)) = open.remove(&ev.cpu) {
-                        debug_assert_eq!(tid, ev.tid, "undispatch for a thread that was not running");
+                        debug_assert_eq!(
+                            tid, ev.tid,
+                            "undispatch for a thread that was not running"
+                        );
                         segments.push(Segment {
                             cpu: ev.cpu,
                             tid,

@@ -98,7 +98,10 @@ impl TraceBuffer {
 
     /// Class of `tid` (Kernel if unregistered).
     pub fn thread_class(&self, tid: u32) -> ThreadClass {
-        self.threads.get(&tid).map(|m| m.class).unwrap_or(ThreadClass::Kernel)
+        self.threads
+            .get(&tid)
+            .map(|m| m.class)
+            .unwrap_or(ThreadClass::Kernel)
     }
 
     /// Record an event if its hook is enabled.
@@ -135,7 +138,9 @@ impl TraceBuffer {
 
     /// Retained events within `[start, end)`.
     pub fn events_in(&self, start: SimTime, end: SimTime) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.time >= start && e.time < end)
+        self.events
+            .iter()
+            .filter(move |e| e.time >= start && e.time < end)
     }
 
     /// Number of retained events.

@@ -90,7 +90,8 @@ impl RankWorkload for AggregateTrace {
         });
         if !self.spec.inter_compute.is_zero() {
             self.pending.push(MpiOp::Compute(
-                self.rng.jitter(self.spec.inter_compute, self.spec.compute_jitter),
+                self.rng
+                    .jitter(self.spec.inter_compute, self.spec.compute_jitter),
             ));
         }
         if self.spec.marker_interval > 0 && i % self.spec.marker_interval == 0 {

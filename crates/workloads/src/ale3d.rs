@@ -168,7 +168,8 @@ impl Ale3d {
             self.pending.push(MpiOp::Allreduce { bytes: 8 });
         }
         if self.spec.plot_every > 0 && self.step % self.spec.plot_every == 0 {
-            let writer = (u64::from(self.step / self.spec.plot_every) * 7 % u64::from(nranks)) as u32;
+            let writer =
+                (u64::from(self.step / self.spec.plot_every) * 7 % u64::from(nranks)) as u32;
             if writer == rank {
                 self.pending.push(MpiOp::IoWrite {
                     bytes: self.spec.plot_bytes,
@@ -183,7 +184,8 @@ impl Ale3d {
             });
         }
         self.pending.push(MpiOp::Compute(
-            self.rng.jitter(self.spec.compute_per_step, self.spec.imbalance),
+            self.rng
+                .jitter(self.spec.compute_per_step, self.spec.imbalance),
         ));
     }
 }
@@ -288,9 +290,15 @@ mod tests {
         assert_eq!(ops[0], MpiOp::DetachCosched);
         assert!(matches!(ops[1], MpiOp::IoRead { .. }));
         assert_eq!(ops[2], MpiOp::AttachCosched);
-        let reduces = ops.iter().filter(|o| matches!(o, MpiOp::Allreduce { .. })).count();
+        let reduces = ops
+            .iter()
+            .filter(|o| matches!(o, MpiOp::Allreduce { .. }))
+            .count();
         assert_eq!(reduces, 6);
-        let exchanges = ops.iter().filter(|o| matches!(o, MpiOp::Exchange { .. })).count();
+        let exchanges = ops
+            .iter()
+            .filter(|o| matches!(o, MpiOp::Exchange { .. }))
+            .count();
         assert_eq!(exchanges, 2);
         assert!(matches!(ops[ops.len() - 2], MpiOp::IoWrite { .. }));
         assert_eq!(*ops.last().unwrap(), MpiOp::AttachCosched);
@@ -312,6 +320,8 @@ mod tests {
             }
             ops.push(op);
         }
-        assert!(!ops.iter().any(|o| matches!(o, MpiOp::DetachCosched | MpiOp::AttachCosched)));
+        assert!(!ops
+            .iter()
+            .any(|o| matches!(o, MpiOp::DetachCosched | MpiOp::AttachCosched)));
     }
 }

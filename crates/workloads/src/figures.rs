@@ -9,6 +9,7 @@
 //! the mean/variance of per-call times, which converges far earlier).
 
 use crate::aggregate::{AggregateSpec, AggregateTrace};
+use pa_campaign::{run_campaign, CampaignOutcome, ExecutorConfig, PointResult, PointSpec};
 use pa_core::{CoschedSetup, Experiment, RunOutput};
 use pa_kernel::SchedOptions;
 use pa_mpi::{OpKind, ProgressSpec, RankWorkload};
@@ -113,6 +114,39 @@ impl ScalingConfig {
             ..ScalingConfig::base(quick)
         }
     }
+
+    /// The campaign point for one (size, seed) datum of this sweep.
+    pub fn point(&self, nodes: u32, seed: u64) -> PointSpec<AggregateSpec> {
+        let calls = if self.target_sim_time.is_some() {
+            u32::MAX // cut by the horizon, not the loop bound
+        } else {
+            self.allreduces
+        };
+        PointSpec {
+            family: "aggregate".into(),
+            nodes,
+            tasks_per_node: self.tasks_per_node,
+            cpus_per_node: self.cpus_per_node,
+            kernel: self.kernel,
+            cosched: self.cosched,
+            noise: self.noise.clone(),
+            mpi: pa_mpi::MpiConfig::default(),
+            progress: self.progress,
+            workload: self.agg.with_calls(calls),
+            seed,
+            horizon: self.target_sim_time,
+        }
+    }
+
+    /// Every point of the sweep: seeds vary fastest, sizes slowest, so
+    /// `points()[g * seeds.len() .. (g + 1) * seeds.len()]` is size
+    /// group `g` — the layout [`collect_scale_points`] consumes.
+    pub fn points(&self) -> Vec<PointSpec<AggregateSpec>> {
+        self.node_counts
+            .iter()
+            .flat_map(|&nodes| self.seeds.iter().map(move |&seed| self.point(nodes, seed)))
+            .collect()
+    }
 }
 
 /// One datum of a scaling figure.
@@ -132,71 +166,94 @@ pub struct ScalePoint {
     pub max_us: f64,
 }
 
-/// Run one sweep.
-pub fn run_scaling(
-    cfg: &ScalingConfig,
-    mut progress: Option<&mut dyn FnMut(&str)>,
-) -> Vec<ScalePoint> {
-    let mut points = Vec::new();
-    for &nodes in &cfg.node_counts {
-        let procs = nodes * cfg.tasks_per_node;
-        let mut seed_means = Vec::new();
-        for &seed in &cfg.seeds {
-            let out = run_one(cfg, nodes, seed);
-            assert!(
-                out.completed || cfg.target_sim_time.is_some(),
-                "sweep run did not finish: {nodes} nodes seed {seed}"
-            );
-            seed_means.push(out.mean_allreduce_us());
-        }
-        let s = Summary::of(&seed_means);
-        if let Some(cb) = progress.as_deref_mut() {
+/// Run one sweep serially in-process (no cache, no worker pool). The
+/// campaign-backed path with parallelism and caching is
+/// [`run_scaling_campaign`]; this wrapper keeps the original panicking
+/// contract for library callers and tests.
+pub fn run_scaling(cfg: &ScalingConfig, progress: Option<&mut dyn FnMut(&str)>) -> Vec<ScalePoint> {
+    let outcome = run_campaign(&cfg.points(), &ExecutorConfig::serial("scaling"), |spec| {
+        PointResult::from_run(&run_point(spec))
+    });
+    if let Err(e) = outcome.ensure_complete("scaling") {
+        panic!("sweep run did not finish: {e}");
+    }
+    let points = collect_scale_points(cfg, &outcome.results);
+    if let Some(cb) = progress {
+        for p in &points {
             cb(&format!(
-                "procs {procs}: mean {:.1}µs (±{:.1})",
-                s.mean, s.stddev
+                "procs {}: mean {:.1}µs (±{:.1})",
+                p.procs, p.mean_us, p.std_us
             ));
         }
-        points.push(ScalePoint {
-            procs,
-            seed_means_us: seed_means,
-            mean_us: s.mean,
-            std_us: s.stddev,
-            min_us: s.min,
-            max_us: s.max,
-        });
     }
     points
 }
 
-/// Run one configuration at one size and seed.
-pub fn run_one(cfg: &ScalingConfig, nodes: u32, seed: u64) -> RunOutput {
-    let seeds = SeedSpace::new(seed);
-    let calls = if cfg.target_sim_time.is_some() {
-        u32::MAX // cut by the horizon, not the loop bound
-    } else {
-        cfg.allreduces
-    };
-    let agg = cfg.agg.with_calls(calls);
+/// Run one sweep through the campaign executor: cached, parallel, and
+/// order-preserving — results are bit-identical at any job count. Errors
+/// if a fixed-call-count point was cut by the horizon.
+pub fn run_scaling_campaign(
+    cfg: &ScalingConfig,
+    exec: &ExecutorConfig,
+) -> Result<(Vec<ScalePoint>, CampaignOutcome), pa_campaign::TruncatedPoints> {
+    let outcome = run_campaign(&cfg.points(), exec, aggregate_runner);
+    outcome.ensure_complete(&exec.label)?;
+    let points = collect_scale_points(cfg, &outcome.results);
+    Ok((points, outcome))
+}
+
+/// Fold flat campaign results (seeds fastest, sizes slowest — the
+/// [`ScalingConfig::points`] layout) into per-size figure data.
+pub fn collect_scale_points(cfg: &ScalingConfig, results: &[PointResult]) -> Vec<ScalePoint> {
+    let per_size = cfg.seeds.len();
+    assert_eq!(
+        results.len(),
+        cfg.node_counts.len() * per_size,
+        "results do not match the sweep's point layout"
+    );
+    cfg.node_counts
+        .iter()
+        .enumerate()
+        .map(|(g, &nodes)| {
+            let seed_means: Vec<f64> = results[g * per_size..(g + 1) * per_size]
+                .iter()
+                .map(|r| r.mean_allreduce_us)
+                .collect();
+            let s = Summary::of(&seed_means);
+            ScalePoint {
+                procs: nodes * cfg.tasks_per_node,
+                seed_means_us: seed_means,
+                mean_us: s.mean,
+                std_us: s.stddev,
+                min_us: s.min,
+                max_us: s.max,
+            }
+        })
+        .collect()
+}
+
+/// The campaign runner for aggregate-benchmark points: simulate and
+/// extract the cacheable scalars.
+pub fn aggregate_runner(spec: &PointSpec<AggregateSpec>) -> PointResult {
+    PointResult::from_run(&run_point(spec))
+}
+
+/// Run one aggregate-benchmark point.
+pub fn run_point(spec: &PointSpec<AggregateSpec>) -> RunOutput {
+    let seeds = SeedSpace::new(spec.seed);
+    let agg = spec.workload;
     let mut make = |rank: u32| -> Box<dyn RankWorkload> {
         Box::new(AggregateTrace::new(
             agg,
             seeds.stream_at("wl/agg", u64::from(rank), 0),
         ))
     };
-    let mut e = Experiment::new(nodes, cfg.tasks_per_node)
-        .with_cpus_per_node(cfg.cpus_per_node)
-        .with_kernel(cfg.kernel)
-        .with_noise(cfg.noise.clone())
-        .with_mpi(pa_mpi::MpiConfig::default())
-        .with_progress(cfg.progress)
-        .with_seed(seed);
-    if let Some(t) = cfg.target_sim_time {
-        e = e.with_horizon(t);
-    }
-    if let Some(cs) = cfg.cosched {
-        e = e.with_cosched(cs);
-    }
-    e.run(&mut make)
+    spec.experiment().run(&mut make)
+}
+
+/// Run one configuration at one size and seed.
+pub fn run_one(cfg: &ScalingConfig, nodes: u32, seed: u64) -> RunOutput {
+    run_point(&cfg.point(nodes, seed))
 }
 
 /// Figure 6: the fitted lines and their ratio. The paper reports
@@ -416,7 +473,13 @@ pub fn fig4(cfg: &Fig4Config) -> Fig4Result {
     // prediction at 944 procs: 2·⌈log₂⌉ phases, split into cross-node
     // hops (switch latency + overheads) and on-node hops (shared memory
     // + overheads).
-    let rounds = |x: u32| if x <= 1 { 0 } else { 32 - (x - 1).leading_zeros() };
+    let rounds = |x: u32| {
+        if x <= 1 {
+            0
+        } else {
+            32 - (x - 1).leading_zeros()
+        }
+    };
     let net_phases = 2 * rounds(cfg.nodes);
     let shm_phases = 2 * rounds(cfg.tasks_per_node);
     let model_us = f64::from(net_phases) * 22.0 + f64::from(shm_phases) * 8.0;
@@ -427,7 +490,11 @@ pub fn fig4(cfg: &Fig4Config) -> Fig4Result {
         fastest_us: summary.min,
         slowest_us: summary.max,
         model_us,
-        slowest_share: if total > 0.0 { summary.max / total } else { 0.0 },
+        slowest_share: if total > 0.0 {
+            summary.max / total
+        } else {
+            0.0
+        },
         sorted_us: sorted_for_figure,
         culprits,
     }

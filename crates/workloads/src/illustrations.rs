@@ -118,7 +118,10 @@ pub fn fig2(seed: u64) -> Vec<BspRankRow> {
         ..Ale3dSpec::default()
     };
     let mut make = |rank: u32| -> Box<dyn RankWorkload> {
-        Box::new(Ale3d::new(spec, seeds.stream_at("wl/ale3d", u64::from(rank), 0)))
+        Box::new(Ale3d::new(
+            spec,
+            seeds.stream_at("wl/ale3d", u64::from(rank), 0),
+        ))
     };
     let out = Experiment::new(2, 8)
         .with_cpus_per_node(8)

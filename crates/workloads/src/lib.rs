@@ -30,8 +30,8 @@ pub use aggregate::{AggregateSpec, AggregateTrace};
 pub use ale3d::{grid3d_neighbors, Ale3d, Ale3dSpec};
 pub use audit::{audit_node, AuditResult, AuditRow};
 pub use figures::{
-    fig4, fig6, run_one, run_scaling, Fig4Config, Fig4Result, Fig6Result, ScalePoint,
-    ScalingConfig,
+    aggregate_runner, collect_scale_points, fig4, fig6, run_one, run_point, run_scaling,
+    run_scaling_campaign, Fig4Config, Fig4Result, Fig6Result, ScalePoint, ScalingConfig,
 };
 pub use illustrations::{fig1, fig2, BspRankRow, Fig1Result};
 pub use overlap::{green_fraction, red_touch_fraction};

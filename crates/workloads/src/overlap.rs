@@ -15,12 +15,7 @@ use pa_trace::{CpuTimeline, ThreadClass, TraceBuffer};
 
 /// Fraction of `[start, end)` during which all of the node's first
 /// `ntasks` CPUs were simultaneously running App-class threads.
-pub fn green_fraction(
-    trace: &TraceBuffer,
-    ntasks: u8,
-    start: SimTime,
-    end: SimTime,
-) -> f64 {
+pub fn green_fraction(trace: &TraceBuffer, ntasks: u8, start: SimTime, end: SimTime) -> f64 {
     assert!(end > start, "empty interval");
     let timeline = CpuTimeline::build(trace, end);
     // Boundary sweep: +1 when a task CPU starts running App, -1 when it
@@ -66,12 +61,7 @@ pub fn green_fraction(
 
 /// Fraction of `[start, end)` during which at least one of the first
 /// `ntasks` CPUs was running interference (the "red" share of Figure 1).
-pub fn red_touch_fraction(
-    trace: &TraceBuffer,
-    ntasks: u8,
-    start: SimTime,
-    end: SimTime,
-) -> f64 {
+pub fn red_touch_fraction(trace: &TraceBuffer, ntasks: u8, start: SimTime, end: SimTime) -> f64 {
     assert!(end > start, "empty interval");
     let timeline = CpuTimeline::build(trace, end);
     let mut edges: Vec<(SimTime, i32)> = Vec::new();

@@ -10,7 +10,8 @@
 //!   co-scheduler (DESIGN.md's design-choice index).
 
 use crate::ale3d::{Ale3d, Ale3dSpec};
-use crate::figures::{run_one, ScalingConfig};
+use crate::figures::{aggregate_runner, run_one, ScalingConfig};
+use pa_campaign::{run_campaign, ExecutorConfig, TruncatedPoints};
 use pa_core::{CoschedSetup, Experiment};
 use pa_kernel::{DaemonQueuePolicy, PreemptMode, SchedOptions, TickAlign};
 use pa_mpi::{OpKind, ProgressSpec, RankWorkload};
@@ -39,8 +40,14 @@ pub struct T15v16Result {
     pub proto16_speedup_vs_van15: f64,
 }
 
-/// Run T-15v16 at `nodes` nodes (paper: 100).
-pub fn tab_15v16(nodes: u32, quick: bool) -> T15v16Result {
+/// Run T-15v16 at `nodes` nodes (paper: 100) through the campaign
+/// executor — all three configurations' seeds form one point list, so
+/// they share the worker pool and the cache.
+pub fn tab_15v16(
+    nodes: u32,
+    quick: bool,
+    exec: &ExecutorConfig,
+) -> Result<T15v16Result, TruncatedPoints> {
     let mut base = ScalingConfig::fig3(quick);
     base.node_counts = vec![nodes];
     if quick {
@@ -54,18 +61,9 @@ pub fn tab_15v16(nodes: u32, quick: bool) -> T15v16Result {
     proto16.allreduces = base.allreduces;
     proto16.seeds = base.seeds.clone();
 
-    let mean = |cfg: &ScalingConfig| -> f64 {
-        let ms: Vec<f64> = cfg
-            .seeds
-            .iter()
-            .map(|&s| run_one(cfg, nodes, s).mean_allreduce_us())
-            .collect();
-        Summary::of(&ms).mean
-    };
-    let m_van16 = mean(&base);
-    let m_van15 = mean(&van15);
-    let m_proto16 = mean(&proto16);
-    T15v16Result {
+    let means = campaign_means(&[base, van15, proto16], exec)?;
+    let (m_van16, m_van15, m_proto16) = (means[0], means[1], means[2]);
+    Ok(T15v16Result {
         rows: vec![
             LabeledRow {
                 label: "vanilla 16 t/n".into(),
@@ -82,7 +80,36 @@ pub fn tab_15v16(nodes: u32, quick: bool) -> T15v16Result {
         ],
         van16_over_van15: m_van16 / m_van15,
         proto16_speedup_vs_van15: m_van15 / m_proto16,
+    })
+}
+
+/// Mean Allreduce µs of several single-size configurations, evaluated as
+/// ONE campaign: every (config, seed) pair becomes a point, so the runs
+/// interleave across the worker pool and share the cache.
+fn campaign_means(
+    cfgs: &[ScalingConfig],
+    exec: &ExecutorConfig,
+) -> Result<Vec<f64>, TruncatedPoints> {
+    let mut specs = Vec::new();
+    let mut spans = Vec::with_capacity(cfgs.len());
+    for cfg in cfgs {
+        let pts = cfg.points();
+        spans.push(pts.len());
+        specs.extend(pts);
     }
+    let outcome = run_campaign(&specs, exec, aggregate_runner);
+    outcome.ensure_complete(&exec.label)?;
+    let mut means = Vec::with_capacity(cfgs.len());
+    let mut offset = 0;
+    for len in spans {
+        let ms: Vec<f64> = outcome.results[offset..offset + len]
+            .iter()
+            .map(|r| r.mean_allreduce_us)
+            .collect();
+        means.push(Summary::of(&ms).mean);
+        offset += len;
+    }
+    Ok(means)
 }
 
 /// T-timer output: per-call global-duration statistics with the default
@@ -191,7 +218,10 @@ pub fn run_ale3d(nodes: u32, spec: Ale3dSpec, mode: AleMode, seed: u64) -> AleRo
     let mut spec = spec;
     spec.io_detach = matches!(mode, AleMode::NaiveWithDetach);
     let mut make = |rank: u32| -> Box<dyn RankWorkload> {
-        Box::new(Ale3d::new(spec, seeds.stream_at("wl/ale3d", u64::from(rank), 0)))
+        Box::new(Ale3d::new(
+            spec,
+            seeds.stream_at("wl/ale3d", u64::from(rank), 0),
+        ))
     };
     let mut e = Experiment::new(nodes, 16)
         .with_noise(NoiseProfile::production().without_cron())
@@ -238,8 +268,13 @@ pub fn tab_ale3d_io(nodes: u32, spec: Ale3dSpec, seed: u64) -> Vec<AleRow> {
 }
 
 /// A-ablate: contribution of each prototype mechanism to the Allreduce
-/// improvement, one toggle at a time over the vanilla baseline.
-pub fn tab_ablation(nodes: u32, quick: bool) -> Vec<LabeledRow> {
+/// improvement, one toggle at a time over the vanilla baseline. All
+/// (config, seed) pairs run as one campaign.
+pub fn tab_ablation(
+    nodes: u32,
+    quick: bool,
+    exec: &ExecutorConfig,
+) -> Result<Vec<LabeledRow>, TruncatedPoints> {
     let base = ScalingConfig::fig3(quick);
     let mut configs: Vec<(String, SchedOptions, Option<CoschedSetup>)> = Vec::new();
     configs.push(("vanilla".into(), SchedOptions::vanilla(), None));
@@ -271,7 +306,7 @@ pub fn tab_ablation(nodes: u32, quick: bool) -> Vec<LabeledRow> {
         Some(CoschedSetup::default()),
     ));
 
-    configs
+    let (labels, cfgs): (Vec<String>, Vec<ScalingConfig>) = configs
         .into_iter()
         .map(|(label, kernel, cosched)| {
             let mut cfg = base.clone();
@@ -282,17 +317,15 @@ pub fn tab_ablation(nodes: u32, quick: bool) -> Vec<LabeledRow> {
                 cfg.allreduces = 160;
                 cfg.seeds = vec![42];
             }
-            let ms: Vec<f64> = cfg
-                .seeds
-                .iter()
-                .map(|&s| run_one(&cfg, nodes, s).mean_allreduce_us())
-                .collect();
-            LabeledRow {
-                label,
-                value: Summary::of(&ms).mean,
-            }
+            (label, cfg)
         })
-        .collect()
+        .unzip();
+    let means = campaign_means(&cfgs, exec)?;
+    Ok(labels
+        .into_iter()
+        .zip(means)
+        .map(|(label, value)| LabeledRow { label, value })
+        .collect())
 }
 
 /// The unfavored-window sensitivity sweep (§4 discusses the latitude the
@@ -301,8 +334,13 @@ pub fn tab_ablation(nodes: u32, quick: bool) -> Vec<LabeledRow> {
 /// Use tick-aligned duties (multiples of 0.2 with the compressed 1.25 s
 /// window and 250 ms big tick) so the unfavored edge is not swallowed by
 /// callout quantization.
-pub fn duty_cycle_sweep(nodes: u32, duties: &[f64], quick: bool) -> Vec<(f64, f64)> {
-    duties
+pub fn duty_cycle_sweep(
+    nodes: u32,
+    duties: &[f64],
+    quick: bool,
+    exec: &ExecutorConfig,
+) -> Result<Vec<(f64, f64)>, TruncatedPoints> {
+    let cfgs: Vec<ScalingConfig> = duties
         .iter()
         .map(|&duty| {
             let mut cfg = ScalingConfig::fig5(quick);
@@ -317,14 +355,11 @@ pub fn duty_cycle_sweep(nodes: u32, duties: &[f64], quick: bool) -> Vec<(f64, f6
             let mut setup = cfg.cosched.expect("fig5 deploys the co-scheduler");
             setup.params.duty = duty;
             cfg.cosched = Some(setup);
-            let ms: Vec<f64> = cfg
-                .seeds
-                .iter()
-                .map(|&s| run_one(&cfg, nodes, s).mean_allreduce_us())
-                .collect();
-            (duty, Summary::of(&ms).mean)
+            cfg
         })
-        .collect()
+        .collect();
+    let means = campaign_means(&cfgs, exec)?;
+    Ok(duties.iter().copied().zip(means).collect())
 }
 
 #[cfg(test)]
@@ -387,7 +422,7 @@ mod tests {
         // can exceed its benefit (the paper's own fitted lines cross near
         // x≈90 procs), so the assertion needs a size where noise
         // amplification dominates.
-        let rows = tab_ablation(4, true);
+        let rows = tab_ablation(4, true, &ExecutorConfig::serial("ablate-test")).unwrap();
         assert_eq!(rows.len(), 8);
         let vanilla = rows[0].value;
         let full = rows.last().unwrap().value;

@@ -16,7 +16,7 @@ fn main() {
         compute_per_step: SimDur::from_millis(8),
         initial_read_bytes: 2 << 20,
         restart_bytes: 4 << 20,
-        plot_every: 3,  // a rotating rank writes a plot file mid-run
+        plot_every: 3, // a rotating rank writes a plot file mid-run
         plot_bytes: 2 << 20,
         ..Ale3dSpec::default()
     };
@@ -31,7 +31,11 @@ fn main() {
             "{:<52} {:>9.3} s{}",
             row.label,
             row.wall_s,
-            if row.completed { "" } else { "  (hit horizon!)" }
+            if row.completed {
+                ""
+            } else {
+                "  (hit horizon!)"
+            }
         );
     }
     pa_examples::section("what happened");

@@ -18,7 +18,10 @@ fn main() {
         SimDur::from_secs(120),
         42,
     );
-    println!("{:<16} {:<10} {:>12} {:>10}", "thread", "class", "cpu time", "% of 1 CPU");
+    println!(
+        "{:<16} {:<10} {:>12} {:>10}",
+        "thread", "class", "cpu time", "% of 1 CPU"
+    );
     for row in &result.rows {
         println!(
             "{:<16} {:<10} {:>12} {:>9.3}%",

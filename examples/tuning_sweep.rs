@@ -5,6 +5,7 @@
 //!
 //! Run with: `cargo run --release -p pa-examples --bin tuning_sweep`
 
+use pa_campaign::{Cache, ExecutorConfig};
 use pa_core::{schedtune, schedtune_render, AdminTable, PriorityGrant, SchedOptions};
 use pa_workloads::duty_cycle_sweep;
 
@@ -45,8 +46,20 @@ fn main() {
     }
 
     pa_examples::section("favored-window duty cycle sweep (4 nodes x 16)");
+    // The sweep runs through the campaign executor: each duty setting is a
+    // content-keyed point, so reruns hit `results/cache/` and `--jobs`-style
+    // parallelism changes nothing about the numbers.
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get().min(4));
+    let mut exec = ExecutorConfig::serial("tuning-sweep").with_jobs(jobs);
+    match Cache::at(Cache::default_dir()) {
+        Ok(cache) => exec = exec.with_cache(cache),
+        Err(e) => eprintln!("(no cache: {e})"),
+    }
+    println!("(campaign: {jobs} workers, cache at results/cache)");
     println!("{:>6} {:>12}", "duty", "Allreduce µs");
-    for (duty, us) in duty_cycle_sweep(4, &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0], true) {
+    let sweep = duty_cycle_sweep(4, &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0], true, &exec)
+        .expect("fixed-work sweep points must complete");
+    for (duty, us) in sweep {
         println!("{duty:>6.2} {us:>12.1}");
     }
     println!("(higher duty favors the job; §4 warns against starving the daemons entirely —");

@@ -1,0 +1,206 @@
+//! Offline stand-in for `criterion`: same macro/entry-point surface
+//! (`criterion_group!`, `criterion_main!`, `bench_function`,
+//! `benchmark_group`, `iter`, `iter_batched`), measuring with plain
+//! wall-clock timing. In `--test` mode (what `cargo test` passes to a
+//! `harness = false` bench) each routine runs exactly once.
+
+use std::time::Instant;
+
+/// How batched inputs are grouped; only the label matters here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup values.
+    SmallInput,
+    /// Large per-iteration setup values.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Prevent the optimizer from discarding a value (re-export of std's).
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Measure one routine under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            ns_per_iter: None,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Open a named group; benches inside print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measure one routine under `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// End the group (criterion requires this; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` over an adaptively chosen iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // One timed probe sizes the real measurement loop.
+        let probe = Instant::now();
+        black_box(routine());
+        let probe_ns = probe.elapsed().as_nanos().max(1) as f64;
+        let iters = iterations_for(probe_ns);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.ns_per_iter = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let input = setup();
+        let probe = Instant::now();
+        black_box(routine(input));
+        let probe_ns = probe.elapsed().as_nanos().max(1) as f64;
+        let iters = iterations_for(probe_ns);
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.ns_per_iter = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Aim for ~50ms of measurement, capped to keep whole suites fast.
+fn iterations_for(probe_ns: f64) -> u64 {
+    ((50_000_000.0 / probe_ns) as u64).clamp(1, 10_000)
+}
+
+fn report(name: &str, b: &Bencher) {
+    match b.ns_per_iter {
+        Some(ns) if ns >= 1_000_000.0 => {
+            println!("{name:<45} {:>10.3} ms/iter", ns / 1_000_000.0)
+        }
+        Some(ns) if ns >= 1_000.0 => println!("{name:<45} {:>10.3} us/iter", ns / 1_000.0),
+        Some(ns) => println!("{name:<45} {:>10.1} ns/iter", ns),
+        None => println!("{name:<45}        ran (test mode)"),
+    }
+}
+
+/// Bundle benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut n = 0u32;
+        let mut c = Criterion { test_mode: true };
+        c.bench_function("t", |b| b.iter(|| n += 1));
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn groups_compose_names_and_finish() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut ran = false;
+        g.bench_function("inner", |b| {
+            b.iter_batched(|| 3u32, |x| x * 2, BatchSize::SmallInput);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iterations_scale_inversely_with_cost() {
+        assert_eq!(iterations_for(50_000_000.0), 1);
+        assert_eq!(iterations_for(5_000.0), 10_000);
+    }
+}

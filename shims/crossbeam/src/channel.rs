@@ -1,0 +1,191 @@
+//! An unbounded MPMC channel over a mutex/condvar queue, with the
+//! crossbeam semantics the executor relies on: receivers are cloneable,
+//! and `recv` returns `Err` once the queue is empty and all senders are
+//! dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+/// The sending half (cloneable).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half (cloneable — workers share one queue).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Error: all receivers dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error: channel empty and all senders dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error for non-blocking receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Empty and no sender remains.
+    Disconnected,
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cv: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a value; fails only when every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.shared.cv.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue, blocking until a value or sender-side disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.shared.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock().unwrap();
+        if let Some(v) = st.queue.pop_front() {
+            Ok(v)
+        } else if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocking iterator until disconnect (used by result collectors).
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_single_consumer() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_no_receivers_fails() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+    }
+
+    #[test]
+    fn cloned_receivers_split_the_stream() {
+        let (tx, rx1) = unbounded();
+        let rx2 = rx1.clone();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut got = Vec::new();
+        got.extend(rx1.iter());
+        got.extend(rx2.iter());
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

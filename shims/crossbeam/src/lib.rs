@@ -1,0 +1,37 @@
+//! Offline stand-in for `crossbeam`: the pieces `pa-campaign`'s executor
+//! uses — [`scope`] for borrowing worker threads and an MPMC
+//! [`channel`] — implemented over `std::thread::scope` and a
+//! mutex/condvar queue. Semantics match the crossbeam 0.8 APIs the code
+//! is written against: cloneable senders *and* receivers, with `recv`
+//! failing once the queue is empty and every sender is gone.
+
+pub mod channel;
+pub mod thread;
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_workers_drain_a_shared_queue() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..100u32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total = std::sync::atomic::AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    while let Ok(v) = rx.recv() {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), (0..100).sum());
+    }
+}

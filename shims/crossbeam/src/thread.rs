@@ -1,0 +1,87 @@
+//! Scoped threads with the crossbeam 0.8 calling convention: the scope
+//! closure and every spawned closure receive `&Scope`, and `scope`
+//! returns `Err` with the panic payload if any unjoined child panicked.
+
+/// Result of joining a thread (the panic payload on the Err side).
+pub type Result<T> = std::thread::Result<T>;
+
+/// A scope handle; spawned threads may borrow from the enclosing stack
+/// frame (`'env`).
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Run `f` with a scope; join all spawned threads before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure gets the scope back so it can
+    /// spawn nested work, like crossbeam's.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread; `Err` carries the panic payload.
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrows_from_environment() {
+        let data = [1u32, 2, 3];
+        let sum = std::sync::Mutex::new(0u32);
+        scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    *sum.lock().unwrap() += chunk.iter().sum::<u32>();
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.into_inner().unwrap(), 6);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| 21u32 * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,512 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stand-in `serde::Serialize` /
+//! `serde::Deserialize` traits (see `shims/serde`) for plain structs and
+//! enums. The parser is hand-rolled over `proc_macro::TokenTree` — no
+//! `syn`/`quote`, since this environment cannot fetch crates. Supported
+//! shapes (everything this workspace derives on):
+//!
+//! * structs with named fields, honoring `#[serde(default)]`;
+//! * tuple structs (newtypes serialize transparently, like real serde);
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics are rejected with a compile error rather than silently
+//! miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Dir::Ser)
+}
+
+/// Derive the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Dir::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Dir {
+    Ser,
+    De,
+}
+
+fn expand(input: TokenStream, dir: Dir) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match dir {
+                Dir::Ser => gen_serialize(&item),
+                Dir::De => gen_deserialize(&item),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Data model of the parsed item
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present.
+    default: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(ts: TokenStream) -> Parser {
+        Parser {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consume leading attributes; return true if any is `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.bump();
+            let Some(TokenTree::Group(g)) = self.bump() else {
+                break;
+            };
+            let body = g.stream().to_string();
+            // Normalized token text: `serde(default)` or `serde (default)`.
+            let compact: String = body.chars().filter(|c| !c.is_whitespace()).collect();
+            if compact.starts_with("serde(") && compact.contains("default") {
+                has_default = true;
+            }
+        }
+        has_default
+    }
+
+    /// Consume `pub`, `pub(...)` if present.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.bump();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.bump();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skip tokens until a top-level comma (angle-bracket aware), eating
+    /// the comma. Returns false when the stream ended instead.
+    fn skip_past_comma(&mut self) -> bool {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.bump() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut p = Parser::new(input);
+    p.skip_attrs();
+    p.skip_vis();
+    let kw = p.expect_ident()?;
+    let name = p.expect_ident()?;
+    if let Some(TokenTree::Punct(pt)) = p.peek() {
+        if pt.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match p.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(pt)) if pt.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = p.bump() else {
+                return Err("expected enum body".into());
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut p = Parser::new(body);
+    let mut fields = Vec::new();
+    while !p.at_end() {
+        let default = p.skip_attrs();
+        if p.at_end() {
+            break;
+        }
+        p.skip_vis();
+        let name = p.expect_ident()?;
+        match p.bump() {
+            Some(TokenTree::Punct(pt)) if pt.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(Field { name, default });
+        if !p.skip_past_comma() {
+            break;
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut p = Parser::new(body);
+    let mut n = 0;
+    loop {
+        p.skip_attrs();
+        if p.at_end() {
+            break;
+        }
+        n += 1;
+        if !p.skip_past_comma() {
+            break;
+        }
+        // Trailing comma: nothing after it.
+        if p.at_end() {
+            break;
+        }
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut p = Parser::new(body);
+    let mut variants = Vec::new();
+    while !p.at_end() {
+        p.skip_attrs();
+        if p.at_end() {
+            break;
+        }
+        let name = p.expect_ident()?;
+        let shape = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                p.bump();
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                p.bump();
+                Shape::Tuple(n)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skips any explicit discriminant (`= expr`) along the way.
+        if !p.skip_past_comma() {
+            break;
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+const VAL: &str = "::serde::value::Value";
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({n:?}), ::serde::Serialize::to_value(&self.{n}))",
+                                n = f.name
+                            )
+                        })
+                        .collect();
+                    format!("{VAL}::Map(::std::vec![{}])", pairs.join(", "))
+                }
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("{VAL}::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Unit => format!("{VAL}::Null"),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> {VAL} {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => {VAL}::Str(::std::string::String::from({vn:?})),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => {VAL}::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({b}) => {VAL}::Map(::std::vec![(::std::string::String::from({vn:?}), {VAL}::Seq(::std::vec![{i}]))]),",
+                                b = binds.join(", "),
+                                i = items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({n:?}), ::serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {b} }} => {VAL}::Map(::std::vec![(::std::string::String::from({vn:?}), {VAL}::Map(::std::vec![{p}]))]),",
+                                b = binds.join(", "),
+                                p = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> {VAL} {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Decoder expression for one named field out of map binding `m`.
+fn named_field_decoder(owner: &str, f: &Field) -> String {
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::missing({:?}, {owner:?}))",
+            f.name
+        )
+    };
+    format!(
+        "{n}: match ::serde::value::get(m, {n:?}) {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }}",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, shape } => match shape {
+            Shape::Named(fields) => {
+                let decoders: Vec<String> = fields
+                    .iter()
+                    .map(|f| named_field_decoder(name, f))
+                    .collect();
+                format!(
+                    "let m = v.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", {name:?}))?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    decoders.join(", ")
+                )
+            }
+            Shape::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&xs[{i}])?"))
+                    .collect();
+                format!(
+                    "let xs = v.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", {name:?}))?;\n\
+                     if xs.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::expected(\"{n}-tuple\", {name:?})); }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| {
+                    format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&xs[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let xs = inner.as_seq().ok_or_else(|| ::serde::Error::expected(\"sequence\", {vn:?}))?;\n\
+                                     if xs.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::expected(\"{n}-tuple\", {vn:?})); }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let owner = format!("{name}::{vn}");
+                            let decoders: Vec<String> = fields
+                                .iter()
+                                .map(|f| named_field_decoder(&owner, f))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                     let m = inner.as_map().ok_or_else(|| ::serde::Error::expected(\"map\", {vn:?}))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                decoders.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     {VAL}::Str(s) => match s.as_str() {{\n\
+                         {units}\n\
+                         other => ::std::result::Result::Err(::serde::Error(::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     {VAL}::Map(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = &m[0];\n\
+                         match tag.as_str() {{\n\
+                             {datas}\n\
+                             other => ::std::result::Result::Err(::serde::Error(::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected(\"string or 1-key map\", {name:?})),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n"),
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             #[allow(unused_variables)]\n\
+             fn from_value(v: &{VAL}) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

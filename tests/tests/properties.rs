@@ -36,9 +36,15 @@ fn simulate(schedules: &[Vec<CollStep>]) -> Option<Vec<HashSet<u32>>> {
                         pc[r] += 1;
                         progressed = true;
                     }
-                    CollStep::Recv { peer, phase, reduce } => {
+                    CollStep::Recv {
+                        peer,
+                        phase,
+                        reduce,
+                    } => {
                         let key = (peer, r as u32, phase);
-                        let Some(q) = in_flight.get_mut(&key) else { break };
+                        let Some(q) = in_flight.get_mut(&key) else {
+                            break;
+                        };
                         let Some(v) = q.pop_front() else { break };
                         if reduce {
                             values[r].extend(v);
@@ -226,17 +232,20 @@ fn arb_record() -> impl Strategy<Value = PriorityRecord> {
         1u64..3_600,
         0u32..=100,
     )
-        .prop_filter_map("favored must beat unfavored", |(class, uid, f, u, per, duty)| {
-            if f >= u {
-                return None;
-            }
-            let mut params = CoschedParams::benchmark();
-            params.favored = Prio(f);
-            params.unfavored = Prio(u);
-            params.period = SimDur::from_secs(per);
-            params.duty = f64::from(duty) / 100.0;
-            Some(PriorityRecord { class, uid, params })
-        })
+        .prop_filter_map(
+            "favored must beat unfavored",
+            |(class, uid, f, u, per, duty)| {
+                if f >= u {
+                    return None;
+                }
+                let mut params = CoschedParams::benchmark();
+                params.favored = Prio(f);
+                params.unfavored = Prio(u);
+                params.period = SimDur::from_secs(per);
+                params.duty = f64::from(duty) / 100.0;
+                Some(PriorityRecord { class, uid, params })
+            },
+        )
 }
 
 proptest! {

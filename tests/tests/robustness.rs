@@ -166,5 +166,9 @@ fn empty_workload_exits_immediately() {
         .with_seed(10)
         .run(&mut |_r| Box::new(OpList::new(Vec::new())) as Box<dyn RankWorkload>);
     assert!(out.completed);
-    assert!(out.wall < SimDur::from_millis(50), "empty job took {}", out.wall);
+    assert!(
+        out.wall < SimDur::from_millis(50),
+        "empty job took {}",
+        out.wall
+    );
 }
