@@ -1,0 +1,170 @@
+//! Engine self-profile baseline: wall-clock events/sec on representative
+//! scenarios plus the observability layer's overhead, written as
+//! `BENCH_engine.json`.
+//!
+//! Wall-clock numbers are machine-dependent and therefore live here —
+//! never in a `pa-obs` metrics snapshot, which must stay byte-identical
+//! across reruns. The overhead measurement runs the same experiment with
+//! and without artifact extraction (metrics fold + span timeline +
+//! Chrome-trace render); the acceptance threshold is 5%.
+
+use pa_bench::{Args, Mode};
+use pa_mpi::{MpiOp, OpList, RankWorkload};
+use pa_simkit::{EventQueue, SimTime};
+use serde_json::Value;
+use std::time::Instant;
+
+struct Scenario {
+    name: &'static str,
+    events: u64,
+    events_per_sec: f64,
+}
+
+/// Raw event-calendar throughput (schedule + pop of 10k batches).
+fn queue_scenario(batches: u32) -> Scenario {
+    let started = Instant::now();
+    let mut events = 0u64;
+    for b in 0..batches {
+        let mut q = EventQueue::<u32>::new();
+        for i in 0..10_000u32 {
+            let t = SimTime::from_nanos(u64::from(
+                i.wrapping_mul(2_654_435_761).wrapping_add(b) % 1_000_000,
+            ));
+            q.schedule(t, i);
+        }
+        while q.pop().is_some() {}
+        events += q.stats().popped;
+    }
+    Scenario {
+        name: "event_queue/push_pop_10k",
+        events,
+        events_per_sec: events as f64 / started.elapsed().as_secs_f64(),
+    }
+}
+
+fn experiment(seed: u64, calls: usize) -> pa_core::RunOutput {
+    let mut wl = |_rank: u32| -> Box<dyn RankWorkload> {
+        Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 8 }; calls]))
+    };
+    pa_core::Experiment::new(2, 4)
+        .with_cpus_per_node(4)
+        .with_cosched(pa_core::CoschedSetup::default())
+        .with_trace_node(0)
+        .with_seed(seed)
+        .run(&mut wl)
+}
+
+/// Full-stack DES throughput on a small co-scheduled cluster.
+fn cluster_scenario(calls: usize) -> Scenario {
+    let started = Instant::now();
+    let out = experiment(42, calls);
+    Scenario {
+        name: "cluster/cosched_allreduce",
+        events: out.events,
+        events_per_sec: out.events as f64 / started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Span-timeline export throughput: trace events converted to Chrome
+/// trace JSON per second. Export is explicit opt-in I/O (`--trace-out`),
+/// so it is reported as a scenario, not counted as instrumentation.
+fn timeline_scenario(calls: usize) -> Scenario {
+    let out = experiment(42, calls);
+    let trace_events = out.sim.kernel(0).trace().len() as u64;
+    let started = Instant::now();
+    let tl = pa_core::timeline_of(&out, 0);
+    std::hint::black_box(tl.to_chrome_trace().len());
+    Scenario {
+        name: "obs/timeline_render",
+        events: trace_events,
+        events_per_sec: trace_events as f64 / started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Wall-time overhead `--metrics-out` adds to a run: registry fold plus
+/// canonical snapshot, as a fraction of the simulation it summarizes.
+/// The always-on hot-path counters cannot be compiled out and are plain
+/// integer bumps; everything else the observability layer does is this
+/// post-run fold. Timing the fold against its own run (minimum over
+/// reps on both) avoids run-to-run scheduler jitter, which at the
+/// quick scale is far larger than the quantity measured.
+fn overhead_ratio(calls: usize, reps: u32) -> f64 {
+    let mut run_s = f64::INFINITY;
+    let mut fold_s = f64::INFINITY;
+    for rep in 0..reps {
+        let seed = 100 + u64::from(rep);
+        let t = Instant::now();
+        let out = experiment(seed, calls);
+        std::hint::black_box(out.events);
+        run_s = run_s.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let reg = pa_core::metrics_of(&out);
+        std::hint::black_box(reg.snapshot_json().len());
+        fold_s = fold_s.min(t.elapsed().as_secs_f64());
+    }
+    if run_s > 0.0 && run_s.is_finite() {
+        fold_s / run_s
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let (batches, calls, reps) = match args.mode {
+        Mode::Quick => (20, 800, 3),
+        Mode::Standard => (60, 2_000, 5),
+        Mode::Full => (200, 6_000, 7),
+    };
+    let scenarios = vec![
+        queue_scenario(batches),
+        cluster_scenario(calls),
+        timeline_scenario(calls),
+    ];
+    let overhead = overhead_ratio(calls, reps);
+    let threshold = 0.05;
+
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        eprintln!(
+            "  {:<28} {:>12} events  {:>12.0} events/s",
+            s.name, s.events, s.events_per_sec
+        );
+        rows.push(Value::Map(vec![
+            ("name".into(), Value::Str(s.name.into())),
+            ("events".into(), Value::UInt(s.events)),
+            ("events_per_sec".into(), Value::Float(s.events_per_sec)),
+        ]));
+    }
+    eprintln!(
+        "  observability overhead: {:+.2}% (threshold {:.0}%)",
+        overhead * 100.0,
+        threshold * 100.0
+    );
+
+    let doc = Value::Map(vec![
+        ("scenarios".into(), Value::Seq(rows)),
+        ("obs_overhead_ratio".into(), Value::Float(overhead)),
+        ("obs_overhead_threshold".into(), Value::Float(threshold)),
+        ("mode".into(), Value::Str(format!("{:?}", args.mode))),
+    ]);
+    let path = args
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_engine.json"));
+    let body = doc.to_json_string_pretty() + "\n";
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("engine baseline written to {}", path.display());
+    if overhead > threshold {
+        eprintln!(
+            "error: observability overhead {:.2}% exceeds {:.0}%",
+            overhead * 100.0,
+            threshold * 100.0
+        );
+        std::process::exit(1);
+    }
+}

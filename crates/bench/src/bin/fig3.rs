@@ -3,7 +3,10 @@
 //! run-to-run variability — not the logarithmic curve the tree algorithm
 //! predicts.
 
-use pa_bench::{banner, emit, require_complete, scale_sweep, Args, Mode};
+use pa_bench::{
+    banner, campaign_registry, emit, no_trace_source, require_complete, scale_sweep, write_metrics,
+    Args, Mode,
+};
 use pa_simkit::{report, Table};
 use pa_workloads::{run_scaling_campaign, ScalingConfig};
 
@@ -18,7 +21,9 @@ fn main() {
         args.mode,
         args.seed,
     );
-    let (points, _) = require_complete(run_scaling_campaign(&cfg, &args.campaign("fig3")));
+    let (points, outcome) = require_complete(run_scaling_campaign(&cfg, &args.campaign("fig3")));
+    write_metrics(&args, &campaign_registry("fig3", &outcome));
+    no_trace_source(&args, "fig3");
     emit(args.json, &points, || {
         let mut t = Table::new(
             "Allreduce scaling — vanilla AIX-like kernel",

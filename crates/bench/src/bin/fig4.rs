@@ -2,9 +2,9 @@
 //! run, and the trace-driven culprit analysis of the slowest call
 //! (paper: an administrative cron job consuming >600 ms).
 
-use pa_bench::{banner, emit, Args, Mode};
+use pa_bench::{banner, emit, write_metrics, write_trace, Args, Mode};
 use pa_simkit::report;
-use pa_workloads::{fig4, Fig4Config};
+use pa_workloads::{fig4_with_output, Fig4Config};
 
 fn main() {
     let args = Args::parse();
@@ -19,7 +19,11 @@ fn main() {
         cfg.cron.phase = pa_simkit::SimDur::from_millis(80);
         cfg.cron.component_median = pa_simkit::SimDur::from_millis(6);
     }
-    let r = fig4(&cfg);
+    let (r, out) = fig4_with_output(&cfg);
+    write_metrics(&args, &pa_core::metrics_of(&out));
+    // Node 0 hosts the watched rank; its timeline shows the cron firing
+    // tearing through the Allreduce loop.
+    write_trace(&args, &pa_core::timeline_of(&out, 0));
     emit(args.json, &r, || {
         println!(
             "samples {} | model {}µs | fastest {} | median {} | mean {} | slowest {}",

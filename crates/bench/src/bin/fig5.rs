@@ -2,7 +2,10 @@
 //! prototype kernel plus co-scheduler. Expect a large improvement and far
 //! smaller variability than Figure 3.
 
-use pa_bench::{banner, emit, require_complete, scale_sweep, Args, Mode};
+use pa_bench::{
+    banner, campaign_registry, emit, no_trace_source, require_complete, scale_sweep, write_metrics,
+    Args, Mode,
+};
 use pa_simkit::{report, Table};
 use pa_workloads::{run_scaling_campaign, ScalingConfig};
 
@@ -17,7 +20,9 @@ fn main() {
         args.mode,
         args.seed,
     );
-    let (points, _) = require_complete(run_scaling_campaign(&cfg, &args.campaign("fig5")));
+    let (points, outcome) = require_complete(run_scaling_campaign(&cfg, &args.campaign("fig5")));
+    write_metrics(&args, &campaign_registry("fig5", &outcome));
+    no_trace_source(&args, "fig5");
     emit(args.json, &points, || {
         let mut t = Table::new(
             "Allreduce scaling — prototype kernel + co-scheduler",

@@ -2,7 +2,10 @@
 //! headline slope ratio (paper: 0.70/0.22 ≈ 3.2×, "a speedup of over
 //! 300% on synchronizing collectives").
 
-use pa_bench::{banner, emit, require_complete, scale_sweep, Args, Mode};
+use pa_bench::{
+    banner, campaign_registry, emit, no_trace_source, require_complete, scale_sweep, write_metrics,
+    Args, Mode,
+};
 use pa_simkit::report;
 use pa_workloads::{fig6, run_scaling_campaign, ScalingConfig};
 
@@ -12,13 +15,17 @@ fn main() {
     let quick = args.mode == Mode::Quick;
     let vcfg = scale_sweep(ScalingConfig::fig3(quick), args.mode, args.seed);
     let pcfg = scale_sweep(ScalingConfig::fig5(quick), args.mode, args.seed);
-    let (vanilla, _) =
+    let (vanilla, vout) =
         require_complete(run_scaling_campaign(&vcfg, &args.campaign("fig6/vanilla")));
-    let (prototype, _) = require_complete(run_scaling_campaign(
+    let (prototype, pout) = require_complete(run_scaling_campaign(
         &pcfg,
         &args.campaign("fig6/prototype"),
     ));
     let result = fig6(&vanilla, &prototype);
+    let mut reg = campaign_registry("fig6.vanilla", &vout);
+    reg.merge(&campaign_registry("fig6.prototype", &pout));
+    write_metrics(&args, &reg);
+    no_trace_source(&args, "fig6");
     emit(args.json, &result, || {
         println!(
             "vanilla   : y = {}x + {}   (r² {})",

@@ -49,6 +49,11 @@ pub struct Args {
     pub no_cache: bool,
     /// Ignore cached entries (but refresh them).
     pub rerun: bool,
+    /// Write a `pa-obs` metrics snapshot (canonical JSON) here.
+    pub metrics_out: Option<std::path::PathBuf>,
+    /// Write a Chrome trace-event span timeline here (open in Perfetto
+    /// or `chrome://tracing`).
+    pub trace_out: Option<std::path::PathBuf>,
 }
 
 impl Args {
@@ -61,6 +66,8 @@ impl Args {
             jobs: 1,
             no_cache: false,
             rerun: false,
+            metrics_out: None,
+            trace_out: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -83,6 +90,20 @@ impl Args {
                 }
                 "--no-cache" => args.no_cache = true,
                 "--rerun" => args.rerun = true,
+                "--metrics-out" => {
+                    args.metrics_out = Some(
+                        it.next()
+                            .map(std::path::PathBuf::from)
+                            .unwrap_or_else(|| usage("--metrics-out needs a path")),
+                    );
+                }
+                "--trace-out" => {
+                    args.trace_out = Some(
+                        it.next()
+                            .map(std::path::PathBuf::from)
+                            .unwrap_or_else(|| usage("--trace-out needs a path")),
+                    );
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument '{other}'")),
             }
@@ -114,9 +135,75 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: <bin> [--quick|--full] [--json] [--seed N] [--jobs N] [--no-cache] [--rerun]"
+        "usage: <bin> [--quick|--full] [--json] [--seed N] [--jobs N] [--no-cache] [--rerun] \
+         [--metrics-out PATH] [--trace-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Write the metrics snapshot if `--metrics-out` was given. The snapshot
+/// is canonical JSON of simulation-deterministic values only, so it is
+/// byte-identical across reruns of the same seed.
+pub fn write_metrics(args: &Args, reg: &pa_obs::MetricsRegistry) {
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, reg.snapshot_json()) {
+            eprintln!("error: cannot write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("metrics snapshot written to {}", path.display());
+    }
+}
+
+/// Write the Chrome trace-event timeline if `--trace-out` was given.
+/// Open the file in Perfetto (<https://ui.perfetto.dev>) or
+/// `chrome://tracing`.
+pub fn write_trace(args: &Args, timeline: &pa_obs::SpanTimeline) {
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, timeline.to_chrome_trace()) {
+            eprintln!("error: cannot write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "span timeline ({} events) written to {}",
+            timeline.len(),
+            path.display()
+        );
+    }
+}
+
+/// Note on stderr that this binary has no span source for `--trace-out`
+/// (campaign sweeps keep only cacheable scalars per point; use `fig4` or
+/// `noise_audit` for timelines).
+pub fn no_trace_source(args: &Args, binary: &str) {
+    if args.trace_out.is_some() {
+        eprintln!(
+            "warning: {binary} aggregates cached campaign scalars and keeps no trace; \
+             --trace-out ignored (fig4 and examples/noise_audit emit timelines)"
+        );
+    }
+}
+
+/// Deterministic campaign-level metrics: derived only from per-point
+/// results (identical whether points came from the cache or fresh runs,
+/// at any `--jobs`). Wall-clock campaign stats stay in the manifest.
+pub fn campaign_registry(
+    label: &str,
+    outcome: &pa_campaign::CampaignOutcome,
+) -> pa_obs::MetricsRegistry {
+    let mut reg = pa_obs::MetricsRegistry::new();
+    reg.inc("campaign.points", outcome.results.len() as u64);
+    reg.inc("campaign.truncated", outcome.truncated.len() as u64);
+    for r in &outcome.results {
+        reg.inc("campaign.sim_events", r.events);
+        reg.inc("campaign.completed", u64::from(r.completed));
+    }
+    let edges: Vec<u64> = pa_core::observe::COLL_US_EDGES.to_vec();
+    let name = format!("{label}.mean_allreduce_us");
+    reg.declare_histogram(&name, &edges);
+    for r in &outcome.results {
+        reg.observe(&name, r.mean_allreduce_us.max(0.0).round() as u64);
+    }
+    reg
 }
 
 /// Unwrap a campaign result, exiting non-zero if a fixed-call-count run

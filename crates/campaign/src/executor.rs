@@ -99,6 +99,20 @@ impl CampaignOutcome {
     }
 }
 
+/// One worker-to-reporter message. Workers never print: every progress
+/// line flows through this single channel and is written by the caller
+/// thread, so `--jobs N` output is never torn across threads.
+enum WorkerMsg {
+    /// A fresh (uncached) simulation is starting.
+    Started { index: usize },
+    /// A point finished (fresh run or cache hit).
+    Done {
+        index: usize,
+        result: PointResult,
+        cached: bool,
+    },
+}
+
 /// Run every spec through `runner`, in parallel, consulting the cache.
 ///
 /// `runner` must be a pure function of the spec (the DES guarantees
@@ -118,7 +132,7 @@ where
     let keys: Vec<String> = specs.iter().map(|s| s.content_key()).collect();
 
     let (task_tx, task_rx) = crossbeam::channel::unbounded::<usize>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, PointResult, bool)>();
+    let (msg_tx, msg_rx) = crossbeam::channel::unbounded::<WorkerMsg>();
     for i in 0..total {
         task_tx.send(i).expect("queue open");
     }
@@ -133,48 +147,72 @@ where
     crossbeam::scope(|s| {
         for _ in 0..jobs {
             let task_rx = task_rx.clone();
-            let res_tx = res_tx.clone();
+            let msg_tx = msg_tx.clone();
             s.spawn(move |_| {
                 while let Ok(i) = task_rx.recv() {
                     let spec = &specs[i];
                     let key = &keys_ref[i];
-                    let (result, cached) = match cache {
-                        Some(c) if !cfg.rerun => match c.lookup(key) {
-                            Some(r) => (r, true),
-                            None => {
-                                let r = runner(spec);
-                                let _ = c.store(key, spec, &r);
-                                (r, false)
-                            }
-                        },
-                        Some(c) => {
+                    let cached_hit = match cache {
+                        Some(c) if !cfg.rerun => c.lookup(key),
+                        _ => None,
+                    };
+                    let (result, cached) = match cached_hit {
+                        Some(r) => (r, true),
+                        None => {
+                            let _ = msg_tx.send(WorkerMsg::Started { index: i });
                             let r = runner(spec);
-                            let _ = c.store(key, spec, &r);
+                            if let Some(c) = cache {
+                                let _ = c.store(key, spec, &r);
+                            }
                             (r, false)
                         }
-                        None => (runner(spec), false),
                     };
-                    if res_tx.send((i, result, cached)).is_err() {
+                    if msg_tx
+                        .send(WorkerMsg::Done {
+                            index: i,
+                            result,
+                            cached,
+                        })
+                        .is_err()
+                    {
                         break;
                     }
                 }
             });
         }
-        drop(res_tx);
-        let mut done = 0usize;
-        while let Ok((i, result, cached)) = res_rx.recv() {
-            done += 1;
-            if cfg.progress {
-                eprintln!(
-                    "  [{}] point {done}/{total}: {} procs seed {} — {} ({:.1} µs)",
-                    cfg.label,
-                    specs[i].procs(),
-                    specs[i].seed,
-                    if cached { "cache hit" } else { "ran" },
-                    result.mean_allreduce_us,
-                );
+        drop(msg_tx);
+        while let Ok(msg) = msg_rx.recv() {
+            match msg {
+                WorkerMsg::Started { index } => {
+                    if cfg.progress {
+                        eprintln!(
+                            "  [{}] point {}/{total}: {} procs seed {} — running...",
+                            cfg.label,
+                            index + 1,
+                            specs[index].procs(),
+                            specs[index].seed,
+                        );
+                    }
+                }
+                WorkerMsg::Done {
+                    index,
+                    result,
+                    cached,
+                } => {
+                    if cfg.progress {
+                        eprintln!(
+                            "  [{}] point {}/{total}: {} procs seed {} — {} ({:.1} µs)",
+                            cfg.label,
+                            index + 1,
+                            specs[index].procs(),
+                            specs[index].seed,
+                            if cached { "cache hit" } else { "ran" },
+                            result.mean_allreduce_us,
+                        );
+                    }
+                    slots[index] = Some((result, cached));
+                }
             }
-            slots[i] = Some((result, cached));
         }
     })
     .expect("campaign worker panicked");
@@ -237,6 +275,8 @@ where
                     cached: cached_flags[i],
                     completed: results[i].completed,
                     mean_allreduce_us: results[i].mean_allreduce_us,
+                    events: results[i].events,
+                    extra: results[i].extra.clone(),
                 })
                 .collect(),
             metrics: metrics.clone(),

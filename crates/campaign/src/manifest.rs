@@ -42,6 +42,13 @@ pub struct ManifestPoint {
     pub completed: bool,
     /// Headline metric.
     pub mean_allreduce_us: f64,
+    /// Simulator events the point's run processed (deterministic: cache
+    /// hits report the same value the original run did).
+    pub events: u64,
+    /// Per-point named metrics carried through from the run
+    /// ([`crate::PointResult::extra`]).
+    #[serde(default)]
+    pub extra: std::collections::BTreeMap<String, f64>,
 }
 
 /// The on-disk record of one campaign invocation, written next to the
@@ -98,6 +105,8 @@ mod tests {
                 cached: false,
                 completed: true,
                 mean_allreduce_us: 321.0,
+                events: 12_345,
+                extra: std::collections::BTreeMap::new(),
             }],
             metrics: CampaignMetrics {
                 points_total: 1,

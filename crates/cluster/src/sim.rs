@@ -76,6 +76,9 @@ pub struct ClusterSim {
     fx: Effects,
     events_processed: u64,
     booted: bool,
+    messages_routed: u64,
+    bytes_routed: u64,
+    clock_resyncs: u64,
 }
 
 impl ClusterSim {
@@ -109,6 +112,9 @@ impl ClusterSim {
             fx: Effects::new(),
             events_processed: 0,
             booted: false,
+            messages_routed: 0,
+            bytes_routed: 0,
+            clock_resyncs: 0,
         }
     }
 
@@ -137,6 +143,26 @@ impl ClusterSim {
         self.events_processed
     }
 
+    /// Messages routed over the fabric.
+    pub fn messages_routed(&self) -> u64 {
+        self.messages_routed
+    }
+
+    /// Payload bytes routed over the fabric.
+    pub fn bytes_routed(&self) -> u64 {
+        self.bytes_routed
+    }
+
+    /// Node clocks re-synchronized via [`ClusterSim::sync_clocks`].
+    pub fn clock_resyncs(&self) -> u64 {
+        self.clock_resyncs
+    }
+
+    /// Engine self-profile of the cluster event queue.
+    pub fn queue_stats(&self) -> pa_simkit::QueueStats {
+        self.queue.stats()
+    }
+
     /// Synchronize every node's clock to the switch clock, leaving at most
     /// `residual_max` of error per node (the co-scheduler's startup
     /// procedure, §4). Must be called before [`ClusterSim::boot`] so tick
@@ -150,6 +176,7 @@ impl ClusterSim {
                 SimDur::from_nanos(rng.range(0, residual_max.nanos()))
             };
             k.clock_mut().sync_to_switch(residual);
+            self.clock_resyncs += 1;
         }
     }
 
@@ -172,6 +199,8 @@ impl ClusterSim {
         for msg in self.fx.outbound.drain(..) {
             let delay = self.fabric.delay(&msg);
             let dst = msg.dst.node;
+            self.messages_routed += 1;
+            self.bytes_routed += u64::from(msg.bytes);
             assert!(
                 (dst as usize) < self.kernels.len(),
                 "message to nonexistent node {dst}"

@@ -127,6 +127,9 @@ pub struct CoschedDaemon {
     /// A non-blocking pipe probe has been issued and not yet answered.
     probe_outstanding: bool,
     adjustments: u64,
+    attaches: u64,
+    detaches: u64,
+    setprio_sent: u64,
 }
 
 impl CoschedDaemon {
@@ -151,6 +154,9 @@ impl CoschedDaemon {
             },
             probe_outstanding: false,
             adjustments: 0,
+            attaches: 0,
+            detaches: 0,
+            setprio_sent: 0,
         }
     }
 
@@ -173,6 +179,7 @@ impl CoschedDaemon {
             self.queue
                 .push_back(Action::SetPriority { target: t, prio });
         }
+        self.setprio_sent += self.tasks.len() as u64;
         self.adjustments += 1;
     }
 
@@ -187,14 +194,17 @@ impl CoschedDaemon {
                     let prio = self.current_prio(local);
                     self.queue
                         .push_back(Action::SetPriority { target: tid, prio });
+                    self.setprio_sent += 1;
                 }
             }
             Some(CtrlOp::Detach) if !self.detached => {
                 self.detached = true;
+                self.detaches += 1;
                 self.queue_apply(local);
             }
             Some(CtrlOp::Attach) if self.detached => {
                 self.detached = false;
+                self.attaches += 1;
                 self.queue_apply(local);
             }
             // Redundant detach/attach requests (every rank sends one).
@@ -259,6 +269,15 @@ impl Program for CoschedDaemon {
 
     fn kind(&self) -> &'static str {
         "cosched"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("window_applies", self.adjustments),
+            ("attaches", self.attaches),
+            ("detaches", self.detaches),
+            ("setprio_sent", self.setprio_sent),
+        ]
     }
 }
 

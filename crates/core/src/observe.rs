@@ -1,0 +1,256 @@
+//! Folding a finished run into `pa-obs` artifacts.
+//!
+//! The hot layers (`pa-simkit`, `pa-kernel`, `pa-cluster`) deliberately do
+//! not depend on `pa-obs`: they bump plain counter structs inline
+//! ([`pa_kernel::KernelStats`], [`pa_simkit::QueueStats`], per-program
+//! [`pa_kernel::Program::metrics`]) and this module folds everything into
+//! one [`MetricsRegistry`] / [`SpanTimeline`] after the run.
+//!
+//! Every value placed in the registry is derived from simulation state
+//! only — never wall-clock — so a snapshot is byte-identical across
+//! reruns of the same seed regardless of host load or `--jobs`.
+
+use crate::experiment::RunOutput;
+use pa_obs::{MetricsRegistry, SpanTimeline};
+use pa_simkit::SimTime;
+use pa_trace::{HookId, TraceBuffer};
+
+/// Bucket edges (µs) for collective-duration histograms: wide enough for
+/// the study's sub-millisecond Allreduces and the multi-second stragglers
+/// vanilla kernels produce.
+pub const COLL_US_EDGES: [u64; 10] = [
+    100, 200, 500, 1_000, 2_000, 5_000, 10_000, 50_000, 200_000, 1_000_000,
+];
+
+/// Fold a finished run into a metrics registry.
+///
+/// Counter namespaces: `engine.*` (event-queue self-profile), `run.*`
+/// (completion/wall), `cluster.*` (fabric + clock), `kernel.*` (summed
+/// over nodes, including per-band runqueue waits), `trace.*` (ring
+/// eviction), `prog.<kind>.<metric>` (per-program counters summed over
+/// instances), plus `mpi.<op>.global_us` histograms over recorded
+/// collectives.
+pub fn metrics_of(out: &RunOutput) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+
+    // Engine self-profile (deterministic part; events/sec is wall-clock
+    // and therefore lives in BENCH_engine.json, not here).
+    let q = out.sim.queue_stats();
+    reg.inc("engine.events_scheduled", q.scheduled);
+    reg.inc("engine.events_popped", q.popped);
+    reg.inc("engine.events_cancelled", q.cancelled);
+    reg.set_gauge("engine.queue_high_water", q.max_pending as i64);
+
+    reg.inc("run.events", out.events);
+    reg.inc("run.completed", u64::from(out.completed));
+    reg.set_gauge("run.wall_ns", out.wall.nanos() as i64);
+
+    reg.inc("cluster.messages_routed", out.sim.messages_routed());
+    reg.inc("cluster.bytes_routed", out.sim.bytes_routed());
+    reg.inc("cluster.clock_resyncs", out.sim.clock_resyncs());
+    reg.set_gauge("cluster.nodes", i64::from(out.sim.nodes()));
+
+    for node in 0..out.sim.nodes() {
+        let kernel = out.sim.kernel(node);
+        let s = kernel.stats();
+        reg.inc("kernel.dispatches", s.dispatches);
+        reg.inc("kernel.ctx_switches", s.ctx_switches);
+        reg.inc("kernel.preemptions", s.preemptions);
+        reg.inc("kernel.ipis_sent", s.ipis_sent);
+        reg.inc("kernel.ipis_taken", s.ipis_taken);
+        reg.inc("kernel.ticks", s.ticks);
+        reg.inc("kernel.callouts_fired", s.callouts_fired);
+        reg.inc("kernel.poll_spin_ns", s.poll_spin_ns);
+        for (b, band) in pa_kernel::RUNQ_BANDS.iter().enumerate() {
+            reg.inc(&format!("kernel.runq_wait_ns.{band}"), s.runq_wait_ns[b]);
+            reg.inc(&format!("kernel.runq_waits.{band}"), s.runq_waits[b]);
+        }
+        reg.inc("trace.dropped_events", kernel.trace().dropped());
+        for (kind, name, value) in kernel.program_metrics() {
+            reg.inc(&format!("prog.{kind}.{name}"), value);
+        }
+    }
+
+    // Collective-phase histograms from the recorder's per-op aggregates
+    // (global duration: first entry to last completion across ranks).
+    let recorder = out.job.recorder.borrow();
+    for kind in [
+        pa_mpi::OpKind::Allreduce,
+        pa_mpi::OpKind::Barrier,
+        pa_mpi::OpKind::Allgather,
+        pa_mpi::OpKind::Reduce,
+        pa_mpi::OpKind::Bcast,
+        pa_mpi::OpKind::Exchange,
+    ] {
+        let aggs = recorder.aggs(kind);
+        if aggs.is_empty() {
+            continue;
+        }
+        let name = format!("mpi.{}.global_us", format!("{kind:?}").to_lowercase());
+        reg.declare_histogram(&name, &COLL_US_EDGES);
+        for (_seq, agg) in aggs {
+            reg.observe(&name, agg.global_dur().micros());
+        }
+    }
+    reg
+}
+
+/// Build a span timeline for one node from its trace ring.
+///
+/// Tracks (Chrome `tid` within process `node`):
+/// * `0..cpus` — per-CPU schedule: one span per dispatch (named after the
+///   thread), `tick`/`ipi` instants;
+/// * `1000 + tid` — per-thread collective phases from `CollBegin`/`CollEnd`
+///   pairs;
+/// * `900` — priority-change instants (`setprio <thread> -> <prio>`).
+///
+/// `horizon` closes any span still open when the trace ends so the JSON
+/// has no dangling `B` events.
+pub fn timeline_from_trace(node: u32, trace: &TraceBuffer, horizon: SimTime) -> SpanTimeline {
+    const PRIO_TRACK: u32 = 900;
+    const COLL_BASE: u32 = 1_000;
+
+    let mut tl = SpanTimeline::new();
+    tl.name_process(node, format!("node{node}"));
+    tl.name_track(node, PRIO_TRACK, "priority changes");
+
+    let mut cpus_seen = 0u32;
+    for ev in trace.events() {
+        match ev.hook {
+            HookId::Dispatch => {
+                let cpu = u32::from(ev.cpu);
+                cpus_seen = cpus_seen.max(cpu + 1);
+                // A ring that lost its Undispatch leaves the previous
+                // span open; close it at this dispatch boundary.
+                if tl.depth(node, cpu) > 0 {
+                    tl.end(node, cpu, ev.time);
+                }
+                tl.begin(node, cpu, trace.thread_name(ev.tid), ev.time);
+            }
+            HookId::Undispatch => {
+                tl.end(node, u32::from(ev.cpu), ev.time);
+            }
+            HookId::Tick => {
+                tl.instant(node, u32::from(ev.cpu), "tick", ev.time);
+            }
+            HookId::Ipi => {
+                tl.instant(node, u32::from(ev.cpu), "ipi", ev.time);
+            }
+            HookId::PrioChange => {
+                let name = format!("setprio {} -> {}", trace.thread_name(ev.tid), ev.aux);
+                tl.instant(node, PRIO_TRACK, name, ev.time);
+            }
+            HookId::CollBegin => {
+                let track = COLL_BASE + ev.tid;
+                tl.name_track(node, track, format!("{} coll", trace.thread_name(ev.tid)));
+                if tl.depth(node, track) > 0 {
+                    tl.end(node, track, ev.time);
+                }
+                tl.begin(node, track, format!("coll#{}", ev.aux), ev.time);
+            }
+            HookId::CollEnd => {
+                tl.end(node, COLL_BASE + ev.tid, ev.time);
+            }
+            _ => {}
+        }
+    }
+    for cpu in 0..cpus_seen {
+        tl.name_track(node, cpu, format!("cpu{cpu}"));
+        while tl.depth(node, cpu) > 0 {
+            tl.end(node, cpu, horizon);
+        }
+    }
+    // Close collective spans left open (rank killed at the horizon).
+    for ev in trace.events() {
+        if ev.hook == HookId::CollBegin {
+            let track = COLL_BASE + ev.tid;
+            while tl.depth(node, track) > 0 {
+                tl.end(node, track, horizon);
+            }
+        }
+    }
+    tl
+}
+
+/// Span timeline of one traced node of a finished run.
+///
+/// The node must have been traced ([`crate::Experiment::with_trace_node`])
+/// or the timeline will be empty.
+pub fn timeline_of(out: &RunOutput, node: u32) -> SpanTimeline {
+    timeline_from_trace(node, out.sim.kernel(node).trace(), SimTime::ZERO + out.wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoschedSetup, Experiment};
+    use pa_mpi::{MpiOp, OpList, RankWorkload};
+
+    fn run(seed: u64) -> RunOutput {
+        let mut wl = |_rank: u32| -> Box<dyn RankWorkload> {
+            Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 8 }; 256]))
+        };
+        // Vanilla kernel: its 10 ms tick fires within this short run, so
+        // tick/callout counters are exercised too.
+        Experiment::new(2, 4)
+            .with_cpus_per_node(4)
+            .with_cosched(CoschedSetup::default())
+            .with_trace_node(0)
+            .with_seed(seed)
+            .run(&mut wl)
+    }
+
+    #[test]
+    fn metrics_cover_all_layers() {
+        let out = run(5);
+        let reg = metrics_of(&out);
+        assert!(reg.counter("engine.events_popped") > 0);
+        assert!(reg.counter("kernel.dispatches") > 0);
+        assert!(reg.counter("kernel.ctx_switches") > 0);
+        assert!(reg.counter("kernel.ticks") > 0);
+        assert!(reg.counter("cluster.messages_routed") > 0);
+        assert!(reg.counter("cluster.clock_resyncs") > 0);
+        assert!(reg.counter("prog.cosched.window_applies") > 0);
+        assert!(reg.counter("prog.cosched.setprio_sent") > 0);
+        assert!(reg.counter("prog.mpi_rank.collectives") > 0);
+        let h = reg.histogram("mpi.allreduce.global_us").expect("histogram");
+        assert_eq!(h.count(), 256);
+        // Waits were attributed to some band.
+        let total_waits: u64 = pa_kernel::RUNQ_BANDS
+            .iter()
+            .map(|b| reg.counter(&format!("kernel.runq_waits.{b}")))
+            .sum();
+        assert!(total_waits > 0);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let a = metrics_of(&run(5)).snapshot_json();
+        let b = metrics_of(&run(5)).snapshot_json();
+        assert_eq!(a, b);
+        let c = metrics_of(&run(6)).snapshot_json();
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn timeline_has_schedule_and_collectives() {
+        let out = run(5);
+        let tl = timeline_of(&out, 0);
+        assert!(!tl.is_empty());
+        // Every track is balanced: no dangling open spans.
+        let trace = out.sim.kernel(0).trace();
+        for ev in trace.events() {
+            if ev.hook == HookId::Dispatch {
+                assert_eq!(tl.depth(0, u32::from(ev.cpu)), 0);
+            }
+        }
+        let json = tl.to_chrome_trace();
+        let v = serde_json::parse(&json).expect("valid chrome trace JSON");
+        let events = serde::value::get(v.as_map().unwrap(), "traceEvents")
+            .and_then(|e| e.as_seq())
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        // An untraced node yields an empty timeline.
+        assert!(timeline_of(&out, 1).is_empty());
+    }
+}

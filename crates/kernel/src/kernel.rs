@@ -179,6 +179,10 @@ struct ThreadSlot {
     /// Accumulated on-CPU time.
     cpu_time: SimDur,
     last_dispatch: SimTime,
+    /// When the thread last entered a ready queue (runqueue-wait stats).
+    enqueued_at: SimTime,
+    /// When the thread last started busy-polling on a CPU (spin stats).
+    poll_since: SimTime,
 }
 
 /// One CPU's dispatcher state.
@@ -205,6 +209,52 @@ pub struct UsageRow {
     pub class: ThreadClass,
     /// Total on-CPU time.
     pub cpu_time: SimDur,
+}
+
+/// Display names of the runqueue-wait priority bands (see [`prio_band`]).
+pub const RUNQ_BANDS: [&str; 4] = ["rt", "daemon", "normal", "user"];
+
+/// Map a priority to its runqueue-wait accounting band: co-scheduler/RT
+/// favored (< 40), observed daemons (40–59), normal timeshare (60–89),
+/// user/unfavored (≥ 90). AIX semantics: lower value = more favored.
+pub fn prio_band(prio: Prio) -> usize {
+    match prio.0 {
+        0..=39 => 0,
+        40..=59 => 1,
+        60..=89 => 2,
+        _ => 3,
+    }
+}
+
+/// Dispatcher counters for one node, bumped inline on the hot path
+/// (plain `u64` adds; the sim is single-threaded so there are no locks).
+/// Everything here is simulation-determined — fold into a `pa-obs`
+/// registry post-run without breaking snapshot identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Threads placed on a CPU.
+    pub dispatches: u64,
+    /// Dispatches that resumed a preempted segment (context-switch cost
+    /// charged into the resumed demand).
+    pub ctx_switches: u64,
+    /// Running threads taken off a CPU and requeued (preemption, yield,
+    /// round-robin).
+    pub preemptions: u64,
+    /// Preemption IPIs scheduled (zero under `PreemptMode::Lazy`).
+    pub ipis_sent: u64,
+    /// Preemption IPIs taken.
+    pub ipis_taken: u64,
+    /// Decrementer ticks processed.
+    pub ticks: u64,
+    /// Callouts fired from tick processing (daemon wakeup batches).
+    pub callouts_fired: u64,
+    /// CPU time burnt busy-polling for messages, in ns (§2's cascade
+    /// amplifier: a preempted poller spins again once redispatched).
+    pub poll_spin_ns: u64,
+    /// Total ready-queue wait before dispatch, in ns, per priority band.
+    pub runq_wait_ns: [u64; 4],
+    /// Dispatches counted into each priority band.
+    pub runq_waits: [u64; 4],
 }
 
 /// Hard cap on consecutive zero-cost program actions, to catch programs
@@ -235,6 +285,7 @@ pub struct Kernel {
     app_alive: usize,
     next_daemon_home: u8,
     booted: bool,
+    stats: KernelStats,
 }
 
 impl Kernel {
@@ -284,6 +335,7 @@ impl Kernel {
             app_alive: 0,
             next_daemon_home: 0,
             booted: false,
+            stats: KernelStats::default(),
         }
     }
 
@@ -374,8 +426,10 @@ impl Kernel {
             in_msg: None,
             cpu_time: SimDur::ZERO,
             last_dispatch: SimTime::ZERO,
+            enqueued_at: SimTime::ZERO,
+            poll_since: SimTime::ZERO,
         });
-        self.enqueue(tid);
+        self.enqueue(tid, SimTime::ZERO);
         tid
     }
 
@@ -399,6 +453,8 @@ impl Kernel {
             in_msg: None,
             cpu_time: SimDur::ZERO,
             last_dispatch: SimTime::ZERO,
+            enqueued_at: SimTime::ZERO,
+            poll_since: SimTime::ZERO,
         });
         self.interrupt_sources.push(InterruptSource { spec, itid });
         itid
@@ -476,6 +532,25 @@ impl Kernel {
         self.cpus[cpu.0 as usize].running
     }
 
+    /// Dispatcher counters accumulated since boot.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Deterministic per-program counters: one `(kind, metric, value)` row
+    /// per metric of every thread whose program reports any (exited
+    /// threads included — programs are retained after `Action::Exit`).
+    pub fn program_metrics(&self) -> Vec<(&'static str, &'static str, u64)> {
+        let mut rows = Vec::new();
+        for t in &self.threads {
+            if let Some(p) = &t.program {
+                let kind = p.kind();
+                rows.extend(p.metrics().into_iter().map(|(name, v)| (kind, name, v)));
+            }
+        }
+        rows
+    }
+
     // ------------------------------------------------------------------
     // Event handling
     // ------------------------------------------------------------------
@@ -513,6 +588,8 @@ impl Kernel {
         }
         steal += self.opts.costs.callout_cost * woken.len() as u64;
 
+        self.stats.ticks += 1;
+        self.stats.callouts_fired += woken.len() as u64;
         let running = self.cpus[ci].running.map_or(0, |t| t.0);
         self.trace
             .emit(now, cpu.0, HookId::Tick, running, steal.nanos());
@@ -564,6 +641,7 @@ impl Kernel {
         let ci = cpu.0 as usize;
         self.ipi_in_flight = false;
         self.cpus[ci].ipi_pending = false;
+        self.stats.ipis_taken += 1;
         let running = self.cpus[ci].running.map_or(0, |t| t.0);
         self.trace.emit(now, cpu.0, HookId::Ipi, running, 0);
         if self.cpus[ci].seg_end.is_some() {
@@ -586,9 +664,11 @@ impl Kernel {
             return;
         };
         if let Some(m) = slot.mailbox.take_match(tag, src) {
+            let spin = now.since(slot.poll_since);
             slot.in_msg = Some(m);
             slot.cont = Cont::FinishRecv;
             slot.remaining = recv_cost;
+            self.stats.poll_spin_ns += spin.nanos();
             self.start_segment(cpu, tid, now, fx);
         }
     }
@@ -686,8 +766,9 @@ impl Kernel {
     // Dispatcher internals
     // ------------------------------------------------------------------
 
-    fn enqueue(&mut self, tid: Tid) {
+    fn enqueue(&mut self, tid: Tid, now: SimTime) {
         let prio = self.threads[tid.0 as usize].prio;
+        self.threads[tid.0 as usize].enqueued_at = now;
         match self.threads[tid.0 as usize].discipline {
             QueueDiscipline::Pinned(c) => self.cpus[c.0 as usize].local_q.push(tid, prio),
             QueueDiscipline::Global => self.global_q.push(tid, prio),
@@ -759,12 +840,20 @@ impl Kernel {
         self.cpus[ci].debt = SimDur::ZERO;
         self.cpus[ci].slice_start = now;
         self.trace.emit(now, cpu.0, HookId::Dispatch, tid.0, 0);
+        {
+            let slot = &self.threads[tid.0 as usize];
+            let band = prio_band(slot.prio);
+            self.stats.dispatches += 1;
+            self.stats.runq_wait_ns[band] += now.since(slot.enqueued_at).nanos();
+            self.stats.runq_waits[band] += 1;
+        }
 
         enum Next {
             Segment,
             Spin,
             Complete,
         }
+        let mut resumed = false;
         let next = {
             let slot = &mut self.threads[tid.0 as usize];
             debug_assert!(
@@ -783,8 +872,10 @@ impl Kernel {
                         slot.in_msg = Some(m);
                         slot.cont = Cont::FinishRecv;
                         slot.remaining = recv_cost + ctx_cost;
+                        resumed = true;
                         Next::Segment
                     } else {
+                        slot.poll_since = now;
                         Next::Spin
                     }
                 }
@@ -792,11 +883,13 @@ impl Kernel {
                     // Context-switch cost is charged into the resumed
                     // segment.
                     slot.remaining += ctx_cost;
+                    resumed = true;
                     Next::Segment
                 }
                 _ => Next::Complete,
             }
         };
+        self.stats.ctx_switches += u64::from(resumed);
         match next {
             Next::Segment => self.start_segment(cpu, tid, now, fx),
             Next::Spin => {} // resume busy-polling; no scheduled end
@@ -907,6 +1000,7 @@ impl Kernel {
                     match wait {
                         WaitMode::Poll => {
                             slot.cont = Cont::PollWait { tag, src };
+                            slot.poll_since = now;
                             // Spinning: CPU busy, no scheduled end.
                             return;
                         }
@@ -993,9 +1087,10 @@ impl Kernel {
                     let class = self.threads[tid.0 as usize].class;
                     let last = self.threads[tid.0 as usize].last_dispatch;
                     {
+                        // The program is kept (not dropped) so its final
+                        // counters stay readable via `program_metrics`.
                         let slot = &mut self.threads[tid.0 as usize];
                         slot.state = ThreadState::Exited;
-                        slot.program = None;
                         slot.cpu_time += now.since(last);
                     }
                     if class == ThreadClass::App {
@@ -1019,16 +1114,23 @@ impl Kernel {
         let debt = core::mem::take(&mut self.cpus[ci].debt);
         self.cpus[ci].token += 1;
         let slot = &mut self.threads[tid.0 as usize];
+        let mut spin = SimDur::ZERO;
         if let Some(end) = seg_end {
             // Unfinished demand plus the interference that stretched it.
             slot.remaining = end.since(now) + debt;
         } else {
-            slot.remaining = SimDur::ZERO; // poll-waiter
+            // Poll-waiter: its on-CPU time so far was pure spinning.
+            if matches!(slot.cont, Cont::PollWait { .. }) {
+                spin = now.since(slot.poll_since);
+            }
+            slot.remaining = SimDur::ZERO;
         }
         slot.cpu_time += now.since(slot.last_dispatch);
         slot.state = ThreadState::Ready;
+        self.stats.preemptions += 1;
+        self.stats.poll_spin_ns += spin.nanos();
         self.trace.emit(now, cpu.0, HookId::Undispatch, tid.0, 0);
-        self.enqueue(tid);
+        self.enqueue(tid, now);
     }
 
     /// Block the running thread (no requeue) and dispatch a successor.
@@ -1062,7 +1164,7 @@ impl Kernel {
             }
             slot.state = ThreadState::Ready;
         }
-        self.enqueue(tid);
+        self.enqueue(tid, now);
         self.place(tid, now, fx);
     }
 
@@ -1133,6 +1235,7 @@ impl Kernel {
                 // fixed).
                 if !self.ipi_in_flight {
                     self.ipi_in_flight = true;
+                    self.stats.ipis_sent += 1;
                     let lat = self.rng.dur_range(
                         self.opts.costs.ipi_latency_min,
                         self.opts.costs.ipi_latency_max,
@@ -1143,6 +1246,7 @@ impl Kernel {
             PreemptMode::RtIpiImproved => {
                 if !self.cpus[cpu.0 as usize].ipi_pending {
                     self.cpus[cpu.0 as usize].ipi_pending = true;
+                    self.stats.ipis_sent += 1;
                     let lat = self.rng.dur_range(
                         self.opts.costs.ipi_latency_min,
                         self.opts.costs.ipi_latency_max,
@@ -1192,7 +1296,7 @@ impl Kernel {
                 // Re-key in its queue, then re-run placement (forward
                 // preemption if it now beats a runner).
                 self.dequeue(target);
-                self.enqueue(target);
+                self.enqueue(target, now);
                 self.place(target, now, fx);
             }
             ThreadState::Running => {

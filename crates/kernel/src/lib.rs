@@ -38,7 +38,9 @@ pub mod types;
 pub use clock::ClockModel;
 pub use interrupts::InterruptSourceSpec;
 pub use io::{IoRequest, IoServiceModel};
-pub use kernel::{Effects, Kernel, KernelEvent, ThreadSpec, UsageRow};
+pub use kernel::{
+    prio_band, Effects, Kernel, KernelEvent, KernelStats, ThreadSpec, UsageRow, RUNQ_BANDS,
+};
 pub use msg::{Endpoint, Mailbox, Message, SrcSel, TagSel};
 pub use options::{CostModel, SchedOptions};
 pub use program::{Action, PeriodicLoop, Program, Script, StepCtx, WaitMode};

@@ -137,6 +137,15 @@ pub trait Program {
     fn kind(&self) -> &'static str {
         "program"
     }
+
+    /// Deterministic program-level counters, as (metric name, value)
+    /// pairs. The observability layer aggregates these per [`Program::kind`]
+    /// after a run; values must depend only on simulation state so that
+    /// snapshots stay byte-identical across reruns. The default is empty —
+    /// only programs with interesting counters override it.
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// A program built from a fixed list of actions, then `Exit`.

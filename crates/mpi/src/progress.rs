@@ -54,6 +54,7 @@ pub struct ProgressThread {
     rng: SimRng,
     phase: SimDur,
     fired: bool,
+    firings: u64,
 }
 
 impl ProgressThread {
@@ -65,6 +66,7 @@ impl ProgressThread {
             rng,
             phase,
             fired: true, // sleep to phase first; do not burst at spawn
+            firings: 0,
         }
     }
 
@@ -80,6 +82,7 @@ impl ProgressThread {
             rng,
             phase,
             fired: true, // sleep to phase first; do not burst at spawn
+            firings: 0,
         }
     }
 }
@@ -91,12 +94,17 @@ impl Program for ProgressThread {
             Action::SleepUntil(ctx.local_now.next_boundary(self.spec.interval, self.phase))
         } else {
             self.fired = true;
+            self.firings += 1;
             Action::Compute(self.rng.jitter(self.spec.burst, self.spec.jitter))
         }
     }
 
     fn kind(&self) -> &'static str {
         "mpi_timer"
+    }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![("firings", self.firings)]
     }
 }
 

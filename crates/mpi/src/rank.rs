@@ -385,6 +385,10 @@ impl Program for RankProgram {
     fn kind(&self) -> &'static str {
         "mpi_rank"
     }
+
+    fn metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![("collectives", self.next_seq), ("io_ops", self.next_io)]
+    }
 }
 
 /// A workload defined by a fixed operation list (tests and simple cases).

@@ -1,0 +1,29 @@
+//! # pa-obs — observability for the simulator itself
+//!
+//! The paper's methodology is trace-driven: §5 finds every outlier by
+//! asking "what ran during this Allreduce". `pa-trace` answers that for
+//! the *simulated* machine; this crate answers it for the *simulator* —
+//! dispatcher decisions, collective phase timing, co-scheduler window
+//! edges, and DES engine throughput all become inspectable artifacts
+//! instead of ad-hoc prints.
+//!
+//! Two pieces:
+//!
+//! * [`MetricsRegistry`] — counters, gauges, and fixed-bucket histograms
+//!   with a canonical-JSON snapshot. Snapshots of the same run are
+//!   byte-identical regardless of wall clock, host, or `--jobs`, so they
+//!   can serve as regression baselines. Hot paths do **not** touch the
+//!   registry: instrumented crates keep plain `u64` counter structs
+//!   (e.g. `pa_kernel::KernelStats`) and fold them in post-run.
+//! * [`SpanTimeline`] — begin/end/instant events on (process, track)
+//!   lanes carrying [`SimTime`](pa_simkit::SimTime), exported as Chrome
+//!   trace-event JSON loadable in Perfetto or `chrome://tracing`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Histogram, MetricsRegistry};
+pub use span::SpanTimeline;

@@ -1,0 +1,350 @@
+//! Deterministic metrics: counters, gauges, fixed-bucket histograms.
+//!
+//! The registry is a post-run aggregation point, not a hot-path sink.
+//! Instrumented crates count with plain `u64` fields on their own
+//! structs (no locks, no string lookups per event — the sim is
+//! single-threaded) and fold the totals in here once the run ends.
+//! Keys are sorted `BTreeMap`s and the snapshot renders through the
+//! insertion-ordered `serde` value model, so two snapshots of the same
+//! deterministic run are byte-identical — the property the campaign
+//! layer and the CI smoke test rely on.
+//!
+//! Wall-clock quantities (elapsed seconds, events/sec, cache hits) must
+//! **never** enter the registry; they vary run-to-run and would break
+//! snapshot identity. Report those beside the snapshot instead (see
+//! `BENCH_engine.json`).
+
+use serde::value::Value;
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// `edges` are inclusive upper bounds of the first `edges.len()` buckets;
+/// one overflow bucket catches everything above the last edge. Bucket
+/// layout is fixed at construction so merged histograms always agree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    edges: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive bucket upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn new(edges: &[u64]) -> Histogram {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Bucket upper bounds (the overflow bucket has no edge).
+    pub fn edges(&self) -> &[u64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts; `counts().len() == edges().len() + 1`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Fold another histogram in.
+    ///
+    /// # Panics
+    /// Panics when bucket layouts differ — merging histograms with
+    /// different edges silently misbins, so it is rejected outright.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.edges, other.edges, "histogram bucket layouts differ");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "edges".into(),
+                Value::Seq(self.edges.iter().map(|&e| Value::UInt(e)).collect()),
+            ),
+            (
+                "counts".into(),
+                Value::Seq(self.counts.iter().map(|&c| Value::UInt(c)).collect()),
+            ),
+            ("count".into(), Value::UInt(self.count)),
+            ("sum".into(), Value::UInt(self.sum)),
+            ("min".into(), Value::UInt(self.min().unwrap_or(0))),
+            ("max".into(), Value::UInt(self.max().unwrap_or(0))),
+        ])
+    }
+}
+
+/// A sorted-key registry of counters, gauges, and histograms with a
+/// canonical-JSON snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to counter `name` (created at zero on first use).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Declare histogram `name` with the given bucket edges (idempotent;
+    /// an existing histogram keeps its layout and contents).
+    pub fn declare_histogram(&mut self, name: &str, edges: &[u64]) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(edges));
+    }
+
+    /// Record `value` into histogram `name`.
+    ///
+    /// # Panics
+    /// Panics when the histogram was never declared — bucket layout must
+    /// be chosen deliberately, not defaulted at first observation.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("histogram {name:?} not declared"))
+            .record(value);
+    }
+
+    /// Histogram `name`, if declared.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True iff nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold `other` in: counters add, gauges take `other`'s value when
+    /// set, histograms merge bucket-wise (layouts must match). This is
+    /// how campaign-level aggregates are built from per-point registries.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// The snapshot as a structured value (sorted keys throughout).
+    pub fn snapshot_value(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::UInt(v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::Int(v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), h.to_value()))
+            .collect();
+        Value::Map(vec![
+            ("counters".into(), Value::Map(counters)),
+            ("gauges".into(), Value::Map(gauges)),
+            ("histograms".into(), Value::Map(histograms)),
+        ])
+    }
+
+    /// Canonical JSON snapshot: sorted keys, stable formatting. Two
+    /// snapshots of the same deterministic run compare byte-equal.
+    pub fn snapshot_json(&self) -> String {
+        let mut s = self.snapshot_value().to_json_string_pretty();
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.inc("a", 2);
+        r.inc("a", 3);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut r = MetricsRegistry::new();
+        r.set_gauge("depth", 4);
+        r.set_gauge("depth", -1);
+        assert_eq!(r.gauge("depth"), Some(-1));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for v in [0, 10, 11, 100, 101, 1000, 1001, u64::MAX] {
+            h.record(v);
+        }
+        // buckets: ≤10, ≤100, ≤1000, overflow
+        assert_eq!(h.counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_edges_rejected() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not declared")]
+    fn undeclared_histogram_rejected() {
+        let mut r = MetricsRegistry::new();
+        r.observe("nope", 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = MetricsRegistry::new();
+        a.inc("x", 1);
+        a.declare_histogram("h", &[5]);
+        a.observe("h", 3);
+        let mut b = MetricsRegistry::new();
+        b.inc("x", 2);
+        b.inc("y", 7);
+        b.set_gauge("g", 9);
+        b.declare_histogram("h", &[5]);
+        b.observe("h", 8);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 7);
+        assert_eq!(a.gauge("g"), Some(9));
+        assert_eq!(a.histogram("h").unwrap().counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn snapshot_is_canonical() {
+        // Same contents registered in different orders render identically.
+        let mut a = MetricsRegistry::new();
+        a.inc("b", 1);
+        a.inc("a", 2);
+        let mut b = MetricsRegistry::new();
+        b.inc("a", 2);
+        b.inc("b", 1);
+        assert_eq!(a.snapshot_json(), b.snapshot_json());
+        assert!(a.snapshot_json().ends_with('\n'));
+    }
+
+    #[test]
+    fn snapshot_parses_as_json() {
+        let mut r = MetricsRegistry::new();
+        r.inc("events", 42);
+        r.set_gauge("depth", 3);
+        r.declare_histogram("lat", &[1, 2]);
+        r.observe("lat", 2);
+        let v = serde_json::parse(&r.snapshot_json()).expect("snapshot must be valid JSON");
+        let top = v.as_map().unwrap();
+        let counters = serde::value::get(top, "counters")
+            .unwrap()
+            .as_map()
+            .unwrap();
+        assert_eq!(
+            serde::value::get(counters, "events").unwrap().as_u64(),
+            Some(42)
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Span timelines with Chrome trace-event export.
+//!
+//! A [`SpanTimeline`] collects begin/end/instant/complete events on
+//! (process, track) lanes — by convention process = node, track = CPU or
+//! thread — and renders the Chrome trace-event JSON format understood by
+//! Perfetto and `chrome://tracing`. Timestamps are [`SimTime`] converted
+//! to microseconds (the format's native unit), so a fig4-style outlier
+//! can be *looked at*: app ranks going quiet while a cron track lights
+//! up across the window.
+
+use pa_simkit::{SimDur, SimTime};
+use serde::value::Value;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    /// Duration begin ("B").
+    Begin { name: String, t: SimTime },
+    /// Duration end ("E"); closes the innermost open span on the track.
+    End { t: SimTime },
+    /// Complete event ("X") with an explicit duration.
+    Complete {
+        name: String,
+        t: SimTime,
+        dur: SimDur,
+    },
+    /// Instant event ("i"), thread-scoped.
+    Instant { name: String, t: SimTime },
+}
+
+/// One track's lane: its events plus the open-span stack used to keep
+/// begin/end nesting honest.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Track {
+    events: Vec<Ev>,
+    open: Vec<String>,
+}
+
+/// A multi-track span recorder exporting Chrome trace-event JSON.
+///
+/// Tracks are addressed by `(pid, tid)`; name them with
+/// [`SpanTimeline::name_process`] / [`SpanTimeline::name_track`] so the
+/// viewer shows "node 0" / "cpu 3" instead of bare numbers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpanTimeline {
+    tracks: BTreeMap<(u32, u32), Track>,
+    process_names: BTreeMap<u32, String>,
+    track_names: BTreeMap<(u32, u32), String>,
+}
+
+impl SpanTimeline {
+    /// An empty timeline.
+    pub fn new() -> SpanTimeline {
+        SpanTimeline::default()
+    }
+
+    /// Name a process (Chrome `process_name` metadata).
+    pub fn name_process(&mut self, pid: u32, name: impl Into<String>) {
+        self.process_names.insert(pid, name.into());
+    }
+
+    /// Name a track (Chrome `thread_name` metadata).
+    pub fn name_track(&mut self, pid: u32, tid: u32, name: impl Into<String>) {
+        self.track_names.insert((pid, tid), name.into());
+    }
+
+    fn track(&mut self, pid: u32, tid: u32) -> &mut Track {
+        self.tracks.entry((pid, tid)).or_default()
+    }
+
+    /// Open a span on `(pid, tid)` at `t`. Spans nest per track.
+    pub fn begin(&mut self, pid: u32, tid: u32, name: impl Into<String>, t: SimTime) {
+        let name = name.into();
+        let track = self.track(pid, tid);
+        track.open.push(name.clone());
+        track.events.push(Ev::Begin { name, t });
+    }
+
+    /// Close the innermost open span on `(pid, tid)` at `t`. Returns the
+    /// closed span's name, or `None` (and records nothing) when no span
+    /// is open — an unmatched end is a caller bug, not a crash.
+    pub fn end(&mut self, pid: u32, tid: u32, t: SimTime) -> Option<String> {
+        let track = self.track(pid, tid);
+        let name = track.open.pop()?;
+        track.events.push(Ev::End { t });
+        Some(name)
+    }
+
+    /// Record a closed span of known duration on `(pid, tid)`.
+    pub fn complete(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: impl Into<String>,
+        start: SimTime,
+        dur: SimDur,
+    ) {
+        self.track(pid, tid).events.push(Ev::Complete {
+            name: name.into(),
+            t: start,
+            dur,
+        });
+    }
+
+    /// Record an instant marker on `(pid, tid)`.
+    pub fn instant(&mut self, pid: u32, tid: u32, name: impl Into<String>, t: SimTime) {
+        self.track(pid, tid).events.push(Ev::Instant {
+            name: name.into(),
+            t,
+        });
+    }
+
+    /// Current open-span nesting depth of `(pid, tid)`.
+    pub fn depth(&self, pid: u32, tid: u32) -> usize {
+        self.tracks.get(&(pid, tid)).map_or(0, |t| t.open.len())
+    }
+
+    /// Total recorded events across all tracks (metadata excluded).
+    pub fn len(&self) -> usize {
+        self.tracks.values().map(|t| t.events.len()).sum()
+    }
+
+    /// True iff no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the Chrome trace-event JSON (`{"traceEvents": [...]}`).
+    ///
+    /// Open spans are left open — Perfetto closes them at the trace end,
+    /// which matches the "still running at horizon" semantics of the
+    /// kernel's dispatch timeline.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<Value> = Vec::new();
+        for (&pid, name) in &self.process_names {
+            events.push(meta_event(pid, 0, "process_name", name));
+        }
+        for (&(pid, tid), name) in &self.track_names {
+            events.push(meta_event(pid, tid, "thread_name", name));
+        }
+        for (&(pid, tid), track) in &self.tracks {
+            for ev in &track.events {
+                events.push(chrome_event(pid, tid, ev));
+            }
+        }
+        let doc = Value::Map(vec![
+            ("traceEvents".into(), Value::Seq(events)),
+            ("displayTimeUnit".into(), Value::Str("ms".into())),
+        ]);
+        let mut s = doc.to_json_string();
+        s.push('\n');
+        s
+    }
+}
+
+fn base(pid: u32, tid: u32, ph: &str, name: &str, ts: f64) -> Vec<(String, Value)> {
+    vec![
+        ("name".into(), Value::Str(name.to_string())),
+        ("ph".into(), Value::Str(ph.to_string())),
+        ("ts".into(), Value::Float(ts)),
+        ("pid".into(), Value::UInt(u64::from(pid))),
+        ("tid".into(), Value::UInt(u64::from(tid))),
+    ]
+}
+
+fn meta_event(pid: u32, tid: u32, kind: &str, name: &str) -> Value {
+    let mut m = base(pid, tid, "M", kind, 0.0);
+    m.push((
+        "args".into(),
+        Value::Map(vec![("name".into(), Value::Str(name.to_string()))]),
+    ));
+    Value::Map(m)
+}
+
+fn chrome_event(pid: u32, tid: u32, ev: &Ev) -> Value {
+    match ev {
+        Ev::Begin { name, t } => Value::Map(base(pid, tid, "B", name, t.as_micros_f64())),
+        Ev::End { t } => Value::Map(base(pid, tid, "E", "", t.as_micros_f64())),
+        Ev::Complete { name, t, dur } => {
+            let mut m = base(pid, tid, "X", name, t.as_micros_f64());
+            m.push(("dur".into(), Value::Float(dur.as_micros_f64())));
+            Value::Map(m)
+        }
+        Ev::Instant { name, t } => {
+            let mut m = base(pid, tid, "i", name, t.as_micros_f64());
+            m.push(("s".into(), Value::Str("t".into())));
+            Value::Map(m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn nesting_depth_tracks_begin_end() {
+        let mut tl = SpanTimeline::new();
+        tl.begin(0, 1, "outer", t(0));
+        tl.begin(0, 1, "inner", t(5));
+        assert_eq!(tl.depth(0, 1), 2);
+        assert_eq!(tl.end(0, 1, t(8)).as_deref(), Some("inner"));
+        assert_eq!(tl.end(0, 1, t(9)).as_deref(), Some("outer"));
+        assert_eq!(tl.depth(0, 1), 0);
+        assert_eq!(tl.end(0, 1, t(10)), None, "unmatched end is rejected");
+        assert_eq!(tl.len(), 4);
+    }
+
+    #[test]
+    fn tracks_are_independent() {
+        let mut tl = SpanTimeline::new();
+        tl.begin(0, 1, "a", t(0));
+        tl.begin(3, 7, "b", t(1));
+        assert_eq!(tl.depth(0, 1), 1);
+        assert_eq!(tl.depth(3, 7), 1);
+        assert_eq!(tl.depth(0, 2), 0);
+        assert_eq!(tl.end(3, 7, t(2)).as_deref(), Some("b"));
+        assert_eq!(tl.depth(0, 1), 1, "other track's end must not close ours");
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_expected_shape() {
+        let mut tl = SpanTimeline::new();
+        tl.name_process(0, "node 0");
+        tl.name_track(0, 2, "cpu 2");
+        tl.begin(0, 2, "dispatch", t(10));
+        tl.end(0, 2, t(20));
+        tl.complete(0, 2, "allreduce", t(30), SimDur::from_micros(5));
+        tl.instant(0, 2, "tick", t(40));
+        let json = tl.to_chrome_trace();
+        let v = serde_json::parse(&json).expect("chrome trace must parse");
+        let top = v.as_map().unwrap();
+        let events = serde::value::get(top, "traceEvents")
+            .unwrap()
+            .as_seq()
+            .unwrap();
+        // 2 metadata + 4 recorded events.
+        assert_eq!(events.len(), 6);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| {
+                serde::value::get(e.as_map().unwrap(), "ph")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(phases, vec!["M", "M", "B", "E", "X", "i"]);
+        let x = events[4].as_map().unwrap();
+        assert_eq!(serde::value::get(x, "ts").unwrap().as_f64(), Some(30.0));
+        assert_eq!(serde::value::get(x, "dur").unwrap().as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_serde_json() {
+        let mut tl = SpanTimeline::new();
+        tl.name_process(1, "node 1");
+        tl.begin(1, 0, "phase", t(1));
+        tl.end(1, 0, t(2));
+        let json = tl.to_chrome_trace();
+        let v = serde_json::parse(&json).unwrap();
+        let rendered = v.to_json_string();
+        let v2 = serde_json::parse(&rendered).unwrap();
+        assert_eq!(v, v2, "parse → render → parse must be a fixed point");
+    }
+}

@@ -50,6 +50,25 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Engine self-profile: lifetime totals of one [`EventQueue`].
+///
+/// Plain `u64` counters bumped inline on the hot path (an add and a
+/// compare per operation); read them post-run and fold them into a
+/// `pa-obs` metrics registry. Everything here is simulation-determined —
+/// no wall-clock values — so it is safe to include in deterministic
+/// snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Live events popped (tombstones excluded).
+    pub popped: u64,
+    /// Successful cancellations.
+    pub cancelled: u64,
+    /// High-water mark of live events pending at once.
+    pub max_pending: u64,
+}
+
 /// A deterministic, cancellable event queue.
 ///
 /// ```
@@ -61,6 +80,8 @@ impl<E> Ord for Entry<E> {
 /// q.cancel(a);
 /// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "b")));
 /// assert_eq!(q.pop(), None);
+/// assert_eq!(q.stats().popped, 1);
+/// assert_eq!(q.stats().cancelled, 1);
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
@@ -70,6 +91,7 @@ pub struct EventQueue<E> {
     pending: HashSet<EventId>,
     next_id: u64,
     now: SimTime,
+    stats: QueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -86,7 +108,13 @@ impl<E> EventQueue<E> {
             pending: HashSet::new(),
             next_id: 0,
             now: SimTime::ZERO,
+            stats: QueueStats::default(),
         }
+    }
+
+    /// Lifetime totals for this queue (engine self-profile).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// The timestamp of the most recently popped event (the simulation
@@ -121,6 +149,8 @@ impl<E> EventQueue<E> {
         self.next_id += 1;
         self.heap.push(Reverse(Entry { time, id, payload }));
         self.pending.insert(id);
+        self.stats.scheduled += 1;
+        self.stats.max_pending = self.stats.max_pending.max(self.pending.len() as u64);
         id
     }
 
@@ -128,7 +158,9 @@ impl<E> EventQueue<E> {
     /// still pending (and is now dead), `false` if it had already fired,
     /// been cancelled, or is [`EventId::NONE`].
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id)
+        let removed = self.pending.remove(&id);
+        self.stats.cancelled += u64::from(removed);
+        removed
     }
 
     /// True iff `id` is scheduled and has neither fired nor been cancelled.
@@ -144,6 +176,7 @@ impl<E> EventQueue<E> {
             }
             debug_assert!(entry.time >= self.now, "event queue went backwards");
             self.now = entry.time;
+            self.stats.popped += 1;
             return Some((entry.time, entry.payload));
         }
         None
@@ -254,6 +287,23 @@ mod tests {
         q.pop();
         assert!(!q.is_pending(id));
         assert!(!q.is_pending(EventId::NONE));
+    }
+
+    #[test]
+    fn stats_track_lifecycle() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(1), ());
+        q.schedule(SimTime::from_micros(2), ());
+        q.schedule(SimTime::from_micros(3), ());
+        q.cancel(a);
+        q.cancel(a); // double cancel must not double count
+        q.pop();
+        q.pop();
+        let s = q.stats();
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.popped, 2);
+        assert_eq!(s.max_pending, 3);
     }
 
     #[test]

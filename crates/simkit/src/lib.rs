@@ -24,7 +24,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use events::{EventId, EventQueue};
+pub use events::{EventId, EventQueue, QueueStats};
 pub use report::{Series, SeriesPoint, Table};
 pub use rng::{SeedSpace, SimRng};
 pub use stats::{linfit, LineFit, OnlineStats, Summary};

@@ -152,6 +152,14 @@ pub struct AttributionReport {
     pub culprits: Vec<Culprit>,
     /// Total interference time.
     pub total_interference: SimDur,
+    /// Events the source ring evicted over its whole lifetime. Nonzero
+    /// means the buffer wrapped at least once; whether *this* query is
+    /// affected is what [`AttributionReport::spans_evicted`] says.
+    pub dropped_events: u64,
+    /// True when `[start, end)` overlaps the evicted region of the ring:
+    /// the report may silently under-attribute (PR 1 deflaked a test whose
+    /// real bug was exactly this).
+    pub spans_evicted: bool,
 }
 
 impl AttributionReport {
@@ -183,7 +191,22 @@ impl AttributionReport {
             end,
             culprits,
             total_interference: total,
+            dropped_events: buffer.dropped(),
+            spans_evicted: buffer.evicted_until().is_some_and(|t| start <= t),
         }
+    }
+
+    /// A human-readable warning when this report queried an interval the
+    /// ring had partially evicted, else `None`. Figure harnesses print
+    /// this so silent eviction is no longer silent.
+    pub fn eviction_warning(&self) -> Option<String> {
+        self.spans_evicted.then(|| {
+            format!(
+                "attribution over [{}, {}) overlaps evicted trace region \
+                 ({} events dropped); interference may be under-counted",
+                self.start, self.end, self.dropped_events
+            )
+        })
     }
 
     /// The single largest interferer, if any.
@@ -286,6 +309,36 @@ mod tests {
         assert_eq!(r.worst().unwrap().cpu_time, SimDur::from_micros(600));
         assert_eq!(r.class_total(ThreadClass::Daemon), SimDur::from_micros(30));
         assert_eq!(r.total_interference, SimDur::from_micros(630));
+        assert_eq!(r.dropped_events, 0);
+        assert!(!r.spans_evicted);
+        assert!(r.eviction_warning().is_none());
+    }
+
+    #[test]
+    fn report_flags_queries_over_evicted_regions() {
+        let mut b = TraceBuffer::new(4);
+        b.set_mask(HookMask::ALL);
+        b.register_thread(2, "syncd", ThreadClass::Daemon);
+        // Six paired events into a 4-slot ring: the first pair is evicted.
+        dispatch(&mut b, 0, 0, 2);
+        undispatch(&mut b, 10, 0, 2);
+        dispatch(&mut b, 20, 0, 2);
+        undispatch(&mut b, 30, 0, 2);
+        dispatch(&mut b, 40, 0, 2);
+        undispatch(&mut b, 50, 0, 2);
+        assert_eq!(b.dropped(), 2);
+        let tl = CpuTimeline::build(&b, SimTime::from_micros(60));
+        // Query starting inside the evicted region is flagged...
+        let r = AttributionReport::analyze(&b, &tl, SimTime::ZERO, SimTime::from_micros(60));
+        assert!(r.spans_evicted);
+        assert_eq!(r.dropped_events, 2);
+        let warn = r.eviction_warning().expect("warning expected");
+        assert!(warn.contains("2 events dropped"), "got: {warn}");
+        // ...a query wholly after the eviction horizon is not.
+        let r =
+            AttributionReport::analyze(&b, &tl, SimTime::from_micros(20), SimTime::from_micros(60));
+        assert!(!r.spans_evicted);
+        assert_eq!(r.dropped_events, 2, "lifetime drop count still reported");
     }
 
     #[test]

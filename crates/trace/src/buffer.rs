@@ -45,6 +45,9 @@ pub struct TraceBuffer {
     mask: HookMask,
     threads: HashMap<u32, ThreadMeta>,
     dropped: u64,
+    /// Timestamp of the newest evicted event: everything at or before this
+    /// time may be missing from the ring.
+    evicted_until: Option<SimTime>,
 }
 
 impl TraceBuffer {
@@ -58,6 +61,7 @@ impl TraceBuffer {
             mask: HookMask::NONE,
             threads: HashMap::new(),
             dropped: 0,
+            evicted_until: None,
         }
     }
 
@@ -110,8 +114,9 @@ impl TraceBuffer {
             return;
         }
         if self.events.len() == self.capacity {
-            self.events.pop_front();
+            let evicted = self.events.pop_front().expect("capacity is nonzero");
             self.dropped += 1;
+            self.evicted_until = Some(evicted.time);
         }
         debug_assert!(
             self.events.back().is_none_or(|last| last.time <= ev.time),
@@ -158,10 +163,19 @@ impl TraceBuffer {
         self.dropped
     }
 
+    /// Timestamp of the newest evicted event, if any were evicted. A query
+    /// over `[start, end)` with `start <= evicted_until()` overlaps a
+    /// region the ring has silently forgotten — callers should surface
+    /// that (see `AttributionReport::spans_evicted`).
+    pub fn evicted_until(&self) -> Option<SimTime> {
+        self.evicted_until
+    }
+
     /// Discard all retained events (keeps registrations and mask).
     pub fn clear(&mut self) {
         self.events.clear();
         self.dropped = 0;
+        self.evicted_until = None;
     }
 
     /// Times of `AppMarker` events with the given marker value, in order.
@@ -210,8 +224,21 @@ mod tests {
         }
         assert_eq!(b.len(), 3);
         assert_eq!(b.dropped(), 2);
+        assert_eq!(b.evicted_until(), Some(SimTime::from_micros(1)));
         let times: Vec<u64> = b.events().map(|e| e.time.micros()).collect();
         assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn eviction_horizon_absent_until_full() {
+        let mut b = TraceBuffer::new(8);
+        b.set_mask(HookMask::ALL);
+        for i in 0..8 {
+            b.record(ev(i, HookId::Tick, 0));
+        }
+        assert_eq!(b.evicted_until(), None);
+        b.record(ev(8, HookId::Tick, 0));
+        assert_eq!(b.evicted_until(), Some(SimTime::from_micros(0)));
     }
 
     #[test]
@@ -248,6 +275,7 @@ mod tests {
         b.clear();
         assert!(b.is_empty());
         assert_eq!(b.dropped(), 0);
+        assert_eq!(b.evicted_until(), None);
         assert_eq!(b.thread_name(1), "app");
         assert!(b.mask().contains(HookId::Dispatch));
     }

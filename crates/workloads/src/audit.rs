@@ -13,8 +13,9 @@ use pa_kernel::{
     Action, ClockModel, CpuId, Kernel, Prio, SchedOptions, Script, SoloRunner, ThreadSpec,
 };
 use pa_noise::NoiseProfile;
+use pa_obs::SpanTimeline;
 use pa_simkit::{SeedSpace, SimDur, SimTime};
-use pa_trace::ThreadClass;
+use pa_trace::{HookMask, ThreadClass};
 use serde::{Deserialize, Serialize};
 
 /// One audited thread's share.
@@ -101,6 +102,69 @@ pub fn audit_node(
     }
 }
 
+/// Audit a node *and* record a span timeline of its schedule: per-CPU
+/// tracks show who held each CPU (soakers, daemons, cron components)
+/// with `tick` instants, so the §2 interference pattern is visible in
+/// Perfetto / `chrome://tracing`.
+///
+/// Tracing every dispatch is heavy, so the observation `window` should
+/// be seconds, not minutes; the ring holds 2^17 events and the timeline
+/// converter tolerates eviction (spans reopen at the next dispatch).
+pub fn audit_node_timeline(
+    noise: &NoiseProfile,
+    opts: SchedOptions,
+    ncpus: u8,
+    window: SimDur,
+    seed: u64,
+) -> (AuditResult, SpanTimeline) {
+    let seeds = SeedSpace::new(seed);
+    let mut kernel = Kernel::new(
+        0,
+        ncpus,
+        opts,
+        ClockModel::synced(),
+        seeds.stream_at("audit/kernel", 0, 0),
+        1 << 17,
+    );
+    kernel.trace_mut().set_mask(HookMask::study());
+    for c in 0..ncpus {
+        kernel.spawn(
+            ThreadSpec::new(format!("soak{c}"), ThreadClass::App, Prio::USER).on_cpu(CpuId(c)),
+            Box::new(Script::new(vec![Action::Compute(SimDur::from_secs(
+                36_000,
+            ))])),
+        );
+    }
+    noise.install(&mut kernel, &seeds, 0);
+    let mut runner = SoloRunner::new(kernel);
+    runner.boot();
+    runner.run_until(SimTime::ZERO + window);
+
+    let mut rows: Vec<AuditRow> = runner
+        .kernel
+        .usage_report()
+        .into_iter()
+        .filter(|r| r.class.is_interference())
+        .map(|r| AuditRow {
+            one_cpu_share: r.cpu_time.nanos() as f64 / window.nanos() as f64,
+            name: r.name,
+            class: r.class,
+            cpu_time: r.cpu_time,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.cpu_time.cmp(&a.cpu_time).then(a.name.cmp(&b.name)));
+    let total: f64 = rows.iter().map(|r| r.one_cpu_share).sum();
+    let result = AuditResult {
+        window,
+        ncpus,
+        rows,
+        total_one_cpu_share: total,
+        per_cpu_share: total / f64::from(ncpus),
+    };
+    let timeline = pa_core::timeline_from_trace(0, runner.kernel.trace(), SimTime::ZERO + window);
+    (result, timeline)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +192,21 @@ mod tests {
         for w in r.rows.windows(2) {
             assert!(w[0].cpu_time >= w[1].cpu_time);
         }
+    }
+
+    #[test]
+    fn timeline_variant_matches_audit_and_fills_tracks() {
+        let noise = NoiseProfile::production();
+        let window = SimDur::from_secs(2);
+        let plain = audit_node(&noise, SchedOptions::vanilla(), 4, window, 7);
+        let (traced, tl) = audit_node_timeline(&noise, SchedOptions::vanilla(), 4, window, 7);
+        // Tracing must not perturb the simulation.
+        assert_eq!(plain, traced);
+        assert!(!tl.is_empty(), "no spans recorded");
+        let json = tl.to_chrome_trace();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("soak0"), "soaker spans missing");
+        assert!(json.contains("tick"), "tick instants missing");
     }
 
     #[test]

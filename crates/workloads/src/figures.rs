@@ -399,6 +399,13 @@ pub struct Fig4Result {
 
 /// Run the Figure-4 study.
 pub fn fig4(cfg: &Fig4Config) -> Fig4Result {
+    fig4_with_output(cfg).0
+}
+
+/// Run the Figure-4 study, also returning the raw [`RunOutput`] so the
+/// caller can fold it into `pa-obs` artifacts (metrics registry, span
+/// timeline of the traced nodes) — see `pa_core::observe`.
+pub fn fig4_with_output(cfg: &Fig4Config) -> (Fig4Result, RunOutput) {
     let seeds = SeedSpace::new(cfg.seed);
     let mut noise = NoiseProfile::production();
     noise.cron = Some(cfg.cron.clone());
@@ -484,7 +491,7 @@ pub fn fig4(cfg: &Fig4Config) -> Fig4Result {
     let shm_phases = 2 * rounds(cfg.tasks_per_node);
     let model_us = f64::from(net_phases) * 22.0 + f64::from(shm_phases) * 8.0;
 
-    Fig4Result {
+    let result = Fig4Result {
         mean_us: summary.mean,
         median_us: summary.median,
         fastest_us: summary.min,
@@ -497,7 +504,8 @@ pub fn fig4(cfg: &Fig4Config) -> Fig4Result {
         },
         sorted_us: sorted_for_figure,
         culprits,
-    }
+    };
+    (result, out)
 }
 
 /// Shared helper for table drivers: mean Allreduce µs of one config.
