@@ -81,6 +81,63 @@ fn timeline_scenario(calls: usize) -> Scenario {
     }
 }
 
+/// One point of the engine's thread-scaling curve.
+struct SpeedupPoint {
+    threads: usize,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    speedup: f64,
+}
+
+/// Parallel-engine throughput on a 64-node cluster at 1/2/4 worker
+/// threads. The sharded engine's history is bit-identical at every
+/// point; only the wall clock moves. Each point takes the minimum wall
+/// time over `reps` runs to shed scheduler jitter.
+fn thread_scaling(calls: usize, reps: u32) -> Vec<SpeedupPoint> {
+    let run = |threads: usize| -> (u64, f64) {
+        let mut events = 0u64;
+        let mut wall = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let mut wl = |_rank: u32| -> Box<dyn RankWorkload> {
+                Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 256 }; calls]))
+            };
+            let started = Instant::now();
+            let out = pa_core::Experiment::new(64, 2)
+                .with_cpus_per_node(4)
+                .with_seed(42)
+                .with_sim_threads(threads)
+                .run(&mut wl);
+            wall = wall.min(started.elapsed().as_secs_f64());
+            events = out.events;
+        }
+        (events, wall)
+    };
+    let (base_events, base_wall) = run(1);
+    let mut points = vec![SpeedupPoint {
+        threads: 1,
+        events: base_events,
+        wall_s: base_wall,
+        events_per_sec: base_events as f64 / base_wall,
+        speedup: 1.0,
+    }];
+    for threads in [2usize, 4] {
+        let (events, wall) = run(threads);
+        assert_eq!(
+            events, base_events,
+            "sharded engine diverged from serial at {threads} threads"
+        );
+        points.push(SpeedupPoint {
+            threads,
+            events,
+            wall_s: wall,
+            events_per_sec: events as f64 / wall,
+            speedup: base_wall / wall,
+        });
+    }
+    points
+}
+
 /// Wall-time overhead `--metrics-out` adds to a run: registry fold plus
 /// canonical snapshot, as a fraction of the simulation it summarizes.
 /// The always-on hot-path counters cannot be compiled out and are plain
@@ -112,10 +169,10 @@ fn overhead_ratio(calls: usize, reps: u32) -> f64 {
 
 fn main() {
     let args = Args::parse();
-    let (batches, calls, reps) = match args.mode {
-        Mode::Quick => (20, 800, 3),
-        Mode::Standard => (60, 2_000, 5),
-        Mode::Full => (200, 6_000, 7),
+    let (batches, calls, reps, scaling_calls, scaling_reps) = match args.mode {
+        Mode::Quick => (20, 800, 3, 4, 1),
+        Mode::Standard => (60, 2_000, 5, 12, 2),
+        Mode::Full => (200, 6_000, 7, 40, 3),
     };
     let scenarios = vec![
         queue_scenario(batches),
@@ -124,6 +181,12 @@ fn main() {
     ];
     let overhead = overhead_ratio(calls, reps);
     let threshold = 0.05;
+    let curve = thread_scaling(scaling_calls, scaling_reps);
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // 2× at 4 threads is only a meaningful expectation when the host can
+    // actually run 4 workers; wall-clock speedup on fewer cores is noise.
+    let speedup_target = 2.0;
+    let speedup_enforced = host_parallelism >= 4;
 
     let mut rows = Vec::new();
     for s in &scenarios {
@@ -142,11 +205,31 @@ fn main() {
         overhead * 100.0,
         threshold * 100.0
     );
+    let mut curve_rows = Vec::new();
+    for p in &curve {
+        eprintln!(
+            "  engine/64-node @ {} threads   {:>12.0} events/s  speedup {:.2}x",
+            p.threads, p.events_per_sec, p.speedup
+        );
+        curve_rows.push(Value::Map(vec![
+            ("threads".into(), Value::UInt(p.threads as u64)),
+            ("events".into(), Value::UInt(p.events)),
+            ("wall_s".into(), Value::Float(p.wall_s)),
+            ("events_per_sec".into(), Value::Float(p.events_per_sec)),
+            ("speedup".into(), Value::Float(p.speedup)),
+        ]));
+    }
 
     let doc = Value::Map(vec![
         ("scenarios".into(), Value::Seq(rows)),
         ("obs_overhead_ratio".into(), Value::Float(overhead)),
         ("obs_overhead_threshold".into(), Value::Float(threshold)),
+        ("thread_scaling_64node".into(), Value::Seq(curve_rows)),
+        ("speedup_target_4t".into(), Value::Float(speedup_target)),
+        (
+            "host_parallelism".into(),
+            Value::UInt(host_parallelism as u64),
+        ),
         ("mode".into(), Value::Str(format!("{:?}", args.mode))),
     ]);
     let path = args
@@ -166,5 +249,21 @@ fn main() {
             threshold * 100.0
         );
         std::process::exit(1);
+    }
+    let at4 = curve.iter().find(|p| p.threads == 4);
+    if let Some(p) = at4 {
+        if speedup_enforced && p.speedup < speedup_target {
+            eprintln!(
+                "error: 4-thread speedup {:.2}x below {:.1}x target on a \
+                 {host_parallelism}-way host",
+                p.speedup, speedup_target
+            );
+            std::process::exit(1);
+        }
+        if !speedup_enforced {
+            eprintln!(
+                "note: speedup target not enforced (host parallelism {host_parallelism} < 4)"
+            );
+        }
     }
 }

@@ -10,7 +10,10 @@
 //! * `--json`  — machine-readable output instead of tables;
 //! * `--seed N` — override the master seed;
 //! * `--jobs N` — campaign worker threads (results are bit-identical at
-//!   any job count; each DES run is single-threaded);
+//!   any job count);
+//! * `--sim-threads N` — cluster-engine worker threads inside each run
+//!   (results are bit-identical at any setting: the engine is
+//!   conservatively parallel with a deterministic barrier merge);
 //! * `--no-cache` — skip the `results/cache/` result cache entirely;
 //! * `--rerun` — ignore cached entries but refresh them with new runs.
 //!
@@ -45,6 +48,8 @@ pub struct Args {
     pub seed: u64,
     /// Campaign worker threads.
     pub jobs: usize,
+    /// Cluster-engine worker threads per run.
+    pub sim_threads: usize,
     /// Disable the result cache.
     pub no_cache: bool,
     /// Ignore cached entries (but refresh them).
@@ -64,6 +69,7 @@ impl Args {
             json: false,
             seed: 42,
             jobs: 1,
+            sim_threads: 1,
             no_cache: false,
             rerun: false,
             metrics_out: None,
@@ -88,6 +94,13 @@ impl Args {
                         .filter(|&n| n >= 1)
                         .unwrap_or_else(|| usage("--jobs needs a positive integer"));
                 }
+                "--sim-threads" => {
+                    args.sim_threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--sim-threads needs a positive integer"));
+                }
                 "--no-cache" => args.no_cache = true,
                 "--rerun" => args.rerun = true,
                 "--metrics-out" => {
@@ -108,6 +121,9 @@ impl Args {
                 other => usage(&format!("unknown argument '{other}'")),
             }
         }
+        // Every figure/table binary builds experiments through
+        // `Experiment::new`, which reads this process-wide default.
+        pa_core::set_default_sim_threads(args.sim_threads);
         args
     }
 
@@ -135,8 +151,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: <bin> [--quick|--full] [--json] [--seed N] [--jobs N] [--no-cache] [--rerun] \
-         [--metrics-out PATH] [--trace-out PATH]"
+        "usage: <bin> [--quick|--full] [--json] [--seed N] [--jobs N] [--sim-threads N] \
+         [--no-cache] [--rerun] [--metrics-out PATH] [--trace-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

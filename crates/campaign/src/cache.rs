@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bump when the meaning of cached fields changes; old entries become
 /// unreachable (different keys) rather than misread.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// Whether a point was served from disk or freshly simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +62,8 @@ impl PointResult {
         let s = out
             .job
             .recorder
-            .borrow()
+            .lock()
+            .unwrap()
             .global_dur_summary_us(OpKind::Allreduce);
         let mut r = PointResult::from_run(out);
         r.extra.insert("global_mean_us".into(), s.mean);

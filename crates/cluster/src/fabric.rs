@@ -59,6 +59,11 @@ impl FabricModel {
         if self.shm_latency > self.net_latency {
             return Err("shared memory should not be slower than the switch".into());
         }
+        if self.net_latency.is_zero() {
+            return Err(
+                "net_latency must be positive: it is the parallel engine's lookahead".into(),
+            );
+        }
         Ok(())
     }
 }
@@ -122,5 +127,11 @@ mod tests {
             ..FabricModel::default()
         };
         assert!(bad.validate().is_err());
+        let bad = FabricModel {
+            net_latency: SimDur::ZERO,
+            shm_latency: SimDur::ZERO,
+            ..FabricModel::default()
+        };
+        assert!(bad.validate().is_err(), "zero lookahead must be rejected");
     }
 }

@@ -8,10 +8,11 @@
 //!   memory paths);
 //! * [`ClusterSpec`] — the machine shape (nodes × CPUs, kernel options,
 //!   boot-time clock skew);
-//! * [`ClusterSim`] — the event-calendar driver that routes messages and
-//!   runs every node kernel on the shared global timeline, including the
-//!   switch-clock synchronization step the co-scheduler performs at
-//!   startup (§4).
+//! * [`ClusterSim`] — the conservatively-parallel engine that advances one
+//!   shard per node in lookahead-bounded time windows, routes messages
+//!   between shards at deterministic window barriers (bit-identical at any
+//!   thread count), and performs the switch-clock synchronization step the
+//!   co-scheduler runs at startup (§4).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,4 +21,4 @@ pub mod fabric;
 pub mod sim;
 
 pub use fabric::FabricModel;
-pub use sim::{ClusterEvent, ClusterSim, ClusterSpec};
+pub use sim::{ClusterSim, ClusterSpec};

@@ -1,26 +1,36 @@
 //! The multi-node simulation driver.
 //!
-//! [`ClusterSim`] owns one [`Kernel`] per node, the global event calendar,
-//! and the switch [`FabricModel`]. It routes outbound messages between
-//! node kernels and runs the whole cluster to a predicate or horizon.
-//! The global calendar *is* the switch's globally synchronized timebase;
-//! each node's kernel sees it only through its own
-//! `ClockModel` — exactly as real nodes see real
-//! time only through their (possibly skewed) time-of-day clocks.
+//! [`ClusterSim`] owns one *shard* per node — the node's [`Kernel`] plus a
+//! private event calendar — and a switch [`FabricModel`] connecting them.
+//! The engine is **conservatively parallel**: it advances all shards in
+//! bounded time windows whose width is the cross-node wire latency
+//! (the *lookahead*). Because every cross-node message takes at least
+//! `net_latency` of fabric time, no event processed inside the current
+//! window can affect another shard within that same window, so shards may
+//! run the window concurrently without coordination. At each window
+//! barrier, cross-shard messages are exchanged and merged in a
+//! deterministic order — sorted by `(delivery time, source node, send
+//! sequence)` — so the simulation history is **bit-identical at any
+//! thread count**, including the serial path.
+//!
+//! The per-shard calendars together *are* the switch's globally
+//! synchronized timebase; each node's kernel sees global time only through
+//! its own `ClockModel` — exactly as real nodes see real time only through
+//! their (possibly skewed) time-of-day clocks.
+//!
+//! Fabric channels are FIFO: delivery on each `(src node, dst node)`
+//! channel is clamped to be non-decreasing in send order, mirroring the
+//! in-order SP switch routes. Without the clamp a small message could
+//! overtake a large one sent earlier on the same channel (serialization
+//! makes the large one slower), which no real in-order fabric permits.
 
 use crate::fabric::FabricModel;
-use pa_kernel::{ClockModel, Effects, Kernel, KernelEvent, SchedOptions};
-use pa_simkit::{EventQueue, SeedSpace, SimDur, SimTime};
+use pa_kernel::{ClockModel, Effects, Kernel, KernelEvent, Message, SchedOptions};
+use pa_simkit::{EventQueue, QueueStats, SeedSpace, SimDur, SimTime};
 use serde::{Deserialize, Serialize};
-
-/// Cluster-wide event: a kernel event addressed to one node.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ClusterEvent {
-    /// Destination node.
-    pub node: u32,
-    /// The node-level event.
-    pub ev: KernelEvent,
-}
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 
 /// Static description of a cluster to build.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -68,17 +78,127 @@ impl ClusterSpec {
     }
 }
 
-/// The running cluster.
-pub struct ClusterSim {
-    kernels: Vec<Kernel>,
-    queue: EventQueue<ClusterEvent>,
-    fabric: FabricModel,
+/// A cross-shard message staged during a window, delivered at the barrier.
+struct StagedMsg {
+    deliver_at: SimTime,
+    src_node: u32,
+    seq: u64,
+    dst_node: u32,
+    msg: Message,
+}
+
+/// One node's slice of the cluster: its kernel, its private event
+/// calendar, and the staging state for messages leaving the node. Shard
+/// structure is *per node*, never per thread, so the event history is
+/// independent of how shards are distributed over worker threads.
+struct Shard {
+    node: u32,
+    nnodes: u32,
+    kernel: Kernel,
+    queue: EventQueue<KernelEvent>,
     fx: Effects,
     events_processed: u64,
-    booted: bool,
     messages_routed: u64,
     bytes_routed: u64,
+    fifo_clamps: u64,
+    /// Monotone sequence for cross-shard sends; with the source node it
+    /// forms the deterministic tie-break of the barrier merge.
+    msg_seq: u64,
+    /// Per-destination FIFO floor: the latest delivery time already
+    /// promised on the `(this node → dst)` channel.
+    last_delivery: HashMap<u32, SimTime>,
+    /// Cross-shard messages staged during the current window.
+    outbox: Vec<StagedMsg>,
+}
+
+impl Shard {
+    /// Process every local event strictly before `window_end`.
+    fn process_window(&mut self, window_end: SimTime, fabric: &FabricModel) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= window_end {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            self.events_processed += 1;
+            self.kernel.handle(now, ev, &mut self.fx);
+            self.drain_effects(now, fabric);
+        }
+    }
+
+    /// Move kernel effects into the calendar (local) or outbox (remote).
+    fn drain_effects(&mut self, now: SimTime, fabric: &FabricModel) {
+        for (t, ev) in self.fx.schedule.drain(..) {
+            self.queue.schedule(t, ev);
+        }
+        for msg in self.fx.outbound.drain(..) {
+            let dst = msg.dst.node;
+            assert!(dst < self.nnodes, "message to nonexistent node {dst}");
+            self.messages_routed += 1;
+            self.bytes_routed += u64::from(msg.bytes);
+            let mut deliver_at = now + fabric.delay(&msg);
+            // FIFO clamp: fabric channels deliver in send order. A later
+            // (smaller) message may not overtake an earlier (larger) one
+            // still serializing on the same channel.
+            let floor = self.last_delivery.entry(dst).or_insert(SimTime::ZERO);
+            if deliver_at < *floor {
+                deliver_at = *floor;
+                self.fifo_clamps += 1;
+            }
+            *floor = deliver_at;
+            if dst == self.node {
+                self.queue
+                    .schedule(deliver_at, KernelEvent::Deliver { msg });
+            } else {
+                self.outbox.push(StagedMsg {
+                    deliver_at,
+                    src_node: self.node,
+                    seq: self.msg_seq,
+                    dst_node: dst,
+                    msg,
+                });
+                self.msg_seq += 1;
+            }
+        }
+    }
+}
+
+/// What one worker thread learned about its shards during a window:
+/// earliest next local event, live application threads, and the staged
+/// cross-shard messages. The coordinator aggregates these instead of
+/// re-scanning every shard.
+struct WindowReport {
+    min_next_ns: u64,
+    apps: usize,
+    staged: Vec<StagedMsg>,
+}
+
+impl Default for WindowReport {
+    fn default() -> Self {
+        WindowReport {
+            min_next_ns: u64::MAX,
+            apps: 0,
+            staged: Vec::new(),
+        }
+    }
+}
+
+/// Exclusive upper bound of the window opening at `t_start`.
+fn window_end_of(t_start: SimTime, horizon: SimTime, lookahead: SimDur) -> SimTime {
+    // `horizon` is inclusive, so the hard cap is one nanosecond past it.
+    let hard = horizon.nanos().saturating_add(1);
+    SimTime::from_nanos(t_start.nanos().saturating_add(lookahead.nanos()).min(hard))
+}
+
+/// The running cluster.
+pub struct ClusterSim {
+    shards: Vec<Shard>,
+    fabric: FabricModel,
+    /// Window width: the minimum cross-node fabric delay.
+    lookahead: SimDur,
+    booted: bool,
     clock_resyncs: u64,
+    sim_threads: usize,
+    now: SimTime,
 }
 
 impl ClusterSim {
@@ -87,7 +207,7 @@ impl ClusterSim {
     pub fn build(spec: &ClusterSpec, seeds: &SeedSpace) -> ClusterSim {
         spec.fabric.validate().expect("invalid fabric model");
         assert!(spec.nodes > 0, "cluster needs at least one node");
-        let kernels = (0..spec.nodes)
+        let shards = (0..spec.nodes)
             .map(|n| {
                 let mut clock_rng = seeds.stream_at("cluster/clock", u64::from(n), 0);
                 let offset = if spec.skew_max.is_zero() {
@@ -95,62 +215,91 @@ impl ClusterSim {
                 } else {
                     SimDur::from_nanos(clock_rng.range(0, spec.skew_max.nanos()))
                 };
-                Kernel::new(
-                    n,
-                    spec.cpus_per_node,
-                    spec.options,
-                    ClockModel::with_offset(offset),
-                    seeds.stream_at("cluster/kernel", u64::from(n), 0),
-                    spec.trace_capacity,
-                )
+                Shard {
+                    node: n,
+                    nnodes: spec.nodes,
+                    kernel: Kernel::new(
+                        n,
+                        spec.cpus_per_node,
+                        spec.options,
+                        ClockModel::with_offset(offset),
+                        seeds.stream_at("cluster/kernel", u64::from(n), 0),
+                        spec.trace_capacity,
+                    ),
+                    queue: EventQueue::new(),
+                    fx: Effects::new(),
+                    events_processed: 0,
+                    messages_routed: 0,
+                    bytes_routed: 0,
+                    fifo_clamps: 0,
+                    msg_seq: 0,
+                    last_delivery: HashMap::new(),
+                    outbox: Vec::new(),
+                }
             })
             .collect();
         ClusterSim {
-            kernels,
-            queue: EventQueue::new(),
+            shards,
             fabric: spec.fabric,
-            fx: Effects::new(),
-            events_processed: 0,
+            lookahead: spec.fabric.net_latency,
             booted: false,
-            messages_routed: 0,
-            bytes_routed: 0,
             clock_resyncs: 0,
+            sim_threads: 1,
+            now: SimTime::ZERO,
         }
     }
 
     /// Number of nodes.
     pub fn nodes(&self) -> u32 {
-        self.kernels.len() as u32
+        self.shards.len() as u32
+    }
+
+    /// Worker threads used to advance shards (1 = serial). The event
+    /// history is identical at any setting; this only trades wall-clock
+    /// time. Clamped to the node count at run time.
+    pub fn set_sim_threads(&mut self, threads: usize) {
+        self.sim_threads = threads.max(1);
+    }
+
+    /// Configured worker thread count.
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
     }
 
     /// Access a node's kernel (setup: spawning threads, enabling traces).
     pub fn kernel_mut(&mut self, node: u32) -> &mut Kernel {
-        &mut self.kernels[node as usize]
+        &mut self.shards[node as usize].kernel
     }
 
     /// Access a node's kernel read-only (post-run analysis).
     pub fn kernel(&self, node: u32) -> &Kernel {
-        &self.kernels[node as usize]
+        &self.shards[node as usize].kernel
     }
 
     /// Current global time.
     pub fn now(&self) -> SimTime {
-        self.queue.now()
+        self.now
     }
 
-    /// Total events processed.
+    /// Total events processed across all shards.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.shards.iter().map(|s| s.events_processed).sum()
     }
 
     /// Messages routed over the fabric.
     pub fn messages_routed(&self) -> u64 {
-        self.messages_routed
+        self.shards.iter().map(|s| s.messages_routed).sum()
     }
 
     /// Payload bytes routed over the fabric.
     pub fn bytes_routed(&self) -> u64 {
-        self.bytes_routed
+        self.shards.iter().map(|s| s.bytes_routed).sum()
+    }
+
+    /// Deliveries delayed by the per-channel FIFO clamp (a later message
+    /// would otherwise have overtaken an earlier one on the same channel).
+    pub fn fifo_clamps(&self) -> u64 {
+        self.shards.iter().map(|s| s.fifo_clamps).sum()
     }
 
     /// Node clocks re-synchronized via [`ClusterSim::sync_clocks`].
@@ -158,9 +307,13 @@ impl ClusterSim {
         self.clock_resyncs
     }
 
-    /// Engine self-profile of the cluster event queue.
-    pub fn queue_stats(&self) -> pa_simkit::QueueStats {
-        self.queue.stats()
+    /// Engine self-profile, merged across all shard calendars.
+    pub fn queue_stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for sh in &self.shards {
+            total.absorb(sh.queue.stats());
+        }
+        total
     }
 
     /// Synchronize every node's clock to the switch clock, leaving at most
@@ -168,14 +321,14 @@ impl ClusterSim {
     /// procedure, §4). Must be called before [`ClusterSim::boot`] so tick
     /// boundaries are planned on the synced clocks.
     pub fn sync_clocks(&mut self, seeds: &SeedSpace, residual_max: SimDur) {
-        for (n, k) in self.kernels.iter_mut().enumerate() {
+        for (n, sh) in self.shards.iter_mut().enumerate() {
             let mut rng = seeds.stream_at("cluster/clocksync", n as u64, 0);
             let residual = if residual_max.is_zero() {
                 SimDur::ZERO
             } else {
                 SimDur::from_nanos(rng.range(0, residual_max.nanos()))
             };
-            k.clock_mut().sync_to_switch(residual);
+            sh.kernel.clock_mut().sync_to_switch(residual);
             self.clock_resyncs += 1;
         }
     }
@@ -184,78 +337,204 @@ impl ClusterSim {
     pub fn boot(&mut self) {
         assert!(!self.booted, "boot called twice");
         self.booted = true;
-        let now = self.queue.now();
-        for n in 0..self.kernels.len() {
-            self.kernels[n].boot(now, &mut self.fx);
-            self.drain_effects(n as u32);
+        let now = self.now;
+        for sh in &mut self.shards {
+            sh.kernel.boot(now, &mut sh.fx);
+            sh.drain_effects(now, &self.fabric);
         }
-    }
-
-    fn drain_effects(&mut self, node: u32) {
-        let now = self.queue.now();
-        for (t, ev) in self.fx.schedule.drain(..) {
-            self.queue.schedule(t, ClusterEvent { node, ev });
-        }
-        for msg in self.fx.outbound.drain(..) {
-            let delay = self.fabric.delay(&msg);
-            let dst = msg.dst.node;
-            self.messages_routed += 1;
-            self.bytes_routed += u64::from(msg.bytes);
-            assert!(
-                (dst as usize) < self.kernels.len(),
-                "message to nonexistent node {dst}"
-            );
-            self.queue.schedule(
-                now + delay,
-                ClusterEvent {
-                    node: dst,
-                    ev: KernelEvent::Deliver { msg },
-                },
-            );
-        }
+        Self::merge_outboxes(&mut self.shards);
     }
 
     /// Live application threads across the cluster.
     pub fn apps_alive(&self) -> usize {
-        self.kernels.iter().map(|k| k.app_alive()).sum()
+        self.shards.iter().map(|s| s.kernel.app_alive()).sum()
     }
 
     /// Run until every application thread has exited or `horizon` passes.
-    /// Returns the stop time.
+    /// Returns the stop time: the latest event processed. Termination is
+    /// checked at window barriers, so trailing events inside the final
+    /// lookahead window are processed on every shard before stopping —
+    /// identically at any thread count.
     pub fn run_until_apps_done(&mut self, horizon: SimTime) -> SimTime {
-        assert!(self.booted, "boot the cluster first");
-        loop {
-            if self.apps_alive() == 0 {
-                return self.queue.now();
-            }
-            let Some(t) = self.queue.peek_time() else {
-                return self.queue.now();
-            };
-            if t > horizon {
-                return self.queue.now();
-            }
-            self.step();
+        self.run_windows(horizon, true);
+        let end = self
+            .shards
+            .iter()
+            .map(|s| s.queue.now())
+            .max()
+            .unwrap_or(self.now)
+            .max(self.now);
+        self.now = end;
+        end
+    }
+
+    /// Run until `horizon` regardless of application state. Afterwards the
+    /// global clock reads exactly `horizon` (every event at or before it
+    /// has been processed), and that time is returned.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        self.run_windows(horizon, false);
+        for sh in &mut self.shards {
+            let target = horizon.max(sh.queue.now());
+            sh.queue.advance_to(target);
+        }
+        self.now = self.now.max(horizon);
+        self.now
+    }
+
+    /// Deliver staged cross-shard messages in the canonical merge order.
+    fn merge_outboxes(shards: &mut [Shard]) {
+        let mut staged: Vec<StagedMsg> = Vec::new();
+        for sh in shards.iter_mut() {
+            staged.append(&mut sh.outbox);
+        }
+        if staged.is_empty() {
+            return;
+        }
+        staged.sort_by_key(|m| (m.deliver_at, m.src_node, m.seq));
+        for m in staged {
+            shards[m.dst_node as usize]
+                .queue
+                .schedule(m.deliver_at, KernelEvent::Deliver { msg: m.msg });
         }
     }
 
-    /// Run until `horizon` regardless of application state.
-    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+    /// Earliest pending event across all shards.
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.shards
+            .iter_mut()
+            .filter_map(|s| s.queue.peek_time())
+            .min()
+    }
+
+    fn run_windows(&mut self, horizon: SimTime, until_apps_done: bool) {
         assert!(self.booted, "boot the cluster first");
-        while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
+        let nthreads = self.sim_threads.min(self.shards.len()).max(1);
+        if nthreads <= 1 {
+            self.run_windows_serial(horizon, until_apps_done);
+        } else {
+            self.run_windows_parallel(horizon, until_apps_done, nthreads);
+        }
+    }
+
+    /// The serial engine: the reference window sequence.
+    fn run_windows_serial(&mut self, horizon: SimTime, until_apps_done: bool) {
+        loop {
+            if until_apps_done && self.apps_alive() == 0 {
                 break;
             }
-            self.step();
+            let Some(t_start) = self.next_event_time() else {
+                break;
+            };
+            if t_start > horizon {
+                break;
+            }
+            let we = window_end_of(t_start, horizon, self.lookahead);
+            for sh in &mut self.shards {
+                sh.process_window(we, &self.fabric);
+            }
+            Self::merge_outboxes(&mut self.shards);
         }
-        horizon
     }
 
-    fn step(&mut self) {
-        let (now, ev) = self.queue.pop().expect("step on empty queue");
-        self.events_processed += 1;
-        let node = ev.node as usize;
-        self.kernels[node].handle(now, ev.ev, &mut self.fx);
-        self.drain_effects(ev.node);
+    /// The parallel engine: persistent workers advance disjoint shard
+    /// stripes window by window; a coordinator derives the *same* window
+    /// sequence the serial path would and performs the deterministic
+    /// barrier merge. Stop conditions, window bounds, per-shard event
+    /// order, and merge order are all functions of simulation state alone,
+    /// so the history is identical to the serial engine's.
+    fn run_windows_parallel(&mut self, horizon: SimTime, until_apps_done: bool, nthreads: usize) {
+        let fabric = self.fabric;
+        let lookahead = self.lookahead;
+        let shards: Vec<Mutex<Shard>> = std::mem::take(&mut self.shards)
+            .into_iter()
+            .map(Mutex::new)
+            .collect();
+        let barrier = Barrier::new(nthreads + 1);
+        let window_end_ns = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let slots: Vec<Mutex<WindowReport>> = (0..nthreads)
+            .map(|_| Mutex::new(WindowReport::default()))
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..nthreads {
+                let shards = &shards;
+                let barrier = &barrier;
+                let window_end_ns = &window_end_ns;
+                let done = &done;
+                let slots = &slots;
+                let fabric = &fabric;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let we = SimTime::from_nanos(window_end_ns.load(Ordering::Acquire));
+                    let mut report = WindowReport::default();
+                    let mut i = t;
+                    while i < shards.len() {
+                        let mut sh = shards[i].lock().unwrap();
+                        sh.process_window(we, fabric);
+                        if let Some(next) = sh.queue.peek_time() {
+                            report.min_next_ns = report.min_next_ns.min(next.nanos());
+                        }
+                        report.apps += sh.kernel.app_alive();
+                        report.staged.append(&mut sh.outbox);
+                        drop(sh);
+                        i += nthreads;
+                    }
+                    *slots[t].lock().unwrap() = report;
+                    barrier.wait();
+                });
+            }
+            // Coordinator. Initial scan mirrors the serial loop's first
+            // apps/next-event check; afterwards both are maintained from
+            // the worker reports plus the merged deliveries.
+            let mut next_ns = u64::MAX;
+            let mut apps = 0usize;
+            for m in shards.iter() {
+                let mut sh = m.lock().unwrap();
+                if let Some(t0) = sh.queue.peek_time() {
+                    next_ns = next_ns.min(t0.nanos());
+                }
+                apps += sh.kernel.app_alive();
+            }
+            loop {
+                if until_apps_done && apps == 0 {
+                    break;
+                }
+                if next_ns == u64::MAX || next_ns > horizon.nanos() {
+                    break;
+                }
+                let we = window_end_of(SimTime::from_nanos(next_ns), horizon, lookahead);
+                window_end_ns.store(we.nanos(), Ordering::Release);
+                barrier.wait(); // open the window
+                barrier.wait(); // all shards processed it
+                let mut staged: Vec<StagedMsg> = Vec::new();
+                next_ns = u64::MAX;
+                apps = 0;
+                for slot in slots.iter() {
+                    let mut s = slot.lock().unwrap();
+                    next_ns = next_ns.min(s.min_next_ns);
+                    apps += s.apps;
+                    staged.append(&mut s.staged);
+                }
+                staged.sort_by_key(|m| (m.deliver_at, m.src_node, m.seq));
+                for m in staged {
+                    next_ns = next_ns.min(m.deliver_at.nanos());
+                    shards[m.dst_node as usize]
+                        .lock()
+                        .unwrap()
+                        .queue
+                        .schedule(m.deliver_at, KernelEvent::Deliver { msg: m.msg });
+                }
+            }
+            done.store(true, Ordering::Release);
+            barrier.wait();
+        });
+        self.shards = shards
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect();
     }
 }
 
@@ -280,27 +559,33 @@ mod tests {
         ClusterSim::build(&spec, &SeedSpace::new(1))
     }
 
+    fn ep(node: u32, tid: u32) -> Endpoint {
+        Endpoint {
+            node,
+            tid: Tid(tid),
+        }
+    }
+
+    fn msg(src: Endpoint, dst: Endpoint, tag: u64, bytes: u32) -> Message {
+        Message {
+            src,
+            dst,
+            tag,
+            bytes,
+            sent_at: SimTime::ZERO,
+            payload: 0,
+        }
+    }
+
     #[test]
     fn cross_node_ping_pong() {
         let mut sim = two_node_cluster();
         // Node 0 rank sends to node 1 rank, which replies; both then exit.
-        let ep = |node: u32, tid: u32| Endpoint {
-            node,
-            tid: Tid(tid),
-        };
-        let msg = |src: Endpoint, dst: Endpoint, tag: u64| Message {
-            src,
-            dst,
-            tag,
-            bytes: 8,
-            sent_at: SimTime::ZERO,
-            payload: 0,
-        };
         sim.kernel_mut(0).trace_mut().set_mask(HookMask::ALL);
         sim.kernel_mut(0).spawn(
             ThreadSpec::new("rank0", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
             Box::new(Script::new(vec![
-                Action::Send(msg(ep(0, 0), ep(1, 0), 1)),
+                Action::Send(msg(ep(0, 0), ep(1, 0), 1, 8)),
                 Action::Recv {
                     tag: TagSel::Exact(2),
                     src: SrcSel::Any,
@@ -316,7 +601,7 @@ mod tests {
                     src: SrcSel::Any,
                     wait: WaitMode::Poll,
                 },
-                Action::Send(msg(ep(1, 0), ep(0, 0), 2)),
+                Action::Send(msg(ep(1, 0), ep(0, 0), 2, 8)),
             ])),
         );
         sim.boot();
@@ -326,6 +611,104 @@ mod tests {
         assert!(end >= SimTime::from_micros(26), "too fast: {end}");
         assert!(end < SimTime::from_millis(1), "too slow: {end}");
         assert_eq!(sim.kernel(0).thread_state(Tid(0)), ThreadState::Exited);
+        assert_eq!(sim.now(), end);
+    }
+
+    #[test]
+    fn fifo_clamp_prevents_overtaking() {
+        // A 1 MB message followed by an 8-byte message on the same
+        // channel: serialization makes the large one ~2.9 ms slower, so
+        // without the clamp the small one would overtake it. The receiver
+        // waits only for the *small* message; in-order delivery forces its
+        // completion past the large message's serialization time.
+        let mut sim = two_node_cluster();
+        sim.kernel_mut(0).spawn(
+            ThreadSpec::new("sender", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![
+                Action::Send(msg(ep(0, 0), ep(1, 0), 1, 1_000_000)),
+                Action::Send(msg(ep(0, 0), ep(1, 0), 2, 8)),
+            ])),
+        );
+        sim.kernel_mut(1).spawn(
+            ThreadSpec::new("receiver", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![Action::Recv {
+                tag: TagSel::Exact(2),
+                src: SrcSel::Any,
+                wait: WaitMode::Poll,
+            }])),
+        );
+        sim.boot();
+        let end = sim.run_until_apps_done(SimTime::from_secs(1));
+        assert_eq!(sim.apps_alive(), 0);
+        assert_eq!(sim.fifo_clamps(), 1, "small message should be clamped");
+        // 1 MB at 350 MB/s is ~2.86 ms of serialization.
+        assert!(
+            end >= SimTime::from_millis(2),
+            "overtook the large message: {end}"
+        );
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_horizon() {
+        let mut sim = two_node_cluster();
+        sim.boot();
+        let horizon = SimTime::from_millis(50);
+        let end = sim.run_until(horizon);
+        assert_eq!(end, horizon);
+        assert_eq!(sim.now(), horizon, "clock must land on the horizon");
+    }
+
+    #[test]
+    fn identical_history_across_thread_counts() {
+        // A 4-node ring of send/recv pairs; fingerprints of the run must
+        // match exactly no matter how shards are spread over threads.
+        let fingerprint = |threads: usize| {
+            let spec = ClusterSpec {
+                nodes: 4,
+                cpus_per_node: 2,
+                options: SchedOptions::vanilla(),
+                skew_max: SimDur::from_millis(1),
+                trace_capacity: 1 << 14,
+                fabric: FabricModel::default(),
+            };
+            let mut sim = ClusterSim::build(&spec, &SeedSpace::new(7));
+            sim.set_sim_threads(threads);
+            for n in 0..4u32 {
+                let next = (n + 1) % 4;
+                sim.kernel_mut(n).spawn(
+                    ThreadSpec::new("rank", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+                    Box::new(Script::new(vec![
+                        Action::Send(msg(ep(n, 0), ep(next, 0), u64::from(n), 4096)),
+                        Action::Recv {
+                            tag: TagSel::Exact(u64::from((n + 3) % 4)),
+                            src: SrcSel::Any,
+                            wait: WaitMode::Poll,
+                        },
+                        Action::Compute(SimDur::from_micros(200)),
+                        Action::Send(msg(ep(n, 0), ep(next, 0), 10 + u64::from(n), 64)),
+                        Action::Recv {
+                            tag: TagSel::Exact(10 + u64::from((n + 3) % 4)),
+                            src: SrcSel::Any,
+                            wait: WaitMode::Poll,
+                        },
+                    ])),
+                );
+            }
+            sim.boot();
+            let end = sim.run_until_apps_done(SimTime::from_secs(1));
+            (
+                end,
+                sim.events_processed(),
+                sim.messages_routed(),
+                sim.bytes_routed(),
+                sim.fifo_clamps(),
+                sim.queue_stats(),
+            )
+        };
+        let serial = fingerprint(1);
+        assert_eq!(serial, fingerprint(2));
+        assert_eq!(serial, fingerprint(4));
+        assert_eq!(serial, fingerprint(16)); // clamped to node count
     }
 
     #[test]

@@ -95,6 +95,9 @@ pub struct Experiment {
     pub trace_capacity: usize,
     /// Give-up horizon.
     pub horizon: SimDur,
+    /// Engine worker threads (1 = serial). Results are bit-identical at
+    /// any setting; this only changes wall-clock time.
+    pub sim_threads: usize,
 }
 
 impl Experiment {
@@ -118,6 +121,7 @@ impl Experiment {
             watch_node: None,
             trace_capacity: 1 << 18,
             horizon: SimDur::from_secs(3_600),
+            sim_threads: crate::default_sim_threads(),
         }
     }
 
@@ -181,6 +185,13 @@ impl Experiment {
         self
     }
 
+    /// Set the engine worker thread count, overriding the process-wide
+    /// default ([`crate::set_default_sim_threads`]).
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads.max(1);
+        self
+    }
+
     /// Assemble and run. `make_workload` is invoked once per rank.
     pub fn run(self, make_workload: &mut dyn FnMut(u32) -> Box<dyn RankWorkload>) -> RunOutput {
         assert!(
@@ -197,6 +208,7 @@ impl Experiment {
             fabric: self.fabric,
         };
         let mut sim = ClusterSim::build(&spec, &seeds);
+        sim.set_sim_threads(self.sim_threads);
 
         // Co-scheduler startup: clock sync first (it rewrites the AIX
         // clock's low-order bits from the switch clock), then one daemon
@@ -213,7 +225,7 @@ impl Experiment {
                     Box::new(CoschedDaemon::new(cs.params, self.tasks_per_node)),
                 );
                 let ep = Endpoint { node, tid };
-                layout.borrow_mut().set_cosched(node, ep);
+                layout.write().unwrap().set_cosched(node, ep);
                 cosched_eps[node as usize] = Some(ep);
             }
         }
@@ -233,7 +245,8 @@ impl Experiment {
             let installed = self.noise.install(sim.kernel_mut(node), &seeds, node);
             if let Some(tid) = installed.gpfs {
                 job.layout
-                    .borrow_mut()
+                    .write()
+                    .unwrap()
                     .set_gpfs(node, Endpoint { node, tid });
             }
         }
@@ -243,8 +256,8 @@ impl Experiment {
             sim.kernel_mut(node).trace_mut().set_mask(HookMask::study());
         }
         if let Some(node) = self.watch_node {
-            let ranks = job.layout.borrow().ranks_on(node);
-            job.recorder.borrow_mut().watch_ranks(&ranks);
+            let ranks = job.layout.read().unwrap().ranks_on(node);
+            job.recorder.lock().unwrap().watch_ranks(&ranks);
         }
 
         sim.boot();
@@ -284,7 +297,8 @@ impl RunOutput {
     pub fn mean_allreduce_us(&self) -> f64 {
         self.job
             .recorder
-            .borrow()
+            .lock()
+            .unwrap()
             .mean_rank_dur_us(OpKind::Allreduce)
     }
 
@@ -336,10 +350,14 @@ mod tests {
             .run(&mut wl);
         assert!(out.completed, "job did not finish");
         assert!(out.mean_allreduce_us() > 0.0);
-        assert_eq!(out.job.recorder.borrow().count(OpKind::Allreduce), 16);
+        assert_eq!(
+            out.job.recorder.lock().unwrap().count(OpKind::Allreduce),
+            16
+        );
         out.job
             .recorder
-            .borrow()
+            .lock()
+            .unwrap()
             .verify_complete(8)
             .expect("all ranks in all ops");
     }

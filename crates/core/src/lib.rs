@@ -35,3 +35,23 @@ pub use schedtune::{render as schedtune_render, schedtune};
 
 // The two kernels the paper compares, re-exported for discoverability.
 pub use pa_kernel::SchedOptions;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default for the cluster engine's worker thread count.
+/// [`Experiment::new`] reads it, so every harness that builds experiments
+/// (figure binaries, campaign runners, examples) picks it up without
+/// plumbing a parameter through each call chain. The engine history is
+/// bit-identical at any setting; this only trades wall-clock time.
+static DEFAULT_SIM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the process-wide default engine thread count (clamped to ≥ 1).
+/// Typically called once at startup from `--sim-threads`.
+pub fn set_default_sim_threads(threads: usize) {
+    DEFAULT_SIM_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// The current process-wide default engine thread count.
+pub fn default_sim_threads() -> usize {
+    DEFAULT_SIM_THREADS.load(Ordering::Relaxed)
+}

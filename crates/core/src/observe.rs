@@ -48,6 +48,7 @@ pub fn metrics_of(out: &RunOutput) -> MetricsRegistry {
     reg.inc("cluster.messages_routed", out.sim.messages_routed());
     reg.inc("cluster.bytes_routed", out.sim.bytes_routed());
     reg.inc("cluster.clock_resyncs", out.sim.clock_resyncs());
+    reg.inc("fabric.fifo_clamps", out.sim.fifo_clamps());
     reg.set_gauge("cluster.nodes", i64::from(out.sim.nodes()));
 
     for node in 0..out.sim.nodes() {
@@ -73,7 +74,7 @@ pub fn metrics_of(out: &RunOutput) -> MetricsRegistry {
 
     // Collective-phase histograms from the recorder's per-op aggregates
     // (global duration: first entry to last completion across ranks).
-    let recorder = out.job.recorder.borrow();
+    let recorder = out.job.recorder.lock().unwrap();
     for kind in [
         pa_mpi::OpKind::Allreduce,
         pa_mpi::OpKind::Barrier,

@@ -129,7 +129,11 @@ impl StepCtx<'_> {
 /// A thread body. Implementations are Mealy machines: `step` is called
 /// each time the previous action completes, and must eventually return
 /// [`Action::Exit`] (daemons run forever and are torn down with the node).
-pub trait Program {
+///
+/// Programs must be `Send`: the sharded cluster engine processes each
+/// node's kernel — programs included — on whichever worker thread owns
+/// the shard for the current window.
+pub trait Program: Send {
     /// Produce the next action.
     fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action;
 

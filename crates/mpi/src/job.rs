@@ -118,7 +118,7 @@ pub fn install_job(
             }
         }
     }
-    layout.borrow_mut().set_ranks(rank_tids.clone(), tpn);
+    layout.write().unwrap().set_ranks(rank_tids.clone(), tpn);
     Job {
         layout,
         recorder,
@@ -169,7 +169,7 @@ mod tests {
         sim.boot();
         let end = sim.run_until_apps_done(SimTime::from_secs(1));
         assert_eq!(sim.apps_alive(), 0, "deadlock: barrier never completed");
-        let rec = job.recorder.borrow();
+        let rec = job.recorder.lock().unwrap();
         assert_eq!(rec.count(OpKind::Barrier), 1);
         rec.verify_complete(8).expect("all ranks completed");
         assert!(end < SimTime::from_millis(5), "barrier took {end}");
@@ -201,7 +201,7 @@ mod tests {
         sim.boot();
         sim.run_until_apps_done(SimTime::from_secs(1));
         assert_eq!(sim.apps_alive(), 0);
-        let rec = job.recorder.borrow();
+        let rec = job.recorder.lock().unwrap();
         assert_eq!(rec.count(OpKind::Allreduce), 2);
         rec.verify_complete(16).expect("complete");
         let mean = rec.mean_rank_dur_us(OpKind::Allreduce);
@@ -227,7 +227,7 @@ mod tests {
         sim.boot();
         sim.run_until_apps_done(SimTime::from_secs(1));
         assert_eq!(sim.apps_alive(), 0);
-        let rec = job.recorder.borrow();
+        let rec = job.recorder.lock().unwrap();
         assert_eq!(rec.count(OpKind::Exchange), 2);
         rec.verify_complete(4).expect("complete");
     }

@@ -6,8 +6,7 @@
 //! task pids after fork and distributes them (§4).
 
 use pa_kernel::Endpoint;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock};
 
 /// Addresses of every rank and of each node's co-scheduler control pipe.
 #[derive(Debug, Default, Clone)]
@@ -18,13 +17,16 @@ pub struct JobLayout {
     gpfs: Vec<Option<Endpoint>>,
 }
 
-/// Shared layout handle.
-pub type LayoutHandle = Rc<RefCell<JobLayout>>;
+/// Shared layout handle. An `RwLock` (not `RefCell`): rank programs on
+/// different shards of the parallel cluster engine read the layout
+/// concurrently. It is written only during job installation, before the
+/// cluster boots, so runtime reads never contend with a writer.
+pub type LayoutHandle = Arc<RwLock<JobLayout>>;
 
 impl JobLayout {
     /// Empty layout to be filled by the installer.
     pub fn empty() -> LayoutHandle {
-        Rc::new(RefCell::new(JobLayout::default()))
+        Arc::new(RwLock::new(JobLayout::default()))
     }
 
     /// Fill in rank endpoints (rank order) and block shape.

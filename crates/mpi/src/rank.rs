@@ -11,7 +11,7 @@
 //! node's co-scheduler at MPI-init time through the control pipe (§4).
 
 use crate::coll::{self, Algorithm, CollStep};
-use crate::layout::JobLayout;
+use crate::layout::LayoutHandle;
 use crate::recorder::{OpKind, RecorderHandle};
 use crate::tags::{coll_tag, p2p_tag, CtrlOp};
 use pa_kernel::{Action, Endpoint, Message, SrcSel, TagSel, WaitMode};
@@ -19,9 +19,7 @@ use pa_kernel::{Program, StepCtx};
 use pa_simkit::{SimDur, SimTime};
 use pa_trace::HookId;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
 
 /// One high-level operation of a rank's workload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,7 +77,10 @@ pub enum MpiOp {
 }
 
 /// Supplies a rank's operation stream.
-pub trait RankWorkload {
+///
+/// `Send` is required because rank programs (which own their workload)
+/// migrate across the sharded engine's worker threads between windows.
+pub trait RankWorkload: Send {
     /// The next operation for `rank` of `nranks`. Must eventually return
     /// [`MpiOp::Done`].
     fn next_op(&mut self, rank: u32, nranks: u32) -> MpiOp;
@@ -131,7 +132,7 @@ struct CurOp {
 pub struct RankProgram {
     rank: u32,
     nranks: u32,
-    layout: Rc<RefCell<JobLayout>>,
+    layout: LayoutHandle,
     workload: Box<dyn RankWorkload>,
     recorder: RecorderHandle,
     cfg: MpiConfig,
@@ -155,7 +156,7 @@ impl RankProgram {
     pub fn new(
         rank: u32,
         nranks: u32,
-        layout: Rc<RefCell<JobLayout>>,
+        layout: LayoutHandle,
         workload: Box<dyn RankWorkload>,
         recorder: RecorderHandle,
         cfg: MpiConfig,
@@ -220,7 +221,7 @@ impl RankProgram {
         let wait = self.cfg.wait_mode();
         let reduce_cost = self.cfg.reduce_cost;
         let steps = self.schedule_for(kind);
-        let layout = self.layout.borrow();
+        let layout = self.layout.read().unwrap();
         for step in steps {
             match step {
                 CollStep::Send { peer, phase } => {
@@ -266,7 +267,7 @@ impl RankProgram {
         });
         let me = self.me(ctx);
         let wait = self.cfg.wait_mode();
-        let layout = self.layout.borrow();
+        let layout = self.layout.read().unwrap();
         // Eager sends first (buffered by the fabric), then the receives:
         // the standard deadlock-free exchange.
         for &p in peers {
@@ -289,7 +290,7 @@ impl RankProgram {
     }
 
     fn ctrl_message(&self, op: CtrlOp, ctx: &StepCtx<'_>) -> Option<Action> {
-        let layout = self.layout.borrow();
+        let layout = self.layout.read().unwrap();
         let cosched = layout.cosched(ctx.node)?;
         Some(Action::Send(Message {
             src: self.me(ctx),
@@ -321,7 +322,8 @@ impl Program for RankProgram {
             // the step that brought us here.
             if let Some(cur) = self.cur.take() {
                 self.recorder
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .record(self.rank, cur.seq, cur.kind, cur.start, ctx.now);
             }
             match self.workload.next_op(self.rank, self.nranks) {
@@ -340,7 +342,11 @@ impl Program for RankProgram {
                     // when no GPFS servers are registered.
                     let token = self.next_io;
                     self.next_io += 1;
-                    let server = self.layout.borrow().gpfs_server_for(self.rank, token);
+                    let server = self
+                        .layout
+                        .read()
+                        .unwrap()
+                        .gpfs_server_for(self.rank, token);
                     match server {
                         Some(server) => {
                             use pa_kernel::msg::ioproto;

@@ -9,9 +9,8 @@
 
 use pa_simkit::{SimDur, SimTime, Summary};
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Kind of a recorded operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -81,8 +80,15 @@ impl OpSample {
     }
 }
 
-/// The collector. Rank programs hold `Rc` clones and record on each
+/// The collector. Rank programs hold `Arc` clones and record on each
 /// collective completion; the experiment harness reads it after the run.
+///
+/// Under the sharded engine, ranks on different worker threads record
+/// concurrently. Every update is commutative — min/max folds, integer
+/// sums, and per-rank sample lists that are sorted by sequence number on
+/// read — so the recorder's observable state is independent of the order
+/// in which ranks got the lock, and snapshots stay byte-identical at any
+/// thread count.
 #[derive(Debug, Default)]
 pub struct RunRecorder {
     ops: HashMap<u64, OpAgg>,
@@ -91,7 +97,7 @@ pub struct RunRecorder {
 }
 
 /// Shared handle to a [`RunRecorder`].
-pub type RecorderHandle = Rc<RefCell<RunRecorder>>;
+pub type RecorderHandle = Arc<Mutex<RunRecorder>>;
 
 impl RunRecorder {
     /// New empty recorder.
@@ -101,7 +107,7 @@ impl RunRecorder {
 
     /// New shared handle.
     pub fn shared() -> RecorderHandle {
-        Rc::new(RefCell::new(RunRecorder::new()))
+        Arc::new(Mutex::new(RunRecorder::new()))
     }
 
     /// Record full per-call series for these ranks (e.g. the 16 ranks of

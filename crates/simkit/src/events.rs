@@ -69,6 +69,21 @@ pub struct QueueStats {
     pub max_pending: u64,
 }
 
+impl QueueStats {
+    /// Fold another queue's totals into this one (sharded engines keep
+    /// one queue per shard and report the merged view). Counters add;
+    /// `max_pending` adds too, making the merged value an upper bound on
+    /// simultaneously pending events that — unlike a true global
+    /// high-water mark — does not depend on how shard processing
+    /// interleaves, so it is identical at any thread count.
+    pub fn absorb(&mut self, other: QueueStats) {
+        self.scheduled += other.scheduled;
+        self.popped += other.popped;
+        self.cancelled += other.cancelled;
+        self.max_pending += other.max_pending;
+    }
+}
+
 /// A deterministic, cancellable event queue.
 ///
 /// ```
@@ -180,6 +195,22 @@ impl<E> EventQueue<E> {
             return Some((entry.time, entry.payload));
         }
         None
+    }
+
+    /// Advance the clock to `time` without popping anything, so that
+    /// "ran to the horizon" leaves `now()` *at* the horizon rather than
+    /// at the last popped event. Post-run artifacts (metrics, span
+    /// timelines) then carry a single end-of-run timestamp.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the current clock.
+    pub fn advance_to(&mut self, time: SimTime) {
+        assert!(
+            time >= self.now,
+            "advance_to {time} would move the clock backwards from {}",
+            self.now
+        );
+        self.now = time;
     }
 
     /// Timestamp of the next live event without popping it.
@@ -304,6 +335,53 @@ mod tests {
         assert_eq!(s.cancelled, 1);
         assert_eq!(s.popped, 2);
         assert_eq!(s.max_pending, 3);
+    }
+
+    #[test]
+    fn advance_to_moves_clock_without_popping() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(50), ());
+        q.advance_to(SimTime::from_micros(20));
+        assert_eq!(q.now(), SimTime::from_micros(20));
+        assert_eq!(q.len(), 1, "advance_to must not consume events");
+        // Advancing to the current time is a no-op, not a panic.
+        q.advance_to(SimTime::from_micros(20));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "move the clock backwards")]
+    fn advance_to_rejects_past() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), ());
+        q.pop();
+        q.advance_to(SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn stats_absorb_sums_shards() {
+        let a = QueueStats {
+            scheduled: 10,
+            popped: 8,
+            cancelled: 1,
+            max_pending: 4,
+        };
+        let mut b = QueueStats {
+            scheduled: 3,
+            popped: 3,
+            cancelled: 0,
+            max_pending: 2,
+        };
+        b.absorb(a);
+        assert_eq!(
+            b,
+            QueueStats {
+                scheduled: 13,
+                popped: 11,
+                cancelled: 1,
+                max_pending: 6,
+            }
+        );
     }
 
     #[test]

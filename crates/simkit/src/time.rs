@@ -35,16 +35,25 @@ impl SimTime {
         SimTime(n)
     }
     /// Instant `us` microseconds after the epoch.
-    pub const fn from_micros(us: u64) -> Self {
-        SimTime(us * 1_000)
+    ///
+    /// # Panics
+    /// Panics if the instant is not representable in u64 nanoseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(checked_ns(us, 1_000, "µs"))
     }
     /// Instant `ms` milliseconds after the epoch.
-    pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000_000)
+    ///
+    /// # Panics
+    /// Panics if the instant is not representable in u64 nanoseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(checked_ns(ms, 1_000_000, "ms"))
     }
     /// Instant `s` seconds after the epoch.
-    pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000_000)
+    ///
+    /// # Panics
+    /// Panics if the instant is not representable in u64 nanoseconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(checked_ns(s, 1_000_000_000, "s"))
     }
 
     /// Raw nanosecond count.
@@ -115,16 +124,25 @@ impl SimDur {
         SimDur(n)
     }
     /// Duration of `us` microseconds.
-    pub const fn from_micros(us: u64) -> Self {
-        SimDur(us * 1_000)
+    ///
+    /// # Panics
+    /// Panics if the duration is not representable in u64 nanoseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimDur(checked_ns(us, 1_000, "µs"))
     }
     /// Duration of `ms` milliseconds.
-    pub const fn from_millis(ms: u64) -> Self {
-        SimDur(ms * 1_000_000)
+    ///
+    /// # Panics
+    /// Panics if the duration is not representable in u64 nanoseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDur(checked_ns(ms, 1_000_000, "ms"))
     }
     /// Duration of `s` seconds.
-    pub const fn from_secs(s: u64) -> Self {
-        SimDur(s * 1_000_000_000)
+    ///
+    /// # Panics
+    /// Panics if the duration is not representable in u64 nanoseconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDur(checked_ns(s, 1_000_000_000, "s"))
     }
     /// Duration from fractional microseconds (truncating to ns).
     pub fn from_micros_f64(us: f64) -> Self {
@@ -174,13 +192,48 @@ impl SimDur {
     }
 
     /// Scale by a non-negative float (used for duty cycles and jitter).
+    ///
+    /// The multiply runs in u128 fixed point (the factor is held as a
+    /// rounded 64.64 binary fraction), so durations above 2^53 ns do not
+    /// lose nanoseconds to an f64 round-trip.
+    ///
+    /// # Panics
+    /// Panics if `k` is negative/non-finite or the product overflows u64
+    /// nanoseconds.
     pub fn mul_f64(self, k: f64) -> SimDur {
         assert!(
             k >= 0.0 && k.is_finite(),
-            "scale factor must be finite and non-negative"
+            "scale factor must be finite and non-negative, got {k}"
         );
-        SimDur((self.0 as f64 * k) as u64)
+        // k as a 64.64 fixed-point fraction. Splitting off the integer
+        // part first keeps the fractional scale exact for any finite k
+        // (the 2^64 shift is a power of two, so `fract * 2^64` only
+        // rescales the mantissa).
+        let int = k.trunc() as u128;
+        let frac = (k.fract() * 18_446_744_073_709_551_616.0).round() as u128; // 2^64
+        let n = u128::from(self.0);
+        let scaled = n
+            .checked_mul(int)
+            .and_then(|whole| {
+                let part = (n * frac + (1u128 << 63)) >> 64; // round to nearest ns
+                whole.checked_add(part)
+            })
+            .unwrap_or_else(|| panic!("duration overflow: {} ns * {k}", self.0));
+        assert!(
+            scaled <= u128::from(u64::MAX),
+            "duration overflow: {} ns * {k} exceeds u64 nanoseconds",
+            self.0
+        );
+        SimDur(scaled as u64)
     }
+}
+
+/// `value * ns_per_unit` with overflow reported against the offending
+/// value, for the unit-suffixed constructors.
+fn checked_ns(value: u64, ns_per_unit: u64, unit: &str) -> u64 {
+    value.checked_mul(ns_per_unit).unwrap_or_else(|| {
+        panic!("time value {value}{unit} overflows u64 nanoseconds (~584 years)")
+    })
 }
 
 impl Add<SimDur> for SimTime {
@@ -348,6 +401,30 @@ mod tests {
         let w = SimDur::from_secs(5);
         assert_eq!(w.mul_f64(0.9), SimDur::from_millis(4_500));
         assert_eq!(w.mul_f64(0.0), SimDur::ZERO);
+    }
+
+    #[test]
+    fn mul_f64_is_exact_above_f64_precision() {
+        // 2^53 + 1 ns is not representable in f64; the old f64 round-trip
+        // lost the low bit even at k = 1.0.
+        let d = SimDur::from_nanos((1 << 53) + 1);
+        assert_eq!(d.mul_f64(1.0), d);
+        // Halving is a power-of-two scale: exact at any magnitude.
+        let big = SimDur::from_nanos(u64::MAX - 1);
+        assert_eq!(big.mul_f64(0.5), SimDur::from_nanos((u64::MAX - 1) / 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64 nanoseconds")]
+    fn from_secs_overflow_panics() {
+        // Would silently wrap with the old unchecked multiply.
+        let _ = SimDur::from_secs(18_500_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration overflow")]
+    fn mul_f64_overflow_panics() {
+        let _ = SimDur::from_nanos(u64::MAX).mul_f64(2.0);
     }
 
     #[test]

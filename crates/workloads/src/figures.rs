@@ -430,7 +430,7 @@ pub fn fig4_with_output(cfg: &Fig4Config) -> (Fig4Result, RunOutput) {
     let out = e.run(&mut make);
     assert!(out.completed, "fig4 run did not finish");
 
-    let recorder = out.job.recorder.borrow();
+    let recorder = out.job.recorder.lock().unwrap();
     let samples = recorder
         .samples(0)
         .expect("rank 0 was on the watch list")

@@ -130,9 +130,9 @@ pub fn fig2(seed: u64) -> Vec<BspRankRow> {
         .with_watch_node(0)
         .run(&mut make);
     assert!(out.completed, "fig2 run did not finish");
-    let recorder = out.job.recorder.borrow();
+    let recorder = out.job.recorder.lock().unwrap();
     let wall_ms = out.wall.as_millis_f64();
-    let ranks = out.job.layout.borrow().ranks_on(0);
+    let ranks = out.job.layout.read().unwrap().ranks_on(0);
     ranks
         .iter()
         .map(|&rank| {

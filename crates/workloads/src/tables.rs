@@ -148,7 +148,8 @@ pub fn tab_timer(nodes: u32, quick: bool) -> TimerResult {
         let s = out
             .job
             .recorder
-            .borrow()
+            .lock()
+            .unwrap()
             .global_dur_summary_us(OpKind::Allreduce);
         (label.to_string(), s.mean, s.p99, s.max)
     };

@@ -117,7 +117,7 @@ fn every_collective_completes_on_every_rank() {
         .with_seed(5)
         .run(&mut allreduces(150));
     assert!(out.completed);
-    let rec = out.job.recorder.borrow();
+    let rec = out.job.recorder.lock().unwrap();
     assert_eq!(rec.count(OpKind::Allreduce), 150);
     rec.verify_complete(48).expect("every rank in every op");
 }
@@ -145,7 +145,7 @@ fn mixed_collectives_work_under_cosched() {
         .with_seed(77)
         .run(&mut make);
     assert!(out.completed, "mixed collectives deadlocked");
-    let rec = out.job.recorder.borrow();
+    let rec = out.job.recorder.lock().unwrap();
     assert!(rec.count(OpKind::Allreduce) > 0);
     assert!(rec.count(OpKind::Barrier) > 0);
     assert!(rec.count(OpKind::Allgather) > 0);

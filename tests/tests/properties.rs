@@ -1,11 +1,12 @@
 //! Property-based tests over the stack's core invariants (proptest).
 
-use pa_core::{AdminTable, CoschedParams, PriorityRecord};
+use pa_core::{metrics_of, AdminTable, CoschedParams, CoschedSetup, Experiment, PriorityRecord};
 use pa_kernel::{ClockModel, Prio};
 use pa_mpi::coll::{
     binomial_allreduce, dissemination_barrier, recursive_doubling_allreduce, ring_allgather,
     CollStep,
 };
+use pa_mpi::{MpiOp, OpList, RankWorkload};
 use pa_simkit::{EventQueue, SimDur, SimTime, Summary};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -216,6 +217,60 @@ proptest! {
         if p.duty > 0.0 && p.duty < 1.0 {
             prop_assert_ne!(before, after, "no flip at {}", edge);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded cluster engine: the parallel path must replay the serial
+// history exactly — metrics snapshot and per-node trace buffers both.
+// ---------------------------------------------------------------------
+
+/// Run one experiment and fingerprint everything observable: the full
+/// canonical metrics snapshot plus every traced node's event buffer.
+fn engine_fingerprint(
+    nodes: u32,
+    tasks: u32,
+    seed: u64,
+    cosched: bool,
+    bytes: u32,
+    threads: usize,
+) -> (String, Vec<pa_trace::TraceEvent>) {
+    let mut wl = |_rank: u32| -> Box<dyn RankWorkload> {
+        Box::new(OpList::new(vec![MpiOp::Allreduce { bytes }; 24]))
+    };
+    let mut e = Experiment::new(nodes, tasks)
+        .with_cpus_per_node(4)
+        .with_trace_node(0)
+        .with_seed(seed)
+        .with_sim_threads(threads);
+    if cosched {
+        e = e.with_cosched(CoschedSetup::default());
+    }
+    let out = e.run(&mut wl);
+    let trace: Vec<pa_trace::TraceEvent> = out.sim.kernel(0).trace().events().copied().collect();
+    (metrics_of(&out).snapshot_json(), trace)
+}
+
+proptest! {
+    #[test]
+    fn sharded_engine_replays_serial_history(
+        nodes in 2u32..5,
+        tasks in 1u32..3,
+        seed in 0u64..10_000,
+        cosched in any::<bool>(),
+        bytes in 8u32..4096,
+        threads in 2usize..9,
+    ) {
+        let serial = engine_fingerprint(nodes, tasks, seed, cosched, bytes, 1);
+        let sharded = engine_fingerprint(nodes, tasks, seed, cosched, bytes, threads);
+        prop_assert_eq!(
+            &serial.0, &sharded.0,
+            "metrics diverge at {} threads (nodes={}, seed={})", threads, nodes, seed
+        );
+        prop_assert_eq!(
+            &serial.1, &sharded.1,
+            "trace diverges at {} threads (nodes={}, seed={})", threads, nodes, seed
+        );
     }
 }
 

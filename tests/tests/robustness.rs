@@ -96,7 +96,8 @@ fn recursive_doubling_algorithm_end_to_end() {
     assert!(out.completed);
     out.job
         .recorder
-        .borrow()
+        .lock()
+        .unwrap()
         .verify_complete(15)
         .expect("all 15 ranks completed every op");
 }
