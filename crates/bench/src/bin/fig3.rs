@@ -16,11 +16,7 @@ fn main() {
         "Figure 3 · Allreduce µs vs processors (vanilla, 16 t/n)",
         args.mode,
     );
-    let cfg = scale_sweep(
-        ScalingConfig::fig3(args.mode == Mode::Quick),
-        args.mode,
-        args.seed,
-    );
+    let cfg = scale_sweep(ScalingConfig::fig3(args.mode == Mode::Quick), &args);
     let (points, outcome) = require_complete(run_scaling_campaign(&cfg, &args.campaign("fig3")));
     write_metrics(&args, &campaign_registry("fig3", &outcome));
     no_trace_source(&args, "fig3");

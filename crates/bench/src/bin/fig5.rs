@@ -15,11 +15,7 @@ fn main() {
         "Figure 5 · Allreduce µs vs processors (prototype + cosched, 16 t/n)",
         args.mode,
     );
-    let cfg = scale_sweep(
-        ScalingConfig::fig5(args.mode == Mode::Quick),
-        args.mode,
-        args.seed,
-    );
+    let cfg = scale_sweep(ScalingConfig::fig5(args.mode == Mode::Quick), &args);
     let (points, outcome) = require_complete(run_scaling_campaign(&cfg, &args.campaign("fig5")));
     write_metrics(&args, &campaign_registry("fig5", &outcome));
     no_trace_source(&args, "fig5");

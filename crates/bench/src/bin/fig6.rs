@@ -13,8 +13,8 @@ fn main() {
     let args = Args::parse();
     banner("Figure 6 · fitted scaling lines", args.mode);
     let quick = args.mode == Mode::Quick;
-    let vcfg = scale_sweep(ScalingConfig::fig3(quick), args.mode, args.seed);
-    let pcfg = scale_sweep(ScalingConfig::fig5(quick), args.mode, args.seed);
+    let vcfg = scale_sweep(ScalingConfig::fig3(quick), &args);
+    let pcfg = scale_sweep(ScalingConfig::fig5(quick), &args);
     let (vanilla, vout) =
         require_complete(run_scaling_campaign(&vcfg, &args.campaign("fig6/vanilla")));
     let (prototype, pout) = require_complete(run_scaling_campaign(

@@ -15,7 +15,10 @@
 //!   (results are bit-identical at any setting: the engine is
 //!   conservatively parallel with a deterministic barrier merge);
 //! * `--no-cache` — skip the `results/cache/` result cache entirely;
-//! * `--rerun` — ignore cached entries but refresh them with new runs.
+//! * `--rerun` — ignore cached entries but refresh them with new runs;
+//! * `--link-bandwidth B|unlimited` — per-node link capacity in bytes/sec
+//!   (finite values enable switch contention; default `unlimited` keeps
+//!   the legacy free-overlap fabric).
 //!
 //! The default mode is a balanced configuration that reproduces every
 //! qualitative result in a few minutes.
@@ -54,6 +57,9 @@ pub struct Args {
     pub no_cache: bool,
     /// Ignore cached entries (but refresh them).
     pub rerun: bool,
+    /// Per-node link capacity, bytes/sec; `None` = unlimited (legacy
+    /// free-overlap fabric, the default).
+    pub link_bandwidth: Option<f64>,
     /// Write a `pa-obs` metrics snapshot (canonical JSON) here.
     pub metrics_out: Option<std::path::PathBuf>,
     /// Write a Chrome trace-event span timeline here (open in Perfetto
@@ -72,6 +78,7 @@ impl Args {
             sim_threads: 1,
             no_cache: false,
             rerun: false,
+            link_bandwidth: None,
             metrics_out: None,
             trace_out: None,
         };
@@ -103,6 +110,26 @@ impl Args {
                 }
                 "--no-cache" => args.no_cache = true,
                 "--rerun" => args.rerun = true,
+                "--link-bandwidth" => {
+                    let v = it.next().unwrap_or_else(|| {
+                        usage("--link-bandwidth needs bytes/sec or 'unlimited'")
+                    });
+                    args.link_bandwidth = if v == "unlimited" {
+                        None
+                    } else {
+                        Some(
+                            v.parse::<f64>()
+                                .ok()
+                                .filter(|b| b.is_finite() && *b > 0.0)
+                                .unwrap_or_else(|| {
+                                    usage(
+                                        "--link-bandwidth needs a positive finite bytes/sec \
+                                         value or 'unlimited'",
+                                    )
+                                }),
+                        )
+                    };
+                }
                 "--metrics-out" => {
                     args.metrics_out = Some(
                         it.next()
@@ -152,7 +179,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--quick|--full] [--json] [--seed N] [--jobs N] [--sim-threads N] \
-         [--no-cache] [--rerun] [--metrics-out PATH] [--trace-out PATH]"
+         [--no-cache] [--rerun] [--link-bandwidth B|unlimited] [--metrics-out PATH] \
+         [--trace-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -212,6 +240,14 @@ pub fn campaign_registry(
     for r in &outcome.results {
         reg.inc("campaign.sim_events", r.events);
         reg.inc("campaign.completed", u64::from(r.completed));
+        // Link-contention totals ride along in each point's extras (exact
+        // u64 counts stored as f64); summed here they stay deterministic
+        // across cache states and job counts like everything else.
+        for key in ["fabric.link_waits", "fabric.link_wait_ns"] {
+            if let Some(&v) = r.extra.get(key) {
+                reg.inc(key, v as u64);
+            }
+        }
     }
     let edges: Vec<u64> = pa_core::observe::COLL_US_EDGES.to_vec();
     let name = format!("{label}.mean_allreduce_us");
@@ -252,9 +288,11 @@ pub fn banner(title: &str, mode: Mode) {
 use pa_simkit::SimDur;
 use pa_workloads::ScalingConfig;
 
-/// Apply a mode to a Figure-3/5 sweep configuration.
-pub fn scale_sweep(mut cfg: ScalingConfig, mode: Mode, seed: u64) -> ScalingConfig {
-    match mode {
+/// Apply the common arguments (mode, seed, link bandwidth) to a
+/// Figure-3/5 sweep configuration.
+pub fn scale_sweep(mut cfg: ScalingConfig, args: &Args) -> ScalingConfig {
+    let seed = args.seed;
+    match args.mode {
         Mode::Quick => {
             cfg.node_counts = vec![2, 4, 8];
             cfg.allreduces = 192;
@@ -270,5 +308,6 @@ pub fn scale_sweep(mut cfg: ScalingConfig, mode: Mode, seed: u64) -> ScalingConf
             cfg.seeds = vec![seed, seed + 1, seed + 2];
         }
     }
+    cfg.link_bandwidth = args.link_bandwidth;
     cfg
 }

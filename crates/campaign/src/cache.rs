@@ -16,7 +16,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bump when the meaning of cached fields changes; old entries become
 /// unreachable (different keys) rather than misread.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+/// v3: `PointSpec` gained `link_bandwidth` and `PointResult.extra` gained
+/// the `fabric.link_*` contention counters.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// Whether a point was served from disk or freshly simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,12 +49,18 @@ pub struct PointResult {
 impl PointResult {
     /// Standard extraction from a finished run.
     pub fn from_run(out: &RunOutput) -> PointResult {
+        let mut extra = BTreeMap::new();
+        // Link-contention counters ride along so sweeps can report
+        // queueing without re-running cached points. Both are exact u64
+        // counts; f64 is lossless far beyond any realistic run.
+        extra.insert("fabric.link_waits".into(), out.sim.link_waits() as f64);
+        extra.insert("fabric.link_wait_ns".into(), out.sim.link_wait_ns() as f64);
         PointResult {
             mean_allreduce_us: out.mean_allreduce_us(),
             wall_s: out.wall.as_secs_f64(),
             completed: out.completed,
             events: out.events,
-            extra: BTreeMap::new(),
+            extra,
         }
     }
 
@@ -79,6 +87,11 @@ static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 #[derive(Debug)]
 pub struct Cache {
     dir: PathBuf,
+    /// Entries found on disk but unusable (unreadable, unparseable,
+    /// wrong schema, wrong key, or a malformed result). Each reads as a
+    /// miss — the point is re-run and the entry overwritten — but the
+    /// count is surfaced so silent corruption is visible.
+    corrupt: AtomicU64,
 }
 
 impl Cache {
@@ -86,7 +99,10 @@ impl Cache {
     pub fn at(dir: impl Into<PathBuf>) -> io::Result<Cache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Cache { dir })
+        Ok(Cache {
+            dir,
+            corrupt: AtomicU64::new(0),
+        })
     }
 
     /// The conventional location relative to the repo root.
@@ -105,18 +121,38 @@ impl Cache {
     }
 
     /// Read a stored result, if a valid entry for `key` exists. Corrupt
-    /// or mismatched entries read as misses, never as wrong data.
+    /// or mismatched entries read as misses, never as wrong data or a
+    /// panic; they are tallied in [`Cache::corrupt_entries`].
     pub fn lookup(&self, key: &str) -> Option<PointResult> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        let value = serde_json::parse(&text).ok()?;
-        let map = value.as_map()?;
-        if get(map, "schema")?.as_u64()? != u64::from(CACHE_SCHEMA_VERSION) {
-            return None;
+        let text = match std::fs::read_to_string(self.path_for(key)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let parsed = (|| {
+            let value = serde_json::parse(&text).ok()?;
+            let map = value.as_map()?;
+            if get(map, "schema")?.as_u64()? != u64::from(CACHE_SCHEMA_VERSION) {
+                return None;
+            }
+            if get(map, "key")?.as_str()? != key {
+                return None;
+            }
+            PointResult::from_value(get(map, "result")?).ok()
+        })();
+        if parsed.is_none() {
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
         }
-        if get(map, "key")?.as_str()? != key {
-            return None;
-        }
-        PointResult::from_value(get(map, "result")?).ok()
+        parsed
+    }
+
+    /// Entries that existed on disk but read as misses (see
+    /// [`Cache::lookup`]), accumulated over this handle's lifetime.
+    pub fn corrupt_entries(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
     }
 
     /// Store an entry atomically (temp file + rename), so a concurrent
@@ -164,6 +200,7 @@ mod tests {
             workload: 1,
             seed: 5,
             horizon: None,
+            link_bandwidth: None,
         }
     }
 
@@ -206,12 +243,31 @@ mod tests {
         let s = spec();
         let key = s.content_key();
         cache.store(&key, &s, &result()).unwrap();
+        assert_eq!(cache.corrupt_entries(), 0);
+        // An absent entry is a plain miss, not corruption.
+        assert!(cache.lookup(&"f".repeat(64)).is_none());
+        assert_eq!(cache.corrupt_entries(), 0);
         // An entry stored under the wrong name must not satisfy lookups.
         let other = "0".repeat(64);
         std::fs::copy(cache.path_for(&key), cache.path_for(&other)).unwrap();
         assert!(cache.lookup(&other).is_none());
-        // Truncated JSON reads as a miss, not an error.
+        assert_eq!(cache.corrupt_entries(), 1);
+        // Truncated JSON (a half-written entry) reads as a miss, not an
+        // error.
         std::fs::write(cache.path_for(&key), "{\"schema\": 1,").unwrap();
         assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.corrupt_entries(), 2);
+        // Valid JSON from a different schema version also misses.
+        std::fs::write(
+            cache.path_for(&key),
+            format!("{{\"schema\": 999, \"key\": \"{key}\"}}"),
+        )
+        .unwrap();
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.corrupt_entries(), 3);
+        // Re-running the point overwrites the bad entry in place.
+        cache.store(&key, &s, &result()).unwrap();
+        assert_eq!(cache.lookup(&key), Some(result()));
+        assert_eq!(cache.corrupt_entries(), 3);
     }
 }

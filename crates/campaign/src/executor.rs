@@ -140,6 +140,7 @@ where
 
     let jobs = cfg.jobs.max(1).min(total.max(1));
     let cache = cfg.cache.as_ref();
+    let corrupt_before = cache.map_or(0, |c| c.corrupt_entries());
     let runner = &runner;
     let keys_ref = &keys;
 
@@ -239,10 +240,12 @@ where
         .filter(|(_, (s, r))| s.horizon.is_none() && !r.completed)
         .map(|(i, _)| i)
         .collect();
+    let corrupt_entries = cache.map_or(0, |c| c.corrupt_entries()) - corrupt_before;
     let metrics = CampaignMetrics {
         points_total: total,
         points_run: total - cache_hits,
         cache_hits,
+        corrupt_entries,
         sim_events,
         wall_s,
         events_per_sec: if wall_s > 0.0 {
@@ -256,6 +259,13 @@ where
             "  [{}] {} points ({} cache hits) in {:.2}s — {:.0} events/s",
             cfg.label, total, cache_hits, wall_s, metrics.events_per_sec
         );
+        if corrupt_entries > 0 {
+            eprintln!(
+                "  [{}] warning: {corrupt_entries} corrupt cache entr{} re-run and overwritten",
+                cfg.label,
+                if corrupt_entries == 1 { "y" } else { "ies" }
+            );
+        }
     }
 
     if let Some(c) = cache {
@@ -315,6 +325,7 @@ mod tests {
             workload: seed * 10,
             seed,
             horizon: None,
+            link_bandwidth: None,
         }
     }
 
@@ -367,6 +378,41 @@ mod tests {
         assert_eq!(first.results, third.results);
         // The manifest was written alongside the entries.
         assert!(dir.join("cached.manifest.json").exists());
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_rerun_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("pa-exec-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let specs: Vec<_> = (0..4).map(spec).collect();
+        let cfg = || ExecutorConfig {
+            jobs: 2,
+            cache: Some(Cache::at(&dir).unwrap()),
+            rerun: false,
+            progress: false,
+            label: "corrupt".into(),
+        };
+        let first = run_campaign(&specs, &cfg(), fake_runner);
+        assert_eq!(first.metrics.corrupt_entries, 0);
+        // Truncate one entry (a half-written file) and garble another
+        // with a wrong-schema body; the campaign must re-run both points
+        // and overwrite the bad entries, not abort.
+        let c = Cache::at(&dir).unwrap();
+        std::fs::write(c.path_for(&specs[1].content_key()), "{\"schema\": 1,").unwrap();
+        std::fs::write(
+            c.path_for(&specs[2].content_key()),
+            "{\"schema\": 999, \"key\": \"nope\"}",
+        )
+        .unwrap();
+        let second = run_campaign(&specs, &cfg(), fake_runner);
+        assert_eq!(second.results, first.results);
+        assert_eq!(second.metrics.cache_hits, 2);
+        assert_eq!(second.metrics.points_run, 2);
+        assert_eq!(second.metrics.corrupt_entries, 2);
+        // The overwritten entries now serve hits again.
+        let third = run_campaign(&specs, &cfg(), fake_runner);
+        assert_eq!(third.metrics.cache_hits, 4);
+        assert_eq!(third.metrics.corrupt_entries, 0);
     }
 
     #[test]

@@ -13,6 +13,10 @@ pub struct CampaignMetrics {
     pub points_run: usize,
     /// Points served from the cache.
     pub cache_hits: usize,
+    /// Cache entries found on disk but unusable (truncated, unparseable,
+    /// or wrong schema/key); each was re-run and overwritten.
+    #[serde(default)]
+    pub corrupt_entries: u64,
     /// Simulator events processed by the fresh runs.
     pub sim_events: u64,
     /// Wall-clock seconds for the whole campaign.
@@ -112,6 +116,7 @@ mod tests {
                 points_total: 1,
                 points_run: 1,
                 cache_hits: 0,
+                corrupt_entries: 0,
                 sim_events: 1000,
                 wall_s: 0.5,
                 events_per_sec: 2000.0,

@@ -44,6 +44,9 @@ pub struct PointSpec<W> {
     /// Horizon override: `Some` marks a run-for-simulated-time point
     /// (expected to be cut), `None` a fixed-work point (must complete).
     pub horizon: Option<SimDur>,
+    /// Per-node link capacity, bytes/sec; `None` is the unlimited legacy
+    /// fabric with no contention.
+    pub link_bandwidth: Option<f64>,
 }
 
 // Manual impls: the derive macro in the serde shim does not handle
@@ -65,6 +68,7 @@ impl<W: Serialize> Serialize for PointSpec<W> {
             ("workload".into(), self.workload.to_value()),
             ("seed".into(), self.seed.to_value()),
             ("horizon".into(), self.horizon.to_value()),
+            ("link_bandwidth".into(), self.link_bandwidth.to_value()),
         ])
     }
 }
@@ -92,6 +96,7 @@ impl<W: Deserialize> Deserialize for PointSpec<W> {
             workload: field(map, "workload")?,
             seed: field(map, "seed")?,
             horizon: field(map, "horizon")?,
+            link_bandwidth: field(map, "link_bandwidth")?,
         })
     }
 }
@@ -111,7 +116,8 @@ impl<W> PointSpec<W> {
             .with_noise(self.noise.clone())
             .with_mpi(self.mpi)
             .with_progress(self.progress)
-            .with_seed(self.seed);
+            .with_seed(self.seed)
+            .with_link_bandwidth(self.link_bandwidth);
         if let Some(h) = self.horizon {
             e = e.with_horizon(h);
         }
@@ -151,6 +157,7 @@ mod tests {
             workload: 7,
             seed: 42,
             horizon: None,
+            link_bandwidth: None,
         }
     }
 
@@ -178,6 +185,9 @@ mod tests {
         let mut d = spec();
         d.family = "other".into();
         assert_ne!(a.content_key(), d.content_key());
+        let mut e = spec();
+        e.link_bandwidth = Some(350e6);
+        assert_ne!(a.content_key(), e.content_key());
     }
 
     #[test]

@@ -21,7 +21,20 @@ pub struct FabricModel {
     pub shm_latency: SimDur,
     /// On-node bandwidth, bytes per second.
     pub shm_bandwidth: f64,
+    /// Per-node link capacity, bytes per second, shared by all concurrent
+    /// cross-node traffic entering (ingress) or leaving (egress) a node.
+    /// `None` is the legacy unlimited mode: messages overlap for free and
+    /// only the per-message latency + serialization delay applies.
+    pub link_bandwidth: Option<f64>,
 }
+
+/// Inclusive bucket upper bounds (ns) of the link queueing-delay
+/// histogram surfaced through `pa-obs`: 1µs .. 100ms, decade-spaced.
+pub const LINK_WAIT_EDGES_NS: [u64; 6] =
+    [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// Bucket count of the link-wait histogram (the last is overflow).
+pub const LINK_WAIT_BUCKETS: usize = LINK_WAIT_EDGES_NS.len() + 1;
 
 impl Default for FabricModel {
     fn default() -> Self {
@@ -33,6 +46,7 @@ impl Default for FabricModel {
             net_bandwidth: 350e6,
             shm_latency: SimDur::from_micros(3),
             shm_bandwidth: 1e9,
+            link_bandwidth: None,
         }
     }
 }
@@ -47,14 +61,40 @@ impl FabricModel {
         } else {
             (self.net_latency, self.net_bandwidth)
         };
-        let ser = SimDur::from_nanos((f64::from(msg.bytes) / bw * 1e9) as u64);
-        lat + ser
+        let ser_ns = f64::from(msg.bytes) / bw * 1e9;
+        assert!(
+            ser_ns.is_finite(),
+            "non-finite serialization delay for {} bytes at {bw} B/s",
+            msg.bytes
+        );
+        lat + SimDur::from_nanos(ser_ns.round() as u64)
+    }
+
+    /// Time `bytes` of payload occupies a node's ingress or egress link,
+    /// or `None` in the unlimited default-compat mode.
+    pub fn link_occupancy(&self, bytes: u32) -> Option<SimDur> {
+        self.link_bandwidth.map(|bw| {
+            let ns = f64::from(bytes) / bw * 1e9;
+            debug_assert!(ns.is_finite(), "non-finite link occupancy at {bw} B/s");
+            SimDur::from_nanos(ns.round() as u64)
+        })
     }
 
     /// Validate sanity.
     pub fn validate(&self) -> Result<(), String> {
-        if self.net_bandwidth <= 0.0 || self.shm_bandwidth <= 0.0 {
-            return Err("bandwidth must be positive".into());
+        fn positive_finite(name: &str, v: f64) -> Result<(), String> {
+            // `v > 0.0` is false for NaN, so non-finite values land here
+            // too; the old `<= 0.0` rejection let NaN slip through.
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be positive and finite, got {v}"))
+            }
+        }
+        positive_finite("net_bandwidth", self.net_bandwidth)?;
+        positive_finite("shm_bandwidth", self.shm_bandwidth)?;
+        if let Some(bw) = self.link_bandwidth {
+            positive_finite("link_bandwidth", bw)?;
         }
         if self.shm_latency > self.net_latency {
             return Err("shared memory should not be slower than the switch".into());
@@ -112,6 +152,68 @@ mod tests {
         let d = f.delay(&msg(0, 1, 35_000_000)); // 35 MB at 350MB/s = 100ms
         assert!(d >= SimDur::from_millis(100));
         assert!(d <= SimDur::from_millis(101));
+    }
+
+    #[test]
+    fn serialization_rounds_to_nearest_ns() {
+        let f = FabricModel::default();
+        // 8 bytes at 350 MB/s is 22.857 ns: must round up to 23, not
+        // truncate to 22.
+        assert_eq!(
+            f.delay(&msg(0, 1, 8)) - f.net_latency,
+            SimDur::from_nanos(23)
+        );
+        // 7 bytes at 1 GB/s is exactly 7 ns on the shm path.
+        assert_eq!(
+            f.delay(&msg(0, 0, 7)) - f.shm_latency,
+            SimDur::from_nanos(7)
+        );
+    }
+
+    #[test]
+    fn link_occupancy_unlimited_by_default() {
+        let f = FabricModel::default();
+        assert_eq!(f.link_occupancy(1_000_000), None);
+    }
+
+    #[test]
+    fn link_occupancy_rounds_to_nearest_ns() {
+        let f = FabricModel {
+            link_bandwidth: Some(350e6),
+            ..FabricModel::default()
+        };
+        // 8 bytes at 350 MB/s: 22.857 ns, rounded to 23.
+        assert_eq!(f.link_occupancy(8), Some(SimDur::from_nanos(23)));
+        assert_eq!(f.link_occupancy(0), Some(SimDur::ZERO));
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_bandwidths() {
+        for bad_bw in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            let bad = FabricModel {
+                net_bandwidth: bad_bw,
+                ..FabricModel::default()
+            };
+            let err = bad.validate().expect_err("net_bandwidth must be rejected");
+            assert!(err.contains("net_bandwidth"), "unnamed error: {err}");
+            let bad = FabricModel {
+                shm_bandwidth: bad_bw,
+                ..FabricModel::default()
+            };
+            let err = bad.validate().expect_err("shm_bandwidth must be rejected");
+            assert!(err.contains("shm_bandwidth"), "unnamed error: {err}");
+            let bad = FabricModel {
+                link_bandwidth: Some(bad_bw),
+                ..FabricModel::default()
+            };
+            let err = bad.validate().expect_err("link_bandwidth must be rejected");
+            assert!(err.contains("link_bandwidth"), "unnamed error: {err}");
+        }
+        let ok = FabricModel {
+            link_bandwidth: Some(350e6),
+            ..FabricModel::default()
+        };
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

@@ -20,5 +20,5 @@
 pub mod fabric;
 pub mod sim;
 
-pub use fabric::FabricModel;
+pub use fabric::{FabricModel, LINK_WAIT_BUCKETS, LINK_WAIT_EDGES_NS};
 pub use sim::{ClusterSim, ClusterSpec};

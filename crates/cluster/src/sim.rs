@@ -24,7 +24,7 @@
 //! overtake a large one sent earlier on the same channel (serialization
 //! makes the large one slower), which no real in-order fabric permits.
 
-use crate::fabric::FabricModel;
+use crate::fabric::{FabricModel, LINK_WAIT_BUCKETS, LINK_WAIT_EDGES_NS};
 use pa_kernel::{ClockModel, Effects, Kernel, KernelEvent, Message, SchedOptions};
 use pa_simkit::{EventQueue, QueueStats, SeedSpace, SimDur, SimTime};
 use serde::{Deserialize, Serialize};
@@ -109,6 +109,19 @@ struct Shard {
     last_delivery: HashMap<u32, SimTime>,
     /// Cross-shard messages staged during the current window.
     outbox: Vec<StagedMsg>,
+    /// Busy-until register of this node's egress link. Advanced at send,
+    /// inside the owning shard, so it is deterministic in event order.
+    egress_free_at: SimTime,
+    /// Busy-until register of this node's ingress link. Advanced only at
+    /// the window-merge barrier, in the canonical merge order.
+    ingress_free_at: SimTime,
+    /// Messages delayed by a busy link (egress or ingress).
+    link_waits: u64,
+    /// Total link queueing delay, nanoseconds.
+    link_wait_ns: u64,
+    /// Queueing-delay histogram; buckets bounded by `LINK_WAIT_EDGES_NS`
+    /// plus one overflow bucket.
+    link_wait_hist: [u64; LINK_WAIT_BUCKETS],
 }
 
 impl Shard {
@@ -136,6 +149,26 @@ impl Shard {
             self.messages_routed += 1;
             self.bytes_routed += u64::from(msg.bytes);
             let mut deliver_at = now + fabric.delay(&msg);
+            // Egress link: concurrent cross-node sends share the node's
+            // finite uplink, so a send issued while the link is still
+            // draining an earlier payload queues behind it. The wait is
+            // non-negative, so `deliver_at >= now + net_latency` still
+            // holds and the engine's lookahead is never shortened.
+            if dst != self.node {
+                if let Some(occ) = fabric.link_occupancy(msg.bytes) {
+                    let start = if self.egress_free_at > now {
+                        let wait = self.egress_free_at - now;
+                        self.link_waits += 1;
+                        self.link_wait_ns += wait.nanos();
+                        self.link_wait_hist[link_wait_bucket(wait)] += 1;
+                        deliver_at += wait;
+                        self.egress_free_at
+                    } else {
+                        now
+                    };
+                    self.egress_free_at = start + occ;
+                }
+            }
             // FIFO clamp: fabric channels deliver in send order. A later
             // (smaller) message may not overtake an earlier (larger) one
             // still serializing on the same channel.
@@ -160,6 +193,37 @@ impl Shard {
             }
         }
     }
+
+    /// Apply ingress-link queueing to a staged cross-shard message and
+    /// schedule it into this (destination) shard's calendar; returns the
+    /// final delivery time. Must be called in the canonical
+    /// `(deliver_at, src_node, seq)` merge order: the ingress busy-until
+    /// register advances monotonically in that order, so the serial and
+    /// parallel engines observe identical queueing.
+    fn accept_staged(&mut self, m: StagedMsg, fabric: &FabricModel) -> SimTime {
+        let mut deliver_at = m.deliver_at;
+        if let Some(occ) = fabric.link_occupancy(m.msg.bytes) {
+            if self.ingress_free_at > deliver_at {
+                let wait = self.ingress_free_at - deliver_at;
+                self.link_waits += 1;
+                self.link_wait_ns += wait.nanos();
+                self.link_wait_hist[link_wait_bucket(wait)] += 1;
+                deliver_at = self.ingress_free_at;
+            }
+            self.ingress_free_at = deliver_at + occ;
+        }
+        self.queue
+            .schedule(deliver_at, KernelEvent::Deliver { msg: m.msg });
+        deliver_at
+    }
+}
+
+/// Histogram bucket for a link queueing delay (last bucket is overflow).
+fn link_wait_bucket(wait: SimDur) -> usize {
+    LINK_WAIT_EDGES_NS
+        .iter()
+        .position(|&edge| wait.nanos() <= edge)
+        .unwrap_or(LINK_WAIT_EDGES_NS.len())
 }
 
 /// What one worker thread learned about its shards during a window:
@@ -235,6 +299,11 @@ impl ClusterSim {
                     msg_seq: 0,
                     last_delivery: HashMap::new(),
                     outbox: Vec::new(),
+                    egress_free_at: SimTime::ZERO,
+                    ingress_free_at: SimTime::ZERO,
+                    link_waits: 0,
+                    link_wait_ns: 0,
+                    link_wait_hist: [0; LINK_WAIT_BUCKETS],
                 }
             })
             .collect();
@@ -302,6 +371,29 @@ impl ClusterSim {
         self.shards.iter().map(|s| s.fifo_clamps).sum()
     }
 
+    /// Messages delayed behind a busy ingress or egress link. Always zero
+    /// in the unlimited (default) link mode.
+    pub fn link_waits(&self) -> u64 {
+        self.shards.iter().map(|s| s.link_waits).sum()
+    }
+
+    /// Total link queueing delay across all messages, nanoseconds.
+    pub fn link_wait_ns(&self) -> u64 {
+        self.shards.iter().map(|s| s.link_wait_ns).sum()
+    }
+
+    /// Link queueing-delay histogram, merged across shards; buckets are
+    /// bounded by [`LINK_WAIT_EDGES_NS`] plus one overflow bucket.
+    pub fn link_wait_hist(&self) -> [u64; LINK_WAIT_BUCKETS] {
+        let mut total = [0u64; LINK_WAIT_BUCKETS];
+        for sh in &self.shards {
+            for (t, &c) in total.iter_mut().zip(sh.link_wait_hist.iter()) {
+                *t += c;
+            }
+        }
+        total
+    }
+
     /// Node clocks re-synchronized via [`ClusterSim::sync_clocks`].
     pub fn clock_resyncs(&self) -> u64 {
         self.clock_resyncs
@@ -342,7 +434,7 @@ impl ClusterSim {
             sh.kernel.boot(now, &mut sh.fx);
             sh.drain_effects(now, &self.fabric);
         }
-        Self::merge_outboxes(&mut self.shards);
+        Self::merge_outboxes(&mut self.shards, &self.fabric);
     }
 
     /// Live application threads across the cluster.
@@ -381,8 +473,9 @@ impl ClusterSim {
         self.now
     }
 
-    /// Deliver staged cross-shard messages in the canonical merge order.
-    fn merge_outboxes(shards: &mut [Shard]) {
+    /// Deliver staged cross-shard messages in the canonical merge order,
+    /// applying ingress-link queueing per destination as they land.
+    fn merge_outboxes(shards: &mut [Shard], fabric: &FabricModel) {
         let mut staged: Vec<StagedMsg> = Vec::new();
         for sh in shards.iter_mut() {
             staged.append(&mut sh.outbox);
@@ -392,9 +485,8 @@ impl ClusterSim {
         }
         staged.sort_by_key(|m| (m.deliver_at, m.src_node, m.seq));
         for m in staged {
-            shards[m.dst_node as usize]
-                .queue
-                .schedule(m.deliver_at, KernelEvent::Deliver { msg: m.msg });
+            let dst = m.dst_node as usize;
+            shards[dst].accept_staged(m, fabric);
         }
     }
 
@@ -432,7 +524,7 @@ impl ClusterSim {
             for sh in &mut self.shards {
                 sh.process_window(we, &self.fabric);
             }
-            Self::merge_outboxes(&mut self.shards);
+            Self::merge_outboxes(&mut self.shards, &self.fabric);
         }
     }
 
@@ -520,12 +612,12 @@ impl ClusterSim {
                 }
                 staged.sort_by_key(|m| (m.deliver_at, m.src_node, m.seq));
                 for m in staged {
-                    next_ns = next_ns.min(m.deliver_at.nanos());
-                    shards[m.dst_node as usize]
-                        .lock()
-                        .unwrap()
-                        .queue
-                        .schedule(m.deliver_at, KernelEvent::Deliver { msg: m.msg });
+                    let dst = m.dst_node as usize;
+                    // Ingress queueing may move the delivery later; track
+                    // the *final* time so the next window opens exactly
+                    // where the serial engine's queue scan would put it.
+                    let final_at = shards[dst].lock().unwrap().accept_staged(m, &fabric);
+                    next_ns = next_ns.min(final_at.nanos());
                 }
             }
             done.store(true, Ordering::Release);
@@ -646,6 +738,193 @@ mod tests {
             end >= SimTime::from_millis(2),
             "overtook the large message: {end}"
         );
+    }
+
+    fn two_node_cluster_with_link(link_bandwidth: f64) -> ClusterSim {
+        let spec = ClusterSpec {
+            nodes: 2,
+            cpus_per_node: 2,
+            options: SchedOptions::vanilla(),
+            skew_max: SimDur::ZERO,
+            trace_capacity: 1 << 14,
+            fabric: FabricModel {
+                link_bandwidth: Some(link_bandwidth),
+                ..FabricModel::default()
+            },
+        };
+        ClusterSim::build(&spec, &SeedSpace::new(1))
+    }
+
+    #[test]
+    fn egress_link_queues_concurrent_sends() {
+        // Two 100 KB messages sent back-to-back over a 100 MB/s link:
+        // each occupies the egress link for 1 ms, so the second must queue
+        // behind the first instead of overlapping for free.
+        let mut sim = two_node_cluster_with_link(100e6);
+        sim.kernel_mut(0).spawn(
+            ThreadSpec::new("sender", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![
+                Action::Send(msg(ep(0, 0), ep(1, 0), 1, 100_000)),
+                Action::Send(msg(ep(0, 0), ep(1, 0), 2, 100_000)),
+            ])),
+        );
+        sim.kernel_mut(1).spawn(
+            ThreadSpec::new("receiver", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![
+                Action::Recv {
+                    tag: TagSel::Exact(1),
+                    src: SrcSel::Any,
+                    wait: WaitMode::Poll,
+                },
+                Action::Recv {
+                    tag: TagSel::Exact(2),
+                    src: SrcSel::Any,
+                    wait: WaitMode::Poll,
+                },
+            ])),
+        );
+        sim.boot();
+        let end = sim.run_until_apps_done(SimTime::from_secs(1));
+        assert_eq!(sim.apps_alive(), 0);
+        assert!(sim.link_waits() >= 1, "second send should queue");
+        assert!(sim.link_wait_ns() > 0);
+        // The second send waits ~1 ms for the link; without contention the
+        // run finishes in ~0.6 ms (latency + serialization only).
+        assert!(
+            end >= SimTime::from_micros(1200),
+            "link never queued: {end}"
+        );
+        let hist = sim.link_wait_hist();
+        assert_eq!(hist.iter().sum::<u64>(), sim.link_waits());
+    }
+
+    #[test]
+    fn ingress_link_queues_simultaneous_senders() {
+        // Two nodes fire 100 KB at node 2 at the same instant: the
+        // messages arrive together, and the destination's 100 MB/s ingress
+        // link forces the merge-ordered second one to wait ~1 ms.
+        let spec = ClusterSpec {
+            nodes: 3,
+            cpus_per_node: 2,
+            options: SchedOptions::vanilla(),
+            skew_max: SimDur::ZERO,
+            trace_capacity: 1 << 14,
+            fabric: FabricModel {
+                link_bandwidth: Some(100e6),
+                ..FabricModel::default()
+            },
+        };
+        let mut sim = ClusterSim::build(&spec, &SeedSpace::new(1));
+        for n in 0..2u32 {
+            sim.kernel_mut(n).spawn(
+                ThreadSpec::new("sender", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+                Box::new(Script::new(vec![Action::Send(msg(
+                    ep(n, 0),
+                    ep(2, 0),
+                    u64::from(n) + 1,
+                    100_000,
+                ))])),
+            );
+        }
+        sim.kernel_mut(2).spawn(
+            ThreadSpec::new("receiver", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![
+                Action::Recv {
+                    tag: TagSel::Exact(1),
+                    src: SrcSel::Any,
+                    wait: WaitMode::Poll,
+                },
+                Action::Recv {
+                    tag: TagSel::Exact(2),
+                    src: SrcSel::Any,
+                    wait: WaitMode::Poll,
+                },
+            ])),
+        );
+        sim.boot();
+        sim.run_until_apps_done(SimTime::from_secs(1));
+        assert_eq!(sim.apps_alive(), 0);
+        assert!(sim.link_waits() >= 1, "ingress should serialize arrivals");
+    }
+
+    #[test]
+    fn unlimited_link_mode_records_no_waits() {
+        let mut sim = two_node_cluster();
+        sim.kernel_mut(0).spawn(
+            ThreadSpec::new("sender", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+            Box::new(Script::new(vec![
+                Action::Send(msg(ep(0, 0), ep(1, 0), 1, 100_000)),
+                Action::Send(msg(ep(0, 0), ep(1, 0), 2, 100_000)),
+            ])),
+        );
+        sim.boot();
+        sim.run_until_apps_done(SimTime::from_millis(50));
+        assert_eq!(sim.link_waits(), 0);
+        assert_eq!(sim.link_wait_ns(), 0);
+        assert_eq!(sim.link_wait_hist(), [0; LINK_WAIT_BUCKETS]);
+    }
+
+    #[test]
+    fn identical_history_with_link_contention() {
+        // The contention registers must not perturb determinism: an
+        // all-to-all burst over a tight 10 MB/s link replays identically
+        // at 1/2/4 threads, waits included.
+        let fingerprint = |threads: usize| {
+            let spec = ClusterSpec {
+                nodes: 4,
+                cpus_per_node: 2,
+                options: SchedOptions::vanilla(),
+                skew_max: SimDur::from_millis(1),
+                trace_capacity: 1 << 14,
+                fabric: FabricModel {
+                    link_bandwidth: Some(10e6),
+                    ..FabricModel::default()
+                },
+            };
+            let mut sim = ClusterSim::build(&spec, &SeedSpace::new(7));
+            sim.set_sim_threads(threads);
+            for n in 0..4u32 {
+                let mut acts = Vec::new();
+                for peer in 0..4u32 {
+                    if peer != n {
+                        acts.push(Action::Send(msg(
+                            ep(n, 0),
+                            ep(peer, 0),
+                            u64::from(n * 4 + peer),
+                            200_000,
+                        )));
+                    }
+                }
+                for peer in 0..4u32 {
+                    if peer != n {
+                        acts.push(Action::Recv {
+                            tag: TagSel::Exact(u64::from(peer * 4 + n)),
+                            src: SrcSel::Any,
+                            wait: WaitMode::Poll,
+                        });
+                    }
+                }
+                sim.kernel_mut(n).spawn(
+                    ThreadSpec::new("rank", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+                    Box::new(Script::new(acts)),
+                );
+            }
+            sim.boot();
+            let end = sim.run_until_apps_done(SimTime::from_secs(5));
+            (
+                end,
+                sim.events_processed(),
+                sim.fifo_clamps(),
+                sim.link_waits(),
+                sim.link_wait_ns(),
+                sim.link_wait_hist(),
+                sim.queue_stats(),
+            )
+        };
+        let serial = fingerprint(1);
+        assert!(serial.3 > 0, "burst over a 10 MB/s link must queue");
+        assert_eq!(serial, fingerprint(2));
+        assert_eq!(serial, fingerprint(4));
     }
 
     #[test]

@@ -167,6 +167,14 @@ impl Experiment {
         self
     }
 
+    /// Set (or disable, with `None`) the per-node link capacity in bytes
+    /// per second. `None` is the unlimited default: concurrent messages
+    /// overlap for free, as before the contention model existed.
+    pub fn with_link_bandwidth(mut self, bytes_per_sec: Option<f64>) -> Self {
+        self.fabric.link_bandwidth = bytes_per_sec;
+        self
+    }
+
     /// Enable tracing on a node.
     pub fn with_trace_node(mut self, node: u32) -> Self {
         self.trace_nodes.push(node);

@@ -49,6 +49,27 @@ pub fn metrics_of(out: &RunOutput) -> MetricsRegistry {
     reg.inc("cluster.bytes_routed", out.sim.bytes_routed());
     reg.inc("cluster.clock_resyncs", out.sim.clock_resyncs());
     reg.inc("fabric.fifo_clamps", out.sim.fifo_clamps());
+    reg.inc("fabric.link_waits", out.sim.link_waits());
+    reg.inc("fabric.link_wait_ns", out.sim.link_wait_ns());
+    // Link queueing-delay histogram, rebuilt from the engine's pre-binned
+    // counts: each bucket is replayed at its upper edge (overflow at one
+    // past the last edge), so sum/min/max are bucket approximations while
+    // the bucket counts themselves are exact. Declared only when the
+    // finite-link mode produced waits, keeping unlimited-mode snapshots
+    // free of an always-empty histogram.
+    let link_hist = out.sim.link_wait_hist();
+    if link_hist.iter().any(|&c| c > 0) {
+        let name = "fabric.link_wait_ns.hist";
+        reg.declare_histogram(name, &pa_cluster::LINK_WAIT_EDGES_NS);
+        let last = pa_cluster::LINK_WAIT_EDGES_NS[pa_cluster::LINK_WAIT_EDGES_NS.len() - 1];
+        for (i, &c) in link_hist.iter().enumerate() {
+            let rep = pa_cluster::LINK_WAIT_EDGES_NS
+                .get(i)
+                .copied()
+                .unwrap_or(last + 1);
+            reg.observe_n(name, rep, c);
+        }
+    }
     reg.set_gauge("cluster.nodes", i64::from(out.sim.nodes()));
 
     for node in 0..out.sim.nodes() {
@@ -222,6 +243,32 @@ mod tests {
             .map(|b| reg.counter(&format!("kernel.runq_waits.{b}")))
             .sum();
         assert!(total_waits > 0);
+    }
+
+    #[test]
+    fn link_contention_metrics_surface() {
+        let mut wl = |_rank: u32| -> Box<dyn RankWorkload> {
+            Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 4096 }; 64]))
+        };
+        // A 1 MB/s link makes every concurrent cross-node send queue.
+        let out = Experiment::new(2, 4)
+            .with_cpus_per_node(4)
+            .with_link_bandwidth(Some(1e6))
+            .with_seed(5)
+            .run(&mut wl);
+        let reg = metrics_of(&out);
+        assert!(reg.counter("fabric.link_waits") > 0);
+        assert!(reg.counter("fabric.link_wait_ns") > 0);
+        let h = reg
+            .histogram("fabric.link_wait_ns.hist")
+            .expect("histogram declared under contention");
+        assert_eq!(h.count(), reg.counter("fabric.link_waits"));
+
+        // The unlimited default records no waits and no histogram.
+        let out = run(5);
+        let reg = metrics_of(&out);
+        assert_eq!(reg.counter("fabric.link_waits"), 0);
+        assert!(reg.histogram("fabric.link_wait_ns.hist").is_none());
     }
 
     #[test]

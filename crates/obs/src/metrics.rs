@@ -55,14 +55,24 @@ impl Histogram {
 
     /// Record one observation.
     pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` observations of `value` at once — the bulk form used to
+    /// rebuild a histogram from pre-binned per-run counts. A no-op when
+    /// `n` is zero.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = self
             .edges
             .iter()
             .position(|&e| value <= e)
             .unwrap_or(self.edges.len());
-        self.counts[idx] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
+        self.counts[idx] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -186,6 +196,18 @@ impl MetricsRegistry {
             .record(value);
     }
 
+    /// Record `n` observations of `value` into histogram `name`.
+    ///
+    /// # Panics
+    /// Panics when the histogram was never declared, like
+    /// [`MetricsRegistry::observe`].
+    pub fn observe_n(&mut self, name: &str, value: u64, n: u64) {
+        self.histograms
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("histogram {name:?} not declared"))
+            .record_n(value, n);
+    }
+
     /// Histogram `name`, if declared.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
@@ -282,6 +304,22 @@ mod tests {
         assert_eq!(h.count(), 8);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new(&[10, 100]);
+        bulk.record_n(7, 3);
+        bulk.record_n(50, 0); // no-op: count, min, max untouched
+        bulk.record_n(200, 2);
+        let mut single = Histogram::new(&[10, 100]);
+        for _ in 0..3 {
+            single.record(7);
+        }
+        for _ in 0..2 {
+            single.record(200);
+        }
+        assert_eq!(bulk, single);
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub struct ScalingConfig {
     /// every point spans several co-scheduler windows, like the paper's
     /// minutes-long loops.
     pub target_sim_time: Option<SimDur>,
+    /// Per-node link capacity, bytes/sec; `None` is the unlimited legacy
+    /// fabric (no switch contention).
+    pub link_bandwidth: Option<f64>,
 }
 
 impl ScalingConfig {
@@ -74,6 +77,7 @@ impl ScalingConfig {
             progress: Some(ProgressSpec::default()),
             agg: AggregateSpec::default(),
             target_sim_time: target,
+            link_bandwidth: None,
         }
     }
 
@@ -135,6 +139,7 @@ impl ScalingConfig {
             workload: self.agg.with_calls(calls),
             seed,
             horizon: self.target_sim_time,
+            link_bandwidth: self.link_bandwidth,
         }
     }
 

@@ -233,6 +233,7 @@ fn engine_fingerprint(
     seed: u64,
     cosched: bool,
     bytes: u32,
+    link_bw: Option<f64>,
     threads: usize,
 ) -> (String, Vec<pa_trace::TraceEvent>) {
     let mut wl = |_rank: u32| -> Box<dyn RankWorkload> {
@@ -242,6 +243,7 @@ fn engine_fingerprint(
         .with_cpus_per_node(4)
         .with_trace_node(0)
         .with_seed(seed)
+        .with_link_bandwidth(link_bw)
         .with_sim_threads(threads);
     if cosched {
         e = e.with_cosched(CoschedSetup::default());
@@ -259,18 +261,24 @@ proptest! {
         seed in 0u64..10_000,
         cosched in any::<bool>(),
         bytes in 8u32..4096,
-        threads in 2usize..9,
+        // Link capacity from "so tight every message queues" to
+        // "effectively free", plus the unlimited legacy mode.
+        link_bw in (any::<bool>(), 1e6f64..1e9).prop_map(|(limited, bw)| limited.then_some(bw)),
     ) {
-        let serial = engine_fingerprint(nodes, tasks, seed, cosched, bytes, 1);
-        let sharded = engine_fingerprint(nodes, tasks, seed, cosched, bytes, threads);
-        prop_assert_eq!(
-            &serial.0, &sharded.0,
-            "metrics diverge at {} threads (nodes={}, seed={})", threads, nodes, seed
-        );
-        prop_assert_eq!(
-            &serial.1, &sharded.1,
-            "trace diverges at {} threads (nodes={}, seed={})", threads, nodes, seed
-        );
+        let serial = engine_fingerprint(nodes, tasks, seed, cosched, bytes, link_bw, 1);
+        for threads in [2usize, 4] {
+            let sharded = engine_fingerprint(nodes, tasks, seed, cosched, bytes, link_bw, threads);
+            prop_assert_eq!(
+                &serial.0, &sharded.0,
+                "metrics diverge at {} threads (nodes={}, seed={}, link_bw={:?})",
+                threads, nodes, seed, link_bw
+            );
+            prop_assert_eq!(
+                &serial.1, &sharded.1,
+                "trace diverges at {} threads (nodes={}, seed={}, link_bw={:?})",
+                threads, nodes, seed, link_bw
+            );
+        }
     }
 }
 
