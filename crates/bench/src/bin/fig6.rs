@@ -23,7 +23,8 @@ fn main() {
     ));
     let result = fig6(&vanilla, &prototype);
     let mut reg = campaign_registry("fig6.vanilla", &vout);
-    reg.merge(&campaign_registry("fig6.prototype", &pout));
+    reg.merge(&campaign_registry("fig6.prototype", &pout))
+        .expect("fig6 registries share histogram layouts");
     write_metrics(&args, &reg);
     no_trace_source(&args, "fig6");
     emit(args.json, &result, || {

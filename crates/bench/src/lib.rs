@@ -18,7 +18,13 @@
 //! * `--rerun` — ignore cached entries but refresh them with new runs;
 //! * `--link-bandwidth B|unlimited` — per-node link capacity in bytes/sec
 //!   (finite values enable switch contention; default `unlimited` keeps
-//!   the legacy free-overlap fabric).
+//!   the legacy free-overlap fabric);
+//! * `--checkpoint-every DUR` — write a mid-run checkpoint for each fresh
+//!   campaign point every DUR of simulated time (integer with optional
+//!   `ns`/`us`/`ms`/`s` suffix; bare integers are ms). Needs the result
+//!   cache; a killed invocation resumes each partially-run point from its
+//!   last checkpoint, and the resumed results are bit-identical to an
+//!   uninterrupted run's.
 //!
 //! The default mode is a balanced configuration that reproduces every
 //! qualitative result in a few minutes.
@@ -60,6 +66,10 @@ pub struct Args {
     /// Per-node link capacity, bytes/sec; `None` = unlimited (legacy
     /// free-overlap fabric, the default).
     pub link_bandwidth: Option<f64>,
+    /// Periodic mid-run checkpoint interval (sim time) for fresh campaign
+    /// points; `None` disables checkpointing. Requires the result cache
+    /// (checkpoints live under `results/cache/checkpoints/`).
+    pub checkpoint_every: Option<SimDur>,
     /// Write a `pa-obs` metrics snapshot (canonical JSON) here.
     pub metrics_out: Option<std::path::PathBuf>,
     /// Write a Chrome trace-event span timeline here (open in Perfetto
@@ -79,6 +89,7 @@ impl Args {
             no_cache: false,
             rerun: false,
             link_bandwidth: None,
+            checkpoint_every: None,
             metrics_out: None,
             trace_out: None,
         };
@@ -130,6 +141,17 @@ impl Args {
                         )
                     };
                 }
+                "--checkpoint-every" => {
+                    let v = it.next().unwrap_or_else(|| {
+                        usage("--checkpoint-every needs a sim duration (e.g. 500ms, 2s)")
+                    });
+                    args.checkpoint_every = Some(parse_sim_dur(&v).unwrap_or_else(|| {
+                        usage(
+                            "--checkpoint-every needs a positive sim duration: an integer \
+                             with an optional ns/us/ms/s suffix (bare integers are ms)",
+                        )
+                    }));
+                }
                 "--metrics-out" => {
                     args.metrics_out = Some(
                         it.next()
@@ -169,8 +191,35 @@ impl Args {
                 Err(e) => eprintln!("warning: result cache disabled: {e}"),
             }
         }
+        if let Some(every) = self.checkpoint_every {
+            if exec.cache.is_some() {
+                exec = exec.with_checkpoint_every(every);
+            } else {
+                eprintln!("warning: --checkpoint-every ignored: checkpoints need the result cache");
+            }
+        }
         exec
     }
+}
+
+/// Parse a simulated duration: an integer with an optional `ns`/`us`/
+/// `ms`/`s` suffix; bare integers are milliseconds. Returns `None` for
+/// malformed or zero values.
+pub fn parse_sim_dur(s: &str) -> Option<SimDur> {
+    let (digits, mul) = if let Some(d) = s.strip_suffix("ns") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else {
+        (s, 1_000_000)
+    };
+    let n: u64 = digits.parse().ok()?;
+    let ns = n.checked_mul(mul)?;
+    (ns > 0).then(|| SimDur::from_nanos(ns))
 }
 
 fn usage(err: &str) -> ! {
@@ -179,8 +228,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--quick|--full] [--json] [--seed N] [--jobs N] [--sim-threads N] \
-         [--no-cache] [--rerun] [--link-bandwidth B|unlimited] [--metrics-out PATH] \
-         [--trace-out PATH]"
+         [--no-cache] [--rerun] [--link-bandwidth B|unlimited] [--checkpoint-every DUR] \
+         [--metrics-out PATH] [--trace-out PATH]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -18,7 +18,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// unreachable (different keys) rather than misread.
 /// v3: `PointSpec` gained `link_bandwidth` and `PointResult.extra` gained
 /// the `fabric.link_*` contention counters.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+/// v4: campaign points may be produced by checkpoint-resumed runs; bumped
+/// with the engine checkpoint/restore feature so entries written before
+/// the restore path existed are unreachable.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// Whether a point was served from disk or freshly simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

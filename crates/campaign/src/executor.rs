@@ -6,8 +6,10 @@
 use crate::cache::{Cache, PointResult};
 use crate::manifest::{CampaignManifest, CampaignMetrics, ManifestPoint};
 use crate::spec::PointSpec;
+use pa_simkit::SimDur;
 use serde::Serialize;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// How a campaign executes: parallelism, caching, reporting.
@@ -24,6 +26,10 @@ pub struct ExecutorConfig {
     pub progress: bool,
     /// Campaign label, used for progress lines and the manifest name.
     pub label: String,
+    /// Periodic mid-run checkpoint interval (sim time) for fresh points.
+    /// Requires a cache (checkpoints live under `<cache>/checkpoints/`,
+    /// keyed by point content hash); `None` disables checkpointing.
+    pub checkpoint_every: Option<SimDur>,
 }
 
 impl ExecutorConfig {
@@ -36,6 +42,7 @@ impl ExecutorConfig {
             rerun: false,
             progress: false,
             label: label.into(),
+            checkpoint_every: None,
         }
     }
 
@@ -50,6 +57,24 @@ impl ExecutorConfig {
         self.cache = Some(cache);
         self
     }
+
+    /// Checkpoint fresh points every `every` of sim time (needs a cache).
+    pub fn with_checkpoint_every(mut self, every: SimDur) -> ExecutorConfig {
+        self.checkpoint_every = Some(every);
+        self
+    }
+}
+
+/// Mid-run checkpoint context the executor hands a resumable runner for
+/// one fresh point: where the point's checkpoint lives (restore from it
+/// when present — a previous invocation was killed mid-run) and how often
+/// to write it.
+#[derive(Debug, Clone)]
+pub struct CheckpointCtx {
+    /// Checkpoint file, `<cache>/checkpoints/<content_key>.json`.
+    pub path: PathBuf,
+    /// Periodic checkpoint interval (sim time).
+    pub every: SimDur,
 }
 
 /// Everything a campaign produced.
@@ -127,6 +152,24 @@ where
     W: Serialize + Sync,
     F: Fn(&PointSpec<W>) -> PointResult + Sync,
 {
+    run_campaign_resumable(specs, cfg, |spec, _ckpt| runner(spec))
+}
+
+/// [`run_campaign`] for checkpoint-aware runners: fresh points receive a
+/// [`CheckpointCtx`] (when the config arms `checkpoint_every` and has a
+/// cache) telling them where to write periodic checkpoints — and where to
+/// restore from if an earlier invocation died mid-point. Restored tails
+/// replay bit-identically, so results still match an uninterrupted
+/// campaign's; a point's checkpoint is deleted once its result is cached.
+pub fn run_campaign_resumable<W, F>(
+    specs: &[PointSpec<W>],
+    cfg: &ExecutorConfig,
+    runner: F,
+) -> CampaignOutcome
+where
+    W: Serialize + Sync,
+    F: Fn(&PointSpec<W>, Option<&CheckpointCtx>) -> PointResult + Sync,
+{
     let started = Instant::now();
     let total = specs.len();
     let keys: Vec<String> = specs.iter().map(|s| s.content_key()).collect();
@@ -161,9 +204,21 @@ where
                         Some(r) => (r, true),
                         None => {
                             let _ = msg_tx.send(WorkerMsg::Started { index: i });
-                            let r = runner(spec);
+                            let ckpt = match (cache, cfg.checkpoint_every) {
+                                (Some(c), Some(every)) => Some(CheckpointCtx {
+                                    path: c.dir().join("checkpoints").join(format!("{key}.json")),
+                                    every,
+                                }),
+                                _ => None,
+                            };
+                            let r = runner(spec, ckpt.as_ref());
                             if let Some(c) = cache {
                                 let _ = c.store(key, spec, &r);
+                            }
+                            // The result is durable now; the mid-run
+                            // checkpoint has served its purpose.
+                            if let Some(cx) = &ckpt {
+                                let _ = std::fs::remove_file(&cx.path);
                             }
                             (r, false)
                         }
@@ -366,6 +421,7 @@ mod tests {
             rerun,
             progress: false,
             label: "cached".into(),
+            checkpoint_every: None,
         };
         let first = run_campaign(&specs, &cfg(false), fake_runner);
         assert_eq!(first.metrics.cache_hits, 0);
@@ -391,6 +447,7 @@ mod tests {
             rerun: false,
             progress: false,
             label: "corrupt".into(),
+            checkpoint_every: None,
         };
         let first = run_campaign(&specs, &cfg(), fake_runner);
         assert_eq!(first.metrics.corrupt_entries, 0);

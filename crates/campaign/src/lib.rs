@@ -8,6 +8,9 @@ pub mod manifest;
 pub mod spec;
 
 pub use cache::{Cache, CacheStatus, PointResult, CACHE_SCHEMA_VERSION};
-pub use executor::{run_campaign, CampaignOutcome, ExecutorConfig, TruncatedPoints};
+pub use executor::{
+    run_campaign, run_campaign_resumable, CampaignOutcome, CheckpointCtx, ExecutorConfig,
+    TruncatedPoints,
+};
 pub use manifest::{CampaignManifest, CampaignMetrics};
 pub use spec::PointSpec;

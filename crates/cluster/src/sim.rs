@@ -25,10 +25,14 @@
 //! makes the large one slower), which no real in-order fabric permits.
 
 use crate::fabric::{FabricModel, LINK_WAIT_BUCKETS, LINK_WAIT_EDGES_NS};
-use pa_kernel::{ClockModel, Effects, Kernel, KernelEvent, Message, SchedOptions};
-use pa_simkit::{EventQueue, QueueStats, SeedSpace, SimDur, SimTime};
+use pa_kernel::{ClockModel, Effects, Kernel, KernelEvent, KernelSnapshot, Message, SchedOptions};
+use pa_simkit::{sha256_hex, EventQueue, QueueStats, SeedSpace, SimDur, SimTime};
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -79,6 +83,7 @@ impl ClusterSpec {
 }
 
 /// A cross-shard message staged during a window, delivered at the barrier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct StagedMsg {
     deliver_at: SimTime,
     src_node: u32,
@@ -124,11 +129,44 @@ struct Shard {
     link_wait_hist: [u64; LINK_WAIT_BUCKETS],
 }
 
+/// One shard's slice of a cluster checkpoint. Everything mutable lives
+/// here; static structure (node config, fabric, trace registrations) is
+/// rebuilt from the [`ClusterSpec`] on restore and validated against the
+/// snapshot by [`Kernel::restore`].
+#[derive(Debug, Serialize, Deserialize)]
+struct ShardSnap {
+    node: u32,
+    queue_now: SimTime,
+    queue_next_id: u64,
+    queue_stats: QueueStats,
+    queue_entries: Vec<(SimTime, u64, KernelEvent)>,
+    kernel: KernelSnapshot,
+    events_processed: u64,
+    messages_routed: u64,
+    bytes_routed: u64,
+    fifo_clamps: u64,
+    msg_seq: u64,
+    /// FIFO floors as a node-sorted pair list (canonical encoding).
+    last_delivery: Vec<(u32, SimTime)>,
+    /// Always empty at a window barrier; serialized anyway so the format
+    /// does not change if checkpoints ever move inside a window.
+    outbox: Vec<StagedMsg>,
+    egress_free_at: SimTime,
+    ingress_free_at: SimTime,
+    link_waits: u64,
+    link_wait_ns: u64,
+    /// `LINK_WAIT_BUCKETS` entries (length-checked on restore).
+    link_wait_hist: Vec<u64>,
+}
+
 impl Shard {
-    /// Process every local event strictly before `window_end`.
-    fn process_window(&mut self, window_end: SimTime, fabric: &FabricModel) {
+    /// Process every local event strictly before `window_end` — or up to
+    /// and including it when `inclusive` (the final window of a
+    /// `SimTime`-saturating horizon, where the exclusive bound is not
+    /// representable).
+    fn process_window(&mut self, window_end: SimTime, inclusive: bool, fabric: &FabricModel) {
         while let Some(t) = self.queue.peek_time() {
-            if t >= window_end {
+            if t > window_end || (t == window_end && !inclusive) {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked event vanished");
@@ -136,6 +174,85 @@ impl Shard {
             self.kernel.handle(now, ev, &mut self.fx);
             self.drain_effects(now, fabric);
         }
+    }
+
+    /// Capture this shard's full mutable state.
+    fn snapshot(&self) -> ShardSnap {
+        let mut last_delivery: Vec<(u32, SimTime)> =
+            self.last_delivery.iter().map(|(&n, &t)| (n, t)).collect();
+        last_delivery.sort_by_key(|&(n, _)| n);
+        ShardSnap {
+            node: self.node,
+            queue_now: self.queue.now(),
+            queue_next_id: self.queue.next_id_raw(),
+            queue_stats: self.queue.stats(),
+            queue_entries: self
+                .queue
+                .live_entries()
+                .into_iter()
+                .map(|(t, id, ev)| (t, id, ev.clone()))
+                .collect(),
+            kernel: self.kernel.snapshot(),
+            events_processed: self.events_processed,
+            messages_routed: self.messages_routed,
+            bytes_routed: self.bytes_routed,
+            fifo_clamps: self.fifo_clamps,
+            msg_seq: self.msg_seq,
+            last_delivery,
+            outbox: self.outbox.clone(),
+            egress_free_at: self.egress_free_at,
+            ingress_free_at: self.ingress_free_at,
+            link_waits: self.link_waits,
+            link_wait_ns: self.link_wait_ns,
+            link_wait_hist: self.link_wait_hist.to_vec(),
+        }
+    }
+
+    /// Overlay a checkpointed state onto this freshly assembled shard.
+    fn restore(&mut self, snap: &ShardSnap) -> Result<(), String> {
+        if snap.node != self.node {
+            return Err(format!(
+                "checkpoint shard {} restored into node {}",
+                snap.node, self.node
+            ));
+        }
+        if snap.link_wait_hist.len() != LINK_WAIT_BUCKETS {
+            return Err(format!(
+                "node {}: link-wait histogram has {} buckets, engine expects {}",
+                self.node,
+                snap.link_wait_hist.len(),
+                LINK_WAIT_BUCKETS
+            ));
+        }
+        self.kernel
+            .restore(&snap.kernel)
+            .map_err(|e| format!("node {}: {e}", self.node))?;
+        self.queue = EventQueue::from_parts(
+            snap.queue_now,
+            snap.queue_next_id,
+            snap.queue_stats,
+            snap.queue_entries.clone(),
+        )
+        .map_err(|e| format!("node {}: {e}", self.node))?;
+        self.events_processed = snap.events_processed;
+        self.messages_routed = snap.messages_routed;
+        self.bytes_routed = snap.bytes_routed;
+        self.fifo_clamps = snap.fifo_clamps;
+        self.msg_seq = snap.msg_seq;
+        self.last_delivery = snap.last_delivery.iter().copied().collect();
+        self.outbox = snap.outbox.clone();
+        self.egress_free_at = snap.egress_free_at;
+        self.ingress_free_at = snap.ingress_free_at;
+        self.link_waits = snap.link_waits;
+        self.link_wait_ns = snap.link_wait_ns;
+        for (slot, &v) in self
+            .link_wait_hist
+            .iter_mut()
+            .zip(snap.link_wait_hist.iter())
+        {
+            *slot = v;
+        }
+        Ok(())
     }
 
     /// Move kernel effects into the calendar (local) or outbox (remote).
@@ -246,12 +363,53 @@ impl Default for WindowReport {
     }
 }
 
-/// Exclusive upper bound of the window opening at `t_start`.
-fn window_end_of(t_start: SimTime, horizon: SimTime, lookahead: SimDur) -> SimTime {
-    // `horizon` is inclusive, so the hard cap is one nanosecond past it.
-    let hard = horizon.nanos().saturating_add(1);
-    SimTime::from_nanos(t_start.nanos().saturating_add(lookahead.nanos()).min(hard))
+/// Bounds of the window opening at `t_start`: `(end, inclusive)`. The
+/// window covers `[t_start, end)`, or `[t_start, end]` when `inclusive`.
+///
+/// `horizon` is an inclusive cap, so the exclusive end is
+/// `min(t_start + lookahead, horizon + 1)` — computed in 128 bits because
+/// at `horizon = SimTime::FAR_FUTURE` the `+ 1` is not representable in
+/// nanoseconds. A saturating add here would silently shrink the final
+/// window by one nanosecond: events at the last representable instant
+/// would never be processed and the window loop would spin on them
+/// forever. When the true bound exceeds `u64::MAX`, the window is instead
+/// closed *inclusively* at `FAR_FUTURE`.
+fn window_bounds(t_start: SimTime, horizon: SimTime, lookahead: SimDur) -> (SimTime, bool) {
+    let end = u128::from(t_start.nanos()) + u128::from(lookahead.nanos());
+    let hard = u128::from(horizon.nanos()) + 1;
+    let end = end.min(hard);
+    if end > u128::from(u64::MAX) {
+        (SimTime::FAR_FUTURE, true)
+    } else {
+        (SimTime::from_nanos(end as u64), false)
+    }
 }
+
+/// Magic string identifying a cluster checkpoint file.
+pub const CHECKPOINT_FORMAT: &str = "pa-cluster-checkpoint";
+
+/// Checkpoint format version. Bump on any change to the snapshot schema;
+/// restore rejects mismatches instead of guessing.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Whole-cluster checkpoint state (everything the engine mutates).
+#[derive(Debug, Serialize, Deserialize)]
+struct ClusterSnap {
+    now: SimTime,
+    clock_resyncs: u64,
+    /// Carried so a restored run's write counter continues where the
+    /// interrupted run's left off (totals then match an uninterrupted
+    /// run's bit-for-bit).
+    checkpoints_written: u64,
+    /// Next scheduled periodic checkpoint, nanoseconds (None = unarmed).
+    /// Carried so a restored run keeps the uninterrupted run's schedule.
+    checkpoint_next_ns: Option<u64>,
+    shards: Vec<ShardSnap>,
+}
+
+/// Callback that captures engine-external state (e.g. a shared run
+/// recorder) into a checkpoint's `extras` section.
+pub type ExtrasProvider = Box<dyn Fn() -> Vec<(String, Value)> + Send + Sync>;
 
 /// The running cluster.
 pub struct ClusterSim {
@@ -263,6 +421,136 @@ pub struct ClusterSim {
     clock_resyncs: u64,
     sim_threads: usize,
     now: SimTime,
+    /// Periodic-checkpoint interval (None = disabled).
+    checkpoint_every: Option<SimDur>,
+    /// File the periodic checkpointer overwrites.
+    checkpoint_path: Option<PathBuf>,
+    /// Next barrier time at/after which a periodic checkpoint is due.
+    next_checkpoint_at: Option<SimTime>,
+    checkpoints_written: u64,
+    checkpoint_restores: u64,
+    /// Size of the most recent checkpoint file written or restored.
+    last_checkpoint_bytes: u64,
+    extras_provider: Option<ExtrasProvider>,
+}
+
+/// Serialize a checkpoint to `path` atomically (write + rename), hashing
+/// the payload so corruption and truncation are caught on restore.
+/// Returns the file size in bytes.
+fn write_checkpoint_file(
+    path: &Path,
+    snap: &ClusterSnap,
+    extras: Vec<(String, Value)>,
+) -> Result<u64, String> {
+    let payload = Value::Map(vec![
+        ("state".to_string(), snap.to_value()),
+        ("extras".to_string(), Value::Map(extras)),
+    ]);
+    let payload_json =
+        serde_json::to_string(&payload).map_err(|e| format!("encode checkpoint: {}", e.0))?;
+    let file = Value::Map(vec![
+        (
+            "format".to_string(),
+            Value::Str(CHECKPOINT_FORMAT.to_string()),
+        ),
+        ("version".to_string(), Value::UInt(CHECKPOINT_VERSION)),
+        (
+            "sha256".to_string(),
+            Value::Str(sha256_hex(payload_json.as_bytes())),
+        ),
+        ("payload".to_string(), Value::Str(payload_json)),
+    ]);
+    let text = serde_json::to_string(&file).map_err(|e| format!("encode checkpoint: {}", e.0))?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+    }
+    // Write-then-rename: a run killed mid-write leaves the previous
+    // checkpoint intact instead of a truncated file.
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, text.as_bytes()).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), path.display()))?;
+    Ok(text.len() as u64)
+}
+
+/// What [`read_checkpoint_file`] yields: the snapshot, the extras pairs,
+/// and the file size in bytes.
+type CheckpointContents = (ClusterSnap, Vec<(String, Value)>, u64);
+
+/// Check that `path` holds a well-formed checkpoint — parseable, right
+/// format and version, hash intact — without applying it. Callers that
+/// resume opportunistically (the campaign executor) use this to treat a
+/// damaged checkpoint as absent rather than fatal.
+pub fn verify_checkpoint_file(path: impl AsRef<Path>) -> Result<(), String> {
+    read_checkpoint_file(path.as_ref()).map(|_| ())
+}
+
+/// Parse and verify a checkpoint file.
+fn read_checkpoint_file(path: &Path) -> Result<CheckpointContents, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let file =
+        serde_json::parse(&text).map_err(|e| format!("parse {}: {}", path.display(), e.0))?;
+    let field = |name: &str| -> Result<&Value, String> {
+        match &file {
+            Value::Map(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("{}: missing field `{name}`", path.display())),
+            _ => Err(format!("{}: not a checkpoint object", path.display())),
+        }
+    };
+    match field("format")? {
+        Value::Str(f) if f == CHECKPOINT_FORMAT => {}
+        other => return Err(format!("{}: bad format tag {other:?}", path.display())),
+    }
+    match field("version")? {
+        Value::UInt(v) if *v == CHECKPOINT_VERSION => {}
+        other => {
+            return Err(format!(
+                "{}: unsupported checkpoint version {other:?} (expected {CHECKPOINT_VERSION})",
+                path.display()
+            ))
+        }
+    }
+    let Value::Str(expect_hash) = field("sha256")? else {
+        return Err(format!("{}: sha256 is not a string", path.display()));
+    };
+    let Value::Str(payload_json) = field("payload")? else {
+        return Err(format!("{}: payload is not a string", path.display()));
+    };
+    let got = sha256_hex(payload_json.as_bytes());
+    if &got != expect_hash {
+        return Err(format!(
+            "{}: checkpoint corrupt (sha256 {got} != recorded {expect_hash})",
+            path.display()
+        ));
+    }
+    let payload = serde_json::parse(payload_json)
+        .map_err(|e| format!("parse checkpoint payload: {}", e.0))?;
+    let Value::Map(pairs) = payload else {
+        return Err("checkpoint payload is not an object".to_string());
+    };
+    let mut state = None;
+    let mut extras = Vec::new();
+    for (k, v) in pairs {
+        match k.as_str() {
+            "state" => state = Some(v),
+            "extras" => {
+                if let Value::Map(e) = v {
+                    extras = e;
+                }
+            }
+            _ => {}
+        }
+    }
+    let state = state.ok_or("checkpoint payload has no state")?;
+    let snap =
+        ClusterSnap::from_value(&state).map_err(|e| format!("decode checkpoint: {}", e.0))?;
+    Ok((snap, extras, text.len() as u64))
 }
 
 impl ClusterSim {
@@ -315,6 +603,13 @@ impl ClusterSim {
             clock_resyncs: 0,
             sim_threads: 1,
             now: SimTime::ZERO,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            next_checkpoint_at: None,
+            checkpoints_written: 0,
+            checkpoint_restores: 0,
+            last_checkpoint_bytes: 0,
+            extras_provider: None,
         }
     }
 
@@ -425,6 +720,173 @@ impl ClusterSim {
         }
     }
 
+    /// Arm periodic checkpointing: at the first window barrier at or past
+    /// each multiple of `every`, the engine overwrites `path` with a full
+    /// snapshot. Checkpoints are taken only at barriers, so the restored
+    /// run replays the identical window sequence — and therefore the
+    /// identical event history — at any `sim_threads` setting.
+    ///
+    /// If a schedule was already restored from a checkpoint, that
+    /// schedule is kept (both call orders around [`ClusterSim::restore`]
+    /// behave identically).
+    pub fn set_checkpoint_every(&mut self, every: SimDur, path: impl Into<PathBuf>) {
+        assert!(!every.is_zero(), "checkpoint interval must be positive");
+        self.checkpoint_every = Some(every);
+        self.checkpoint_path = Some(path.into());
+        if self.next_checkpoint_at.is_none() {
+            self.next_checkpoint_at = Some(SimTime::from_nanos(every.nanos()));
+        }
+    }
+
+    /// Install a callback that contributes engine-external state (e.g. the
+    /// MPI run recorder) to every checkpoint's `extras` section; restore
+    /// hands the section back via [`ClusterSim::restore_with_extras`].
+    pub fn set_checkpoint_extras(&mut self, provider: ExtrasProvider) {
+        self.extras_provider = Some(provider);
+    }
+
+    /// Checkpoints written (manual and periodic) — carried across restore
+    /// so totals match an uninterrupted run's.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// Successful [`ClusterSim::restore`] calls on this instance.
+    pub fn checkpoint_restores(&self) -> u64 {
+        self.checkpoint_restores
+    }
+
+    /// Size in bytes of the most recent checkpoint file written or
+    /// restored (0 if neither has happened).
+    pub fn last_checkpoint_bytes(&self) -> u64 {
+        self.last_checkpoint_bytes
+    }
+
+    /// Write a checkpoint to `path` now. Valid at any point where the
+    /// engine is quiescent (before or after a `run_*` call — which is
+    /// always a window barrier). Returns the file size in bytes.
+    pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> Result<u64, String> {
+        if !self.booted {
+            return Err("checkpoint requires a booted cluster".to_string());
+        }
+        // Increment before capture: the snapshot's counter then includes
+        // this write, so a restored run's total matches an uninterrupted
+        // run's.
+        self.checkpoints_written += 1;
+        let snap = self.capture();
+        let extras = self
+            .extras_provider
+            .as_ref()
+            .map(|f| f())
+            .unwrap_or_default();
+        let bytes = write_checkpoint_file(path.as_ref(), &snap, extras)?;
+        self.last_checkpoint_bytes = bytes;
+        Ok(bytes)
+    }
+
+    /// Overlay state from a checkpoint file onto this cluster. The cluster
+    /// must have been rebuilt from the *same* spec (same node/CPU/thread
+    /// layout, same programs in the same spawn order) and booted; restore
+    /// then rewinds every mutable piece of engine state to the barrier the
+    /// checkpoint captured. Returns nothing; see
+    /// [`ClusterSim::restore_with_extras`] for the extras section.
+    pub fn restore(&mut self, path: impl AsRef<Path>) -> Result<(), String> {
+        self.restore_with_extras(path).map(|_| ())
+    }
+
+    /// [`ClusterSim::restore`], additionally returning the checkpoint's
+    /// `extras` section for the caller to apply (e.g. run-recorder state).
+    pub fn restore_with_extras(
+        &mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<Vec<(String, Value)>, String> {
+        if !self.booted {
+            return Err(
+                "restore requires a booted cluster (rebuild the experiment, boot, then restore)"
+                    .to_string(),
+            );
+        }
+        let (snap, extras, bytes) = read_checkpoint_file(path.as_ref())?;
+        if snap.shards.len() != self.shards.len() {
+            return Err(format!(
+                "checkpoint has {} nodes, cluster has {}",
+                snap.shards.len(),
+                self.shards.len()
+            ));
+        }
+        for (sh, ss) in self.shards.iter_mut().zip(snap.shards.iter()) {
+            sh.restore(ss)?;
+        }
+        self.now = snap.now;
+        self.clock_resyncs = snap.clock_resyncs;
+        self.checkpoints_written = snap.checkpoints_written;
+        self.next_checkpoint_at = snap.checkpoint_next_ns.map(SimTime::from_nanos);
+        self.checkpoint_restores += 1;
+        self.last_checkpoint_bytes = bytes;
+        Ok(extras)
+    }
+
+    /// Whole-cluster snapshot (serial path — shards owned by `self`).
+    fn capture(&self) -> ClusterSnap {
+        ClusterSnap {
+            now: self.now,
+            clock_resyncs: self.clock_resyncs,
+            checkpoints_written: self.checkpoints_written,
+            checkpoint_next_ns: self.next_checkpoint_at.map(|t| t.nanos()),
+            shards: self.shards.iter().map(Shard::snapshot).collect(),
+        }
+    }
+
+    /// Is a periodic checkpoint due at the barrier ending at `we`?
+    fn checkpoint_due(&self, we: SimTime) -> bool {
+        matches!(self.next_checkpoint_at, Some(at) if we >= at)
+    }
+
+    /// Advance the periodic schedule strictly past `we`. Done *before*
+    /// capturing the snapshot so the restored run continues the schedule
+    /// exactly where the interrupted run would have (no repeated write at
+    /// the restore barrier).
+    fn advance_schedule(next: &mut Option<SimTime>, every: SimDur, we: SimTime) {
+        let Some(at) = *next else { return };
+        let step = u128::from(every.nanos()).max(1);
+        let mut at = u128::from(at.nanos());
+        let we = u128::from(we.nanos());
+        while at <= we {
+            at += step;
+        }
+        *next = if at > u128::from(u64::MAX) {
+            None
+        } else {
+            Some(SimTime::from_nanos(at as u64))
+        };
+    }
+
+    /// Periodic-checkpoint hook for the serial engine, called at each
+    /// window barrier (after the merge, matching the parallel path).
+    fn maybe_autocheckpoint(&mut self, we: SimTime) -> Result<(), String> {
+        if !self.checkpoint_due(we) {
+            return Ok(());
+        }
+        let path = self
+            .checkpoint_path
+            .clone()
+            .ok_or("checkpoint interval armed without a path")?;
+        let every = self
+            .checkpoint_every
+            .ok_or("checkpoint due without an interval")?;
+        Self::advance_schedule(&mut self.next_checkpoint_at, every, we);
+        self.checkpoints_written += 1;
+        let snap = self.capture();
+        let extras = self
+            .extras_provider
+            .as_ref()
+            .map(|f| f())
+            .unwrap_or_default();
+        let bytes = write_checkpoint_file(&path, &snap, extras)?;
+        self.last_checkpoint_bytes = bytes;
+        Ok(())
+    }
+
     /// Boot every node at the current time.
     pub fn boot(&mut self) {
         assert!(!self.booted, "boot called twice");
@@ -520,11 +982,14 @@ impl ClusterSim {
             if t_start > horizon {
                 break;
             }
-            let we = window_end_of(t_start, horizon, self.lookahead);
+            let (we, inclusive) = window_bounds(t_start, horizon, self.lookahead);
             for sh in &mut self.shards {
-                sh.process_window(we, &self.fabric);
+                sh.process_window(we, inclusive, &self.fabric);
             }
             Self::merge_outboxes(&mut self.shards, &self.fabric);
+            if let Err(e) = self.maybe_autocheckpoint(we) {
+                panic!("periodic checkpoint failed: {e}");
+            }
         }
     }
 
@@ -543,16 +1008,33 @@ impl ClusterSim {
             .collect();
         let barrier = Barrier::new(nthreads + 1);
         let window_end_ns = AtomicU64::new(0);
+        let window_inclusive = AtomicBool::new(false);
         let done = AtomicBool::new(false);
+        // Worker-panic hardening: the first panic is parked here (with the
+        // node it struck) and re-raised once the engine has shut down
+        // cleanly, instead of poisoning shard mutexes and surfacing as an
+        // unrelated `PoisonError` on the next lock.
+        let abort = AtomicBool::new(false);
+        let panicked: Mutex<Option<(u32, Box<dyn Any + Send>)>> = Mutex::new(None);
+        // A panic inside `process_window` unwinds across a held shard
+        // guard and poisons that mutex. The payload is re-raised below, so
+        // the poison flag carries no information — strip it everywhere.
+        fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+            m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
         let slots: Vec<Mutex<WindowReport>> = (0..nthreads)
             .map(|_| Mutex::new(WindowReport::default()))
             .collect();
+        let mut ckpt_err: Option<String> = None;
         std::thread::scope(|scope| {
             for t in 0..nthreads {
                 let shards = &shards;
                 let barrier = &barrier;
                 let window_end_ns = &window_end_ns;
+                let window_inclusive = &window_inclusive;
                 let done = &done;
+                let abort = &abort;
+                let panicked = &panicked;
                 let slots = &slots;
                 let fabric = &fabric;
                 scope.spawn(move || loop {
@@ -561,20 +1043,44 @@ impl ClusterSim {
                         break;
                     }
                     let we = SimTime::from_nanos(window_end_ns.load(Ordering::Acquire));
+                    let inclusive = window_inclusive.load(Ordering::Acquire);
                     let mut report = WindowReport::default();
                     let mut i = t;
-                    while i < shards.len() {
-                        let mut sh = shards[i].lock().unwrap();
-                        sh.process_window(we, fabric);
-                        if let Some(next) = sh.queue.peek_time() {
-                            report.min_next_ns = report.min_next_ns.min(next.nanos());
-                        }
-                        report.apps += sh.kernel.app_alive();
-                        report.staged.append(&mut sh.outbox);
+                    while i < shards.len() && !abort.load(Ordering::Acquire) {
+                        let mut sh = lock(&shards[i]);
+                        let node = sh.node;
+                        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            sh.process_window(we, inclusive, fabric);
+                        }));
+                        let ok = match outcome {
+                            Ok(()) => {
+                                if let Some(next) = sh.queue.peek_time() {
+                                    report.min_next_ns = report.min_next_ns.min(next.nanos());
+                                }
+                                report.apps += sh.kernel.app_alive();
+                                report.staged.append(&mut sh.outbox);
+                                true
+                            }
+                            Err(payload) => {
+                                // First panic wins; tell everyone to stop
+                                // at the next safe point. This worker still
+                                // files its report and reaches the barrier
+                                // so nobody deadlocks.
+                                abort.store(true, Ordering::Release);
+                                let mut first = lock(panicked);
+                                if first.is_none() {
+                                    *first = Some((node, payload));
+                                }
+                                false
+                            }
+                        };
                         drop(sh);
+                        if !ok {
+                            break;
+                        }
                         i += nthreads;
                     }
-                    *slots[t].lock().unwrap() = report;
+                    *lock(&slots[t]) = report;
                     barrier.wait();
                 });
             }
@@ -584,7 +1090,7 @@ impl ClusterSim {
             let mut next_ns = u64::MAX;
             let mut apps = 0usize;
             for m in shards.iter() {
-                let mut sh = m.lock().unwrap();
+                let mut sh = lock(m);
                 if let Some(t0) = sh.queue.peek_time() {
                     next_ns = next_ns.min(t0.nanos());
                 }
@@ -597,15 +1103,23 @@ impl ClusterSim {
                 if next_ns == u64::MAX || next_ns > horizon.nanos() {
                     break;
                 }
-                let we = window_end_of(SimTime::from_nanos(next_ns), horizon, lookahead);
+                let (we, inclusive) =
+                    window_bounds(SimTime::from_nanos(next_ns), horizon, lookahead);
                 window_end_ns.store(we.nanos(), Ordering::Release);
+                window_inclusive.store(inclusive, Ordering::Release);
                 barrier.wait(); // open the window
                 barrier.wait(); // all shards processed it
+                if abort.load(Ordering::Acquire) {
+                    // A worker panicked mid-window: the window is
+                    // incomplete, so merging would corrupt state. Shut
+                    // down and re-raise below.
+                    break;
+                }
                 let mut staged: Vec<StagedMsg> = Vec::new();
                 next_ns = u64::MAX;
                 apps = 0;
                 for slot in slots.iter() {
-                    let mut s = slot.lock().unwrap();
+                    let mut s = lock(slot);
                     next_ns = next_ns.min(s.min_next_ns);
                     apps += s.apps;
                     staged.append(&mut s.staged);
@@ -616,8 +1130,44 @@ impl ClusterSim {
                     // Ingress queueing may move the delivery later; track
                     // the *final* time so the next window opens exactly
                     // where the serial engine's queue scan would put it.
-                    let final_at = shards[dst].lock().unwrap().accept_staged(m, &fabric);
+                    let final_at = lock(&shards[dst]).accept_staged(m, &fabric);
                     next_ns = next_ns.min(final_at.nanos());
+                }
+                // Periodic checkpoint, at the same post-merge barrier as
+                // the serial engine. Workers are parked at the top-of-loop
+                // barrier here, so the coordinator has exclusive access to
+                // every shard. A write failure must NOT panic inside the
+                // scope (workers would wait forever) — record it, shut
+                // down, and re-raise after the scope exits.
+                if self.checkpoint_due(we) {
+                    let every = self
+                        .checkpoint_every
+                        .expect("checkpoint due without an interval");
+                    let Some(path) = self.checkpoint_path.clone() else {
+                        ckpt_err = Some("checkpoint interval armed without a path".to_string());
+                        break;
+                    };
+                    Self::advance_schedule(&mut self.next_checkpoint_at, every, we);
+                    self.checkpoints_written += 1;
+                    let snap = ClusterSnap {
+                        now: self.now,
+                        clock_resyncs: self.clock_resyncs,
+                        checkpoints_written: self.checkpoints_written,
+                        checkpoint_next_ns: self.next_checkpoint_at.map(|t| t.nanos()),
+                        shards: shards.iter().map(|m| lock(m).snapshot()).collect(),
+                    };
+                    let extras = self
+                        .extras_provider
+                        .as_ref()
+                        .map(|f| f())
+                        .unwrap_or_default();
+                    match write_checkpoint_file(&path, &snap, extras) {
+                        Ok(bytes) => self.last_checkpoint_bytes = bytes,
+                        Err(e) => {
+                            ckpt_err = Some(e);
+                            break;
+                        }
+                    }
                 }
             }
             done.store(true, Ordering::Release);
@@ -625,8 +1175,27 @@ impl ClusterSim {
         });
         self.shards = shards
             .into_iter()
-            .map(|m| m.into_inner().unwrap())
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
             .collect();
+        if let Some((node, payload)) = panicked
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned());
+            match msg {
+                Some(m) => panic!("shard worker panicked while advancing node {node}: {m}"),
+                None => std::panic::resume_unwind(payload),
+            }
+        }
+        if let Some(e) = ckpt_err {
+            panic!("periodic checkpoint failed: {e}");
+        }
     }
 }
 
@@ -1038,5 +1607,249 @@ mod tests {
         let p = ClusterSpec::sp_system_prototype(59);
         assert_eq!(p.options.big_tick, 25);
         assert_eq!(v.options.big_tick, 1);
+    }
+
+    #[test]
+    fn window_bounds_handles_max_horizon() {
+        let la = SimDur::from_micros(10);
+        // Ordinary window: end = start + lookahead, exclusive.
+        let (we, inc) = window_bounds(SimTime::from_micros(100), SimTime::from_secs(1), la);
+        assert_eq!(we, SimTime::from_micros(110));
+        assert!(!inc);
+        // Clamped to horizon + 1 ns near the horizon (still exclusive:
+        // events *at* the horizon are inside the window).
+        let (we, inc) = window_bounds(SimTime::from_nanos(999_999_995), SimTime::from_secs(1), la);
+        assert_eq!(we, SimTime::from_nanos(1_000_000_001));
+        assert!(!inc);
+        // At the maximum representable horizon the old arithmetic
+        // saturated at u64::MAX and silently dropped events in the final
+        // nanosecond; the bound must become *inclusive* instead.
+        let (we, inc) = window_bounds(SimTime::from_nanos(u64::MAX - 5), SimTime::FAR_FUTURE, la);
+        assert_eq!(we, SimTime::FAR_FUTURE);
+        assert!(inc, "final window at the max horizon must be inclusive");
+        // A start far from the max horizon is unaffected.
+        let (we, inc) = window_bounds(SimTime::from_micros(100), SimTime::FAR_FUTURE, la);
+        assert_eq!(we, SimTime::from_micros(110));
+        assert!(!inc);
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "pa-cluster-test-{}-{name}.ckpt",
+            std::process::id()
+        ));
+        p
+    }
+
+    /// 4-node ring workload used by the checkpoint tests: enough cross-
+    /// node traffic, compute, and skew to exercise every snapshotted
+    /// register.
+    fn ring_sim(threads: usize) -> ClusterSim {
+        let spec = ClusterSpec {
+            nodes: 4,
+            cpus_per_node: 2,
+            options: SchedOptions::vanilla(),
+            skew_max: SimDur::from_millis(1),
+            trace_capacity: 1 << 14,
+            fabric: FabricModel {
+                link_bandwidth: Some(10e6),
+                ..FabricModel::default()
+            },
+        };
+        let mut sim = ClusterSim::build(&spec, &SeedSpace::new(7));
+        sim.set_sim_threads(threads);
+        for n in 0..4u32 {
+            let next = (n + 1) % 4;
+            sim.kernel_mut(n).spawn(
+                ThreadSpec::new("rank", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+                Box::new(Script::new(vec![
+                    Action::Send(msg(ep(n, 0), ep(next, 0), u64::from(n), 200_000)),
+                    Action::Recv {
+                        tag: TagSel::Exact(u64::from((n + 3) % 4)),
+                        src: SrcSel::Any,
+                        wait: WaitMode::Poll,
+                    },
+                    Action::Compute(SimDur::from_micros(200)),
+                    Action::Send(msg(ep(n, 0), ep(next, 0), 10 + u64::from(n), 64)),
+                    Action::Recv {
+                        tag: TagSel::Exact(10 + u64::from((n + 3) % 4)),
+                        src: SrcSel::Any,
+                        wait: WaitMode::Poll,
+                    },
+                ])),
+            );
+        }
+        sim
+    }
+
+    type Fingerprint = (SimTime, u64, u64, u64, u64, u64, u64, QueueStats, u64);
+
+    fn fingerprint(sim: &ClusterSim, end: SimTime) -> Fingerprint {
+        (
+            end,
+            sim.events_processed(),
+            sim.messages_routed(),
+            sim.bytes_routed(),
+            sim.fifo_clamps(),
+            sim.link_waits(),
+            sim.link_wait_ns(),
+            sim.queue_stats(),
+            sim.checkpoints_written(),
+        )
+    }
+
+    #[test]
+    fn manual_checkpoint_restore_is_bit_identical() {
+        // Uninterrupted reference run.
+        let mut base = ring_sim(1);
+        base.boot();
+        let end = base.run_until_apps_done(SimTime::from_secs(5));
+        let want = fingerprint(&base, end);
+
+        // Interrupted run: advance partway, checkpoint, throw it away.
+        let path = tmp_path("manual");
+        let mut first = ring_sim(1);
+        first.boot();
+        first.run_until(SimTime::from_micros(400));
+        let bytes = first.checkpoint(&path).expect("checkpoint");
+        assert!(bytes > 0);
+        assert_eq!(first.last_checkpoint_bytes(), bytes);
+        drop(first);
+
+        // Resume in a rebuilt cluster at several thread counts: the tail
+        // must replay to the identical final state (modulo the write
+        // counter carried by the snapshot).
+        for threads in [1usize, 2, 4] {
+            let mut resumed = ring_sim(threads);
+            resumed.boot();
+            resumed.restore(&path).expect("restore");
+            assert_eq!(resumed.checkpoint_restores(), 1);
+            let end2 = resumed.run_until_apps_done(SimTime::from_secs(5));
+            let mut got = fingerprint(&resumed, end2);
+            // The reference never checkpointed; the resumed run carries
+            // the interrupted run's single write.
+            assert_eq!(got.8, 1);
+            got.8 = want.8;
+            assert_eq!(got, want, "threads={threads}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn periodic_checkpoints_match_uninterrupted_counters() {
+        // Reference: periodic checkpointing on, run to completion.
+        let every = SimDur::from_micros(300);
+        let base_path = tmp_path("periodic-base");
+        let mut base = ring_sim(1);
+        base.set_checkpoint_every(every, &base_path);
+        base.boot();
+        let end = base.run_until_apps_done(SimTime::from_secs(5));
+        let want = fingerprint(&base, end);
+        assert!(
+            base.checkpoints_written() >= 2,
+            "workload too short to exercise periodic checkpoints: {}",
+            base.checkpoints_written()
+        );
+
+        // The file on disk is the *last* periodic checkpoint. Resume from
+        // it at each thread count; the restored schedule must not repeat
+        // the write that produced it, so the final counter matches.
+        for threads in [1usize, 2, 4] {
+            let resumed_path = tmp_path(&format!("periodic-resume-{threads}"));
+            let mut resumed = ring_sim(threads);
+            resumed.set_checkpoint_every(every, &resumed_path);
+            resumed.boot();
+            resumed.restore(&base_path).expect("restore");
+            let end2 = resumed.run_until_apps_done(SimTime::from_secs(5));
+            assert_eq!(fingerprint(&resumed, end2), want, "threads={threads}");
+            let _ = std::fs::remove_file(&resumed_path);
+        }
+        let _ = std::fs::remove_file(&base_path);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_checkpoint() {
+        let path = tmp_path("corrupt");
+        let mut sim = ring_sim(1);
+        sim.boot();
+        sim.run_until(SimTime::from_micros(200));
+        sim.checkpoint(&path).expect("checkpoint");
+        // Flip one character inside the hashed payload.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let idx = text.find("\\\"now\\\"").expect("payload field");
+        let mut bytes = text.into_bytes();
+        bytes[idx + 2] = b'x';
+        std::fs::write(&path, bytes).unwrap();
+        let mut fresh = ring_sim(1);
+        fresh.boot();
+        let err = fresh.restore(&path).unwrap_err();
+        assert!(err.contains("corrupt"), "unexpected error: {err}");
+        assert_eq!(fresh.checkpoint_restores(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restore_rejects_node_count_mismatch() {
+        let path = tmp_path("shape");
+        let mut sim = ring_sim(1);
+        sim.boot();
+        sim.checkpoint(&path).expect("checkpoint");
+        let mut small = two_node_cluster();
+        small.boot();
+        let err = small.restore(&path).unwrap_err();
+        assert!(err.contains("nodes"), "unexpected error: {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A program that computes briefly, then panics — stands in for any
+    /// bug in kernel or workload code reached from a shard worker. (The
+    /// delay matters: the first dispatch happens during `boot`, which is
+    /// serial; the panic must land inside the windowed run.)
+    struct PanicBomb {
+        armed: bool,
+    }
+    impl pa_kernel::Program for PanicBomb {
+        fn step(&mut self, _ctx: &mut pa_kernel::StepCtx<'_>) -> Action {
+            if !self.armed {
+                self.armed = true;
+                return Action::Compute(SimDur::from_micros(50));
+            }
+            panic!("deliberate test panic");
+        }
+        fn kind(&self) -> &'static str {
+            "panic-bomb"
+        }
+    }
+
+    #[test]
+    fn worker_panic_reports_node_not_poison() {
+        // Before the hardening, a panic inside a shard worker poisoned
+        // that shard's mutex and the run died with an opaque
+        // `PoisonError` (or hung at the barrier). It must now surface the
+        // original payload tagged with the node it struck.
+        let mut sim = ring_sim(2);
+        sim.kernel_mut(2).spawn(
+            ThreadSpec::new("bomb", ThreadClass::App, Prio::USER).on_cpu(CpuId(1)),
+            Box::new(PanicBomb { armed: false }),
+        );
+        sim.boot();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            sim.run_until_apps_done(SimTime::from_secs(1));
+        }));
+        let payload = outcome.expect_err("run must propagate the worker panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload should be a string");
+        assert!(
+            msg.contains("node 2") && msg.contains("deliberate test panic"),
+            "panic message should name the node and original payload: {msg}"
+        );
+        assert!(
+            !msg.contains("PoisonError"),
+            "poison must not leak into the panic message: {msg}"
+        );
     }
 }

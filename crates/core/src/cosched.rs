@@ -20,8 +20,23 @@
 use pa_kernel::{Action, Prio, Program, SrcSel, StepCtx, TagSel, Tid, WaitMode};
 use pa_mpi::CtrlOp;
 use pa_simkit::{SimDur, SimTime};
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Checkpointable daemon state (everything mutated after construction).
+#[derive(Debug, Serialize, Deserialize)]
+struct CoschedSnap {
+    tasks: Vec<Tid>,
+    detached: bool,
+    queue: Vec<Action>,
+    mode: Mode,
+    probe_outstanding: bool,
+    adjustments: u64,
+    attaches: u64,
+    detaches: u64,
+    setprio_sent: u64,
+}
 
 /// Priority-cycling parameters (one record of `/etc/poe.priority`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -104,7 +119,7 @@ impl CoschedParams {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Mode {
     /// Waiting (blocking) for task registrations.
     Register,
@@ -278,6 +293,35 @@ impl Program for CoschedDaemon {
             ("detaches", self.detaches),
             ("setprio_sent", self.setprio_sent),
         ]
+    }
+
+    fn snapshot_state(&self) -> Value {
+        CoschedSnap {
+            tasks: self.tasks.clone(),
+            detached: self.detached,
+            queue: self.queue.iter().cloned().collect(),
+            mode: self.mode,
+            probe_outstanding: self.probe_outstanding,
+            adjustments: self.adjustments,
+            attaches: self.attaches,
+            detaches: self.detaches,
+            setprio_sent: self.setprio_sent,
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let snap = CoschedSnap::from_value(state)?;
+        self.tasks = snap.tasks;
+        self.detached = snap.detached;
+        self.queue = snap.queue.into();
+        self.mode = snap.mode;
+        self.probe_outstanding = snap.probe_outstanding;
+        self.adjustments = snap.adjustments;
+        self.attaches = snap.attaches;
+        self.detaches = snap.detaches;
+        self.setprio_sent = snap.setprio_sent;
+        Ok(())
     }
 }
 

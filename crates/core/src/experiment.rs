@@ -98,6 +98,14 @@ pub struct Experiment {
     /// Engine worker threads (1 = serial). Results are bit-identical at
     /// any setting; this only changes wall-clock time.
     pub sim_threads: usize,
+    /// Periodic checkpoint interval (sim time; None = off). Requires
+    /// `checkpoint_to`.
+    pub checkpoint_every: Option<SimDur>,
+    /// File the periodic checkpointer overwrites.
+    pub checkpoint_to: Option<std::path::PathBuf>,
+    /// Restore engine + recorder state from this checkpoint right after
+    /// boot, then run the remaining tail of the job.
+    pub restore_from: Option<std::path::PathBuf>,
 }
 
 impl Experiment {
@@ -122,6 +130,9 @@ impl Experiment {
             trace_capacity: 1 << 18,
             horizon: SimDur::from_secs(3_600),
             sim_threads: crate::default_sim_threads(),
+            checkpoint_every: None,
+            checkpoint_to: None,
+            restore_from: None,
         }
     }
 
@@ -200,6 +211,26 @@ impl Experiment {
         self
     }
 
+    /// Write a checkpoint to `path` at the first window barrier at or
+    /// past each multiple of `every` (sim time). The restored run replays
+    /// bit-identically at any thread count.
+    pub fn with_checkpoint_every(
+        mut self,
+        every: SimDur,
+        path: impl Into<std::path::PathBuf>,
+    ) -> Self {
+        self.checkpoint_every = Some(every);
+        self.checkpoint_to = Some(path.into());
+        self
+    }
+
+    /// Resume from a checkpoint file written by an identically-specified
+    /// run (same spec, seed, and workload).
+    pub fn with_restore_from(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.restore_from = Some(path.into());
+        self
+    }
+
     /// Assemble and run. `make_workload` is invoked once per rank.
     pub fn run(self, make_workload: &mut dyn FnMut(u32) -> Box<dyn RankWorkload>) -> RunOutput {
         assert!(
@@ -269,6 +300,35 @@ impl Experiment {
         }
 
         sim.boot();
+
+        // Checkpointing. The run recorder lives outside the engine but
+        // accumulates history, so it rides along in the checkpoint's
+        // extras section and is overlaid again on restore.
+        let recorder = job.recorder.clone();
+        sim.set_checkpoint_extras(Box::new(move || {
+            vec![(
+                "recorder".to_string(),
+                recorder.lock().unwrap().snapshot_value(),
+            )]
+        }));
+        if let (Some(every), Some(path)) = (self.checkpoint_every, &self.checkpoint_to) {
+            sim.set_checkpoint_every(every, path.clone());
+        }
+        if let Some(from) = &self.restore_from {
+            let extras = sim
+                .restore_with_extras(from)
+                .unwrap_or_else(|e| panic!("restore from {}: {e}", from.display()));
+            for (key, value) in extras {
+                if key == "recorder" {
+                    job.recorder
+                        .lock()
+                        .unwrap()
+                        .restore_value(&value)
+                        .unwrap_or_else(|e| panic!("restore recorder state: {}", e.0));
+                }
+            }
+        }
+
         let horizon = SimTime::ZERO + self.horizon;
         let end = sim.run_until_apps_done(horizon);
         let completed = sim.apps_alive() == 0;
@@ -456,5 +516,69 @@ mod tests {
     fn too_many_tasks_rejected() {
         let mut wl = allreduce_workload(1);
         let _ = Experiment::new(1, 8).with_cpus_per_node(4).run(&mut wl);
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_bit_identically() {
+        let path = std::env::temp_dir().join(format!(
+            "pa-core-experiment-ckpt-{}.json",
+            std::process::id()
+        ));
+        let base = || {
+            Experiment::new(2, 4)
+                .with_cpus_per_node(4)
+                .with_cosched(CoschedSetup::default())
+                .with_noise(pa_noise::NoiseProfile::dedicated())
+                .with_seed(21)
+        };
+        let fingerprint = |out: &RunOutput| {
+            (
+                out.wall,
+                out.events,
+                out.completed,
+                out.mean_allreduce_us().to_bits(),
+            )
+        };
+
+        // Uninterrupted reference (no checkpointing at all).
+        let mut wl = allreduce_workload(256);
+        let reference = base().run(&mut wl);
+        let want = fingerprint(&reference);
+
+        // Same run with periodic checkpoints: history unchanged, and the
+        // file left behind captures some mid-run barrier.
+        let mut wl = allreduce_workload(256);
+        let ckpt = base()
+            .with_checkpoint_every(SimDur::from_millis(2), &path)
+            .run(&mut wl);
+        assert_eq!(fingerprint(&ckpt), want, "checkpointing must not perturb");
+        assert!(
+            ckpt.sim.checkpoints_written() >= 1,
+            "run too short to checkpoint"
+        );
+
+        // Resume from that barrier in a rebuilt experiment, serial and
+        // parallel: identical final state, recorder included.
+        for threads in [1usize, 3] {
+            let mut wl = allreduce_workload(256);
+            let resumed = base()
+                .with_sim_threads(threads)
+                .with_restore_from(&path)
+                .run(&mut wl);
+            assert_eq!(fingerprint(&resumed), want, "threads={threads}");
+            assert_eq!(
+                resumed.sim.checkpoints_written(),
+                ckpt.sim.checkpoints_written()
+            );
+            assert_eq!(resumed.sim.checkpoint_restores(), 1);
+            resumed
+                .job
+                .recorder
+                .lock()
+                .unwrap()
+                .verify_complete(8)
+                .expect("restored recorder covers every op on every rank");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -35,12 +35,14 @@ use crate::runq::ReadyQueue;
 use crate::types::{
     CpuId, DaemonQueuePolicy, PreemptMode, Prio, QueueDiscipline, ThreadState, Tid,
 };
-use pa_simkit::{SimDur, SimRng, SimTime};
-use pa_trace::{HookId, ThreadClass, TraceBuffer};
+use pa_simkit::{RngState, SimDur, SimRng, SimTime};
+use pa_trace::{HookId, ThreadClass, TraceBuffer, TraceEvent};
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Events addressed to one node's kernel.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum KernelEvent {
     /// Periodic timer interrupt on a CPU.
     Tick {
@@ -142,7 +144,7 @@ impl ThreadSpec {
 }
 
 /// What a thread resumes into when it next holds the CPU.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 enum Cont {
     /// Previous action finished; call `Program::step`.
     Step,
@@ -255,6 +257,116 @@ pub struct KernelStats {
     pub runq_wait_ns: [u64; 4],
     /// Dispatches counted into each priority band.
     pub runq_waits: [u64; 4],
+}
+
+/// One ready queue's checkpointed contents: `(prio, arrival seq, tid)`
+/// entries in dispatch order plus the arrival-sequence allocator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct RunqSnap {
+    entries: Vec<(Prio, u64, Tid)>,
+    next_seq: u64,
+}
+
+impl RunqSnap {
+    fn capture(q: &ReadyQueue) -> RunqSnap {
+        let (entries, next_seq) = q.snapshot();
+        RunqSnap { entries, next_seq }
+    }
+
+    fn rebuild(&self) -> Result<ReadyQueue, String> {
+        ReadyQueue::from_parts(self.entries.clone(), self.next_seq)
+    }
+}
+
+/// One CPU's checkpointed dispatcher state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CpuSnap {
+    running: Option<Tid>,
+    token: u64,
+    seg_end: Option<SimTime>,
+    debt: SimDur,
+    slice_start: SimTime,
+    local_q: RunqSnap,
+    ipi_pending: bool,
+}
+
+/// One thread's checkpointed kernel-side state. The program itself is
+/// rebuilt from the experiment spec on restore; only its opaque
+/// [`Program::snapshot_state`] value travels in the checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ThreadSnap {
+    name: String,
+    state: ThreadState,
+    prio: Prio,
+    cont: Cont,
+    remaining: SimDur,
+    in_msg: Option<Message>,
+    cpu_time: SimDur,
+    last_dispatch: SimTime,
+    enqueued_at: SimTime,
+    poll_since: SimTime,
+    mailbox: Vec<Message>,
+    program: Value,
+}
+
+/// [`KernelStats`] in serializable form (the per-band arrays become
+/// vectors because the wire format has no fixed-size arrays).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KernelStatsSnap {
+    dispatches: u64,
+    ctx_switches: u64,
+    preemptions: u64,
+    ipis_sent: u64,
+    ipis_taken: u64,
+    ticks: u64,
+    callouts_fired: u64,
+    poll_spin_ns: u64,
+    runq_wait_ns: Vec<u64>,
+    runq_waits: Vec<u64>,
+}
+
+/// The trace ring's checkpointed contents (capacity, mask, and thread
+/// registrations are construction-time state, rebuilt from the spec).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TraceSnap {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    evicted_until: Option<SimTime>,
+}
+
+/// Complete mutable state of a booted [`Kernel`], produced by
+/// [`Kernel::snapshot`] and consumed by [`Kernel::restore`].
+///
+/// A snapshot is an *overlay*, not a free-standing kernel: restore
+/// requires a kernel rebuilt through the identical assembly sequence
+/// (same spawns in the same order, same options, same interrupt sources)
+/// and then booted, so that construction-time state — programs, trace
+/// registrations, queue disciplines, the I/O model — already exists.
+/// `restore` validates node id, CPU/thread counts, thread names, and
+/// scheduler options, and fails loudly on any mismatch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelSnapshot {
+    node: u32,
+    clock: ClockModel,
+    opts: SchedOptions,
+    cpus: Vec<CpuSnap>,
+    threads: Vec<ThreadSnap>,
+    global_q: RunqSnap,
+    callouts: Vec<(SimTime, u64, Tid)>,
+    callout_seq: u64,
+    io_pending: Vec<IoRequest>,
+    io_next_token: u64,
+    rng: RngState,
+    ipi_in_flight: bool,
+    app_alive: u64,
+    next_daemon_home: u8,
+    stats: KernelStatsSnap,
+    trace: TraceSnap,
+}
+
+fn band_array(v: &[u64], what: &str) -> Result<[u64; 4], String> {
+    v.try_into()
+        .map_err(|_| format!("{what} has {} priority bands, expected 4", v.len()))
 }
 
 /// Hard cap on consecutive zero-cost program actions, to catch programs
@@ -1323,6 +1435,195 @@ impl Kernel {
     /// normally schedules `KernelEvent::Deliver`).
     pub fn deliver_now(&mut self, msg: Message, now: SimTime, fx: &mut Effects) {
         self.on_deliver(msg, now, fx);
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore
+    // ------------------------------------------------------------------
+
+    /// Capture every piece of post-boot mutable state. See
+    /// [`KernelSnapshot`] for the overlay-restore contract.
+    ///
+    /// # Panics
+    /// Panics if the kernel has not booted — pre-boot state is entirely
+    /// reproduced by re-running assembly, so snapshotting it indicates a
+    /// driver bug.
+    pub fn snapshot(&self) -> KernelSnapshot {
+        assert!(self.booted, "snapshot before boot");
+        let (events, dropped, evicted_until) = self.trace.snapshot_ring();
+        KernelSnapshot {
+            node: self.node,
+            clock: self.clock,
+            opts: self.opts,
+            cpus: self
+                .cpus
+                .iter()
+                .map(|c| CpuSnap {
+                    running: c.running,
+                    token: c.token,
+                    seg_end: c.seg_end,
+                    debt: c.debt,
+                    slice_start: c.slice_start,
+                    local_q: RunqSnap::capture(&c.local_q),
+                    ipi_pending: c.ipi_pending,
+                })
+                .collect(),
+            threads: self
+                .threads
+                .iter()
+                .map(|t| ThreadSnap {
+                    name: t.name.clone(),
+                    state: t.state,
+                    prio: t.prio,
+                    cont: t.cont.clone(),
+                    remaining: t.remaining,
+                    in_msg: t.in_msg.clone(),
+                    cpu_time: t.cpu_time,
+                    last_dispatch: t.last_dispatch,
+                    enqueued_at: t.enqueued_at,
+                    poll_since: t.poll_since,
+                    mailbox: t.mailbox.snapshot(),
+                    program: t
+                        .program
+                        .as_ref()
+                        .map_or(Value::Null, |p| p.snapshot_state()),
+                })
+                .collect(),
+            global_q: RunqSnap::capture(&self.global_q),
+            callouts: self
+                .callouts
+                .iter()
+                .map(|(&(t, s), &tid)| (t, s, tid))
+                .collect(),
+            callout_seq: self.callout_seq,
+            io_pending: self.io_pending.iter().copied().collect(),
+            io_next_token: self.io_next_token,
+            rng: self.rng.save_state(),
+            ipi_in_flight: self.ipi_in_flight,
+            app_alive: self.app_alive as u64,
+            next_daemon_home: self.next_daemon_home,
+            stats: KernelStatsSnap {
+                dispatches: self.stats.dispatches,
+                ctx_switches: self.stats.ctx_switches,
+                preemptions: self.stats.preemptions,
+                ipis_sent: self.stats.ipis_sent,
+                ipis_taken: self.stats.ipis_taken,
+                ticks: self.stats.ticks,
+                callouts_fired: self.stats.callouts_fired,
+                poll_spin_ns: self.stats.poll_spin_ns,
+                runq_wait_ns: self.stats.runq_wait_ns.to_vec(),
+                runq_waits: self.stats.runq_waits.to_vec(),
+            },
+            trace: TraceSnap {
+                events,
+                dropped,
+                evicted_until,
+            },
+        }
+    }
+
+    /// Overlay a checkpointed state onto this kernel. The kernel must be
+    /// booted and assembled identically to the one that produced the
+    /// snapshot (same spawns in the same order); programs stay in place
+    /// and receive their state via [`Program::restore_state`].
+    pub fn restore(&mut self, snap: &KernelSnapshot) -> Result<(), String> {
+        if !self.booted {
+            return Err("restore before boot: rebuild and boot the node first".into());
+        }
+        if snap.node != self.node {
+            return Err(format!(
+                "checkpoint is for node {} but this kernel is node {}",
+                snap.node, self.node
+            ));
+        }
+        if snap.cpus.len() != self.cpus.len() {
+            return Err(format!(
+                "checkpoint has {} CPUs but node {} has {}",
+                snap.cpus.len(),
+                self.node,
+                self.cpus.len()
+            ));
+        }
+        if snap.threads.len() != self.threads.len() {
+            return Err(format!(
+                "checkpoint has {} threads but node {} has {}",
+                snap.threads.len(),
+                self.node,
+                self.threads.len()
+            ));
+        }
+        if snap.opts != self.opts {
+            return Err(format!(
+                "checkpoint was taken under different scheduler options on node {}",
+                self.node
+            ));
+        }
+        for (slot, ts) in self.threads.iter().zip(&snap.threads) {
+            if slot.name != ts.name {
+                return Err(format!(
+                    "checkpoint thread '{}' does not match rebuilt thread '{}' on node {}",
+                    ts.name, slot.name, self.node
+                ));
+            }
+        }
+
+        self.clock = snap.clock;
+        for (cpu, cs) in self.cpus.iter_mut().zip(&snap.cpus) {
+            cpu.running = cs.running;
+            cpu.token = cs.token;
+            cpu.seg_end = cs.seg_end;
+            cpu.debt = cs.debt;
+            cpu.slice_start = cs.slice_start;
+            cpu.local_q = cs.local_q.rebuild()?;
+            cpu.ipi_pending = cs.ipi_pending;
+        }
+        for (slot, ts) in self.threads.iter_mut().zip(&snap.threads) {
+            slot.state = ts.state;
+            slot.prio = ts.prio;
+            slot.cont = ts.cont.clone();
+            slot.remaining = ts.remaining;
+            slot.in_msg = ts.in_msg.clone();
+            slot.cpu_time = ts.cpu_time;
+            slot.last_dispatch = ts.last_dispatch;
+            slot.enqueued_at = ts.enqueued_at;
+            slot.poll_since = ts.poll_since;
+            slot.mailbox.restore(ts.mailbox.clone());
+            if let Some(p) = slot.program.as_mut() {
+                p.restore_state(&ts.program)
+                    .map_err(|e| format!("program state for thread '{}': {e}", slot.name))?;
+            }
+        }
+        self.global_q = snap.global_q.rebuild()?;
+        self.callouts = snap
+            .callouts
+            .iter()
+            .map(|&(t, s, tid)| ((t, s), tid))
+            .collect();
+        self.callout_seq = snap.callout_seq;
+        self.io_pending = snap.io_pending.iter().copied().collect();
+        self.io_next_token = snap.io_next_token;
+        self.rng.load_state(&snap.rng)?;
+        self.ipi_in_flight = snap.ipi_in_flight;
+        self.app_alive = snap.app_alive as usize;
+        self.next_daemon_home = snap.next_daemon_home;
+        self.stats = KernelStats {
+            dispatches: snap.stats.dispatches,
+            ctx_switches: snap.stats.ctx_switches,
+            preemptions: snap.stats.preemptions,
+            ipis_sent: snap.stats.ipis_sent,
+            ipis_taken: snap.stats.ipis_taken,
+            ticks: snap.stats.ticks,
+            callouts_fired: snap.stats.callouts_fired,
+            poll_spin_ns: snap.stats.poll_spin_ns,
+            runq_wait_ns: band_array(&snap.stats.runq_wait_ns, "runq_wait_ns")?,
+            runq_waits: band_array(&snap.stats.runq_waits, "runq_waits")?,
+        };
+        self.trace.restore_ring(
+            snap.trace.events.clone(),
+            snap.trace.dropped,
+            snap.trace.evicted_until,
+        )?;
+        Ok(())
     }
 }
 

@@ -39,7 +39,8 @@ pub use clock::ClockModel;
 pub use interrupts::InterruptSourceSpec;
 pub use io::{IoRequest, IoServiceModel};
 pub use kernel::{
-    prio_band, Effects, Kernel, KernelEvent, KernelStats, ThreadSpec, UsageRow, RUNQ_BANDS,
+    prio_band, Effects, Kernel, KernelEvent, KernelSnapshot, KernelStats, ThreadSpec, UsageRow,
+    RUNQ_BANDS,
 };
 pub use msg::{Endpoint, Mailbox, Message, SrcSel, TagSel};
 pub use options::{CostModel, SchedOptions};
@@ -611,6 +612,125 @@ mod tests {
             "syncd cpu time {}",
             syncd.cpu_time
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        use serde::{Deserialize, Serialize};
+
+        // A moderately rich node: two CPUs, two compute/sleep apps, a
+        // periodic daemon, and a device-interrupt source (so the RNG
+        // stream position matters).
+        let assemble = || {
+            let mut k = mk_kernel(2, SchedOptions::vanilla());
+            k.add_interrupt_source(InterruptSourceSpec::new(
+                "nic",
+                SimDur::from_millis(3),
+                SimDur::from_micros(20),
+                SimDur::from_micros(60),
+            ));
+            k.spawn(
+                app_spec("app0", 0),
+                Box::new(Script::new(vec![
+                    Action::Compute(SimDur::from_millis(40)),
+                    Action::SleepUntil(SimTime::from_millis(70)),
+                    Action::Compute(SimDur::from_millis(25)),
+                ])),
+            );
+            k.spawn(
+                app_spec("app1", 1),
+                Box::new(Script::new(vec![
+                    Action::Compute(SimDur::from_millis(30)),
+                    Action::Compute(SimDur::from_millis(30)),
+                ])),
+            );
+            k.spawn(
+                ThreadSpec::new("syncd", ThreadClass::Daemon, Prio::DAEMON_OBSERVED)
+                    .on_cpu(CpuId(0)),
+                Box::new(PeriodicLoop::new(
+                    SimDur::from_millis(10),
+                    SimDur::from_micros(500),
+                    SimDur::ZERO,
+                )),
+            );
+            let mut r = SoloRunner::new(k);
+            r.boot();
+            r
+        };
+        let horizon = SimTime::from_millis(120);
+
+        // Uninterrupted reference run.
+        let mut a = assemble();
+        a.run_until(horizon);
+        let a_trace: Vec<_> = a.kernel.trace().events().copied().collect();
+
+        // Checkpointed run: stop mid-flight, snapshot, restore into a
+        // freshly assembled node via a JSON round trip, and continue.
+        let mut b = assemble();
+        b.run_until(SimTime::from_millis(55));
+        let snap = b.kernel.snapshot();
+        let json = snap.to_value().to_json_string();
+        let q_events: Vec<(SimTime, u64, KernelEvent)> = b
+            .queue()
+            .live_entries()
+            .into_iter()
+            .map(|(t, id, ev)| (t, id, ev.clone()))
+            .collect();
+        let (q_now, q_next, q_stats) =
+            (b.queue().now(), b.queue().next_id_raw(), b.queue().stats());
+
+        let mut c = assemble();
+        let back = KernelSnapshot::from_value(&serde_json::parse(&json).unwrap()).unwrap();
+        c.kernel.restore(&back).unwrap();
+        c.restore_queue(
+            pa_simkit::EventQueue::from_parts(q_now, q_next, q_stats, q_events).unwrap(),
+            b.events_processed(),
+        );
+        c.run_until(horizon);
+
+        let c_trace: Vec<_> = c.kernel.trace().events().copied().collect();
+        assert_eq!(c_trace, a_trace, "trace diverged after restore");
+        assert_eq!(c.kernel.stats(), a.kernel.stats());
+        assert_eq!(c.events_processed(), a.events_processed());
+        assert_eq!(c.kernel.usage_report(), a.kernel.usage_report());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_assembly() {
+        let mut a = SoloRunner::new(mk_kernel(1, SchedOptions::vanilla()));
+        a.kernel.spawn(
+            app_spec("app", 0),
+            Box::new(Script::new(vec![Action::Compute(SimDur::from_millis(5))])),
+        );
+        a.boot();
+        a.run_until(SimTime::from_millis(1));
+        let snap = a.kernel.snapshot();
+
+        // Different thread name.
+        let mut b = SoloRunner::new(mk_kernel(1, SchedOptions::vanilla()));
+        b.kernel.spawn(
+            app_spec("other", 0),
+            Box::new(Script::new(vec![Action::Compute(SimDur::from_millis(5))])),
+        );
+        b.boot();
+        assert!(b.kernel.restore(&snap).is_err());
+
+        // Different CPU count.
+        let mut c = SoloRunner::new(mk_kernel(2, SchedOptions::vanilla()));
+        c.kernel.spawn(
+            app_spec("app", 0),
+            Box::new(Script::new(vec![Action::Compute(SimDur::from_millis(5))])),
+        );
+        c.boot();
+        assert!(c.kernel.restore(&snap).is_err());
+
+        // Unbooted kernel.
+        let mut d = mk_kernel(1, SchedOptions::vanilla());
+        d.spawn(
+            app_spec("app", 0),
+            Box::new(Script::new(vec![Action::Compute(SimDur::from_millis(5))])),
+        );
+        assert!(d.restore(&snap).is_err());
     }
 
     #[test]

@@ -164,6 +164,17 @@ impl Mailbox {
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Queued messages in arrival order (checkpoint capture).
+    pub fn snapshot(&self) -> Vec<Message> {
+        self.queue.iter().cloned().collect()
+    }
+
+    /// Replace the queue with checkpointed contents, preserving arrival
+    /// order (the inverse of [`Mailbox::snapshot`]).
+    pub fn restore(&mut self, messages: Vec<Message>) {
+        self.queue = messages.into();
+    }
 }
 
 #[cfg(test)]

@@ -13,9 +13,11 @@ use crate::io::IoRequest;
 use crate::msg::{Message, SrcSel, TagSel};
 use crate::types::{Prio, Tid};
 use pa_simkit::{SimDur, SimTime};
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
 
 /// What a thread does next.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Action {
     /// Burn CPU for the given demand (compute phase, daemon burst, ...).
     Compute(SimDur),
@@ -67,7 +69,7 @@ pub enum Action {
 }
 
 /// Whether a receive spins on the CPU, blocks, or returns immediately.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WaitMode {
     /// Busy-poll: the thread keeps its CPU while waiting (IBM MPI user-space
     /// polling). A preempted poller cannot notice message arrival until it
@@ -150,6 +152,24 @@ pub trait Program: Send {
     fn metrics(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// Serialize this program's mutable state for a checkpoint. Restore
+    /// rebuilds the program from the experiment spec (same constructor,
+    /// same arguments) and then overlays this value via
+    /// [`Program::restore_state`] — so only state that changes after
+    /// construction needs to be captured. Stateless programs keep the
+    /// default `Null`.
+    fn snapshot_state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Overlay checkpointed state captured by [`Program::snapshot_state`]
+    /// onto a freshly rebuilt program. The default accepts anything and
+    /// changes nothing (correct iff `snapshot_state` returned `Null`).
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 /// A program built from a fixed list of actions, then `Exit`.
@@ -175,6 +195,16 @@ impl Program for Script {
 
     fn kind(&self) -> &'static str {
         "script"
+    }
+
+    fn snapshot_state(&self) -> Value {
+        self.actions.as_slice().to_vec().to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let remaining: Vec<Action> = Deserialize::from_value(state)?;
+        self.actions = remaining.into_iter();
+        Ok(())
     }
 }
 
@@ -219,6 +249,15 @@ impl Program for PeriodicLoop {
 
     fn kind(&self) -> &'static str {
         "periodic"
+    }
+
+    fn snapshot_state(&self) -> Value {
+        Value::Bool(self.fired)
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        self.fired = Deserialize::from_value(state)?;
+        Ok(())
     }
 }
 

@@ -92,6 +92,35 @@ impl ReadyQueue {
     pub fn iter(&self) -> impl Iterator<Item = (Prio, Tid)> + '_ {
         self.set.iter().map(|&(p, _, t)| (p, t))
     }
+
+    /// Full queue contents for a checkpoint: `(prio, arrival seq, tid)` in
+    /// dispatch order, plus the arrival-sequence allocator. The raw seqs
+    /// are what make FIFO-within-priority survive a restore exactly.
+    pub fn snapshot(&self) -> (Vec<(Prio, u64, Tid)>, u64) {
+        (self.set.iter().copied().collect(), self.next_seq)
+    }
+
+    /// Rebuild a queue from checkpointed parts (the inverse of
+    /// [`ReadyQueue::snapshot`]). Errors if a tid appears twice or a seq
+    /// is at/above the allocator.
+    pub fn from_parts(entries: Vec<(Prio, u64, Tid)>, next_seq: u64) -> Result<Self, String> {
+        let mut q = ReadyQueue {
+            set: BTreeSet::new(),
+            next_seq,
+        };
+        for (prio, seq, tid) in entries {
+            if seq >= next_seq {
+                return Err(format!(
+                    "ready-queue seq {seq} not below the allocator {next_seq}"
+                ));
+            }
+            if q.contains(tid) {
+                return Err(format!("thread {tid:?} queued twice in checkpoint"));
+            }
+            q.set.insert((prio, seq, tid));
+        }
+        Ok(q)
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,17 @@ impl SoloRunner {
         self.events_processed
     }
 
+    /// The pending event calendar (checkpoint capture).
+    pub fn queue(&self) -> &EventQueue<KernelEvent> {
+        &self.queue
+    }
+
+    /// Replace the event calendar and event counter (checkpoint restore).
+    pub fn restore_queue(&mut self, queue: EventQueue<KernelEvent>, events_processed: u64) {
+        self.queue = queue;
+        self.events_processed = events_processed;
+    }
+
     fn drain_effects(&mut self) {
         let now = self.queue.now();
         for (t, ev) in self.fx.schedule.drain(..) {

@@ -12,7 +12,8 @@
 //! priority comparison against its CPU-bound rank on real AIX).
 
 use pa_kernel::{Action, Program, StepCtx};
-use pa_simkit::{SimDur, SimRng};
+use pa_simkit::{RngState, SimDur, SimRng};
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 
 /// Progress-engine configuration.
@@ -105,6 +106,20 @@ impl Program for ProgressThread {
 
     fn metrics(&self) -> Vec<(&'static str, u64)> {
         vec![("firings", self.firings)]
+    }
+
+    fn snapshot_state(&self) -> Value {
+        // `phase` is fixed at construction (same rng stream on rebuild),
+        // so only the alternation flag, counter, and rng position move.
+        (self.fired, self.firings, self.rng.save_state()).to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let (fired, firings, rng): (bool, u64, RngState) = Deserialize::from_value(state)?;
+        self.fired = fired;
+        self.firings = firings;
+        self.rng.load_state(&rng).map_err(serde::Error)?;
+        Ok(())
     }
 }
 

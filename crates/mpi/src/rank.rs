@@ -18,11 +18,12 @@ use pa_kernel::{Action, Endpoint, Message, SrcSel, TagSel, WaitMode};
 use pa_kernel::{Program, StepCtx};
 use pa_simkit::{SimDur, SimTime};
 use pa_trace::HookId;
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// One high-level operation of a rank's workload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MpiOp {
     /// Local computation.
     Compute(SimDur),
@@ -84,6 +85,19 @@ pub trait RankWorkload: Send {
     /// The next operation for `rank` of `nranks`. Must eventually return
     /// [`MpiOp::Done`].
     fn next_op(&mut self, rank: u32, nranks: u32) -> MpiOp;
+
+    /// Serialize this workload's mutable state for a checkpoint. Same
+    /// contract as [`pa_kernel::Program::snapshot_state`]: restore rebuilds
+    /// the workload from the experiment spec and overlays this value.
+    fn snapshot_state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Overlay checkpointed state onto a freshly rebuilt workload.
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let _ = state;
+        Ok(())
+    }
 }
 
 /// MPI library configuration.
@@ -126,6 +140,19 @@ struct CurOp {
     kind: OpKind,
     seq: u64,
     start: SimTime,
+}
+
+/// Checkpointed mutable state of a [`RankProgram`]. The schedule cache is
+/// deliberately absent: it is a pure function of (rank, nranks, algorithm)
+/// and is lazily rebuilt after restore.
+#[derive(Debug, Serialize, Deserialize)]
+struct RankSnap {
+    registered: bool,
+    next_seq: u64,
+    next_io: u64,
+    cur: Option<(OpKind, u64, SimTime)>,
+    queue: Vec<Action>,
+    workload: Value,
 }
 
 /// The rank program. See module docs.
@@ -395,6 +422,31 @@ impl Program for RankProgram {
     fn metrics(&self) -> Vec<(&'static str, u64)> {
         vec![("collectives", self.next_seq), ("io_ops", self.next_io)]
     }
+
+    fn snapshot_state(&self) -> Value {
+        RankSnap {
+            registered: self.registered,
+            next_seq: self.next_seq,
+            next_io: self.next_io,
+            cur: self.cur.as_ref().map(|c| (c.kind, c.seq, c.start)),
+            queue: self.queue.iter().cloned().collect(),
+            workload: self.workload.snapshot_state(),
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let snap: RankSnap = Deserialize::from_value(state)?;
+        self.registered = snap.registered;
+        self.next_seq = snap.next_seq;
+        self.next_io = snap.next_io;
+        self.cur = snap
+            .cur
+            .map(|(kind, seq, start)| CurOp { kind, seq, start });
+        self.queue = snap.queue.into();
+        self.sched_cache.clear();
+        self.workload.restore_state(&snap.workload)
+    }
 }
 
 /// A workload defined by a fixed operation list (tests and simple cases).
@@ -414,6 +466,16 @@ impl OpList {
 impl RankWorkload for OpList {
     fn next_op(&mut self, _rank: u32, _nranks: u32) -> MpiOp {
         self.ops.next().unwrap_or(MpiOp::Done)
+    }
+
+    fn snapshot_state(&self) -> Value {
+        self.ops.as_slice().to_vec().to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let remaining: Vec<MpiOp> = Deserialize::from_value(state)?;
+        self.ops = remaining.into_iter();
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 //! full per-call series for an explicit *watch list* of ranks.
 
 use pa_simkit::{SimDur, SimTime, Summary};
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -195,6 +196,35 @@ impl RunRecorder {
             v.sort_by_key(|s| s.seq);
             v
         })
+    }
+
+    /// Serialize the full recorder state for a checkpoint. Hash maps are
+    /// emitted as key-sorted pair lists so the encoding is canonical
+    /// (byte-identical regardless of insertion order or thread count).
+    pub fn snapshot_value(&self) -> Value {
+        let mut ops: Vec<(u64, OpAgg)> = self.ops.iter().map(|(&s, &a)| (s, a)).collect();
+        ops.sort_by_key(|(s, _)| *s);
+        let mut detailed: Vec<(u32, Vec<OpSample>)> = self
+            .detailed
+            .iter()
+            .map(|(&r, v)| {
+                let mut v = v.clone();
+                v.sort_by_key(|s| s.seq);
+                (r, v)
+            })
+            .collect();
+        detailed.sort_by_key(|(r, _)| *r);
+        (ops, self.watch.clone(), detailed).to_value()
+    }
+
+    /// Replace this recorder's state with a checkpointed snapshot.
+    pub fn restore_value(&mut self, state: &Value) -> Result<(), serde::Error> {
+        type Snap = (Vec<(u64, OpAgg)>, Vec<u32>, Vec<(u32, Vec<OpSample>)>);
+        let (ops, watch, detailed): Snap = Deserialize::from_value(state)?;
+        self.ops = ops.into_iter().collect();
+        self.watch = watch;
+        self.detailed = detailed.into_iter().collect();
+        Ok(())
     }
 
     /// Check every recorded op completed on exactly `nranks` ranks —

@@ -13,7 +13,8 @@
 //! a 944-way collective: some node is always caught mid-Allreduce.
 
 use pa_kernel::{Action, Prio, Program, StepCtx};
-use pa_simkit::{SimDur, SimRng};
+use pa_simkit::{RngState, SimDur, SimRng};
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the periodic health-check job.
@@ -122,6 +123,17 @@ impl Program for CronJob {
 
     fn kind(&self) -> &'static str {
         "cron"
+    }
+
+    fn snapshot_state(&self) -> Value {
+        (self.remaining_components, self.rng.save_state()).to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let (remaining, rng): (u32, RngState) = Deserialize::from_value(state)?;
+        self.remaining_components = remaining;
+        self.rng.load_state(&rng).map_err(serde::Error)?;
+        Ok(())
     }
 }
 

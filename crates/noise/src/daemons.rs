@@ -15,8 +15,9 @@
 //! as §3.1.1 describes.
 
 use pa_kernel::{Action, Prio, Program, StepCtx};
-use pa_simkit::{SimDur, SimRng};
+use pa_simkit::{RngState, SimDur, SimRng};
 use pa_trace::HookId;
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 
 /// Description of a periodic daemon.
@@ -149,6 +150,20 @@ impl Program for DaemonProgram {
 
     fn kind(&self) -> &'static str {
         "daemon"
+    }
+
+    fn snapshot_state(&self) -> Value {
+        // `phase` is drawn at construction from the same rng stream the
+        // rebuild uses, so only the loop state and rng position move.
+        (self.fired, self.queued.clone(), self.rng.save_state()).to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let (fired, queued, rng): (bool, Vec<Action>, RngState) = Deserialize::from_value(state)?;
+        self.fired = fired;
+        self.queued = queued;
+        self.rng.load_state(&rng).map_err(serde::Error)?;
+        Ok(())
     }
 }
 

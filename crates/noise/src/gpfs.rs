@@ -15,6 +15,8 @@
 
 use pa_kernel::{Action, IoRequest, IoServiceModel, Program, StepCtx};
 use pa_simkit::SimDur;
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
 
 /// mmfsd's request-service state machine.
 #[derive(Debug)]
@@ -67,6 +69,19 @@ impl Program for GpfsDaemon {
 
     fn kind(&self) -> &'static str {
         "mmfsd"
+    }
+
+    fn snapshot_state(&self) -> Value {
+        (self.in_service, self.extra_latency, self.serviced).to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let (in_service, extra, serviced): (Option<IoRequest>, SimDur, u64) =
+            Deserialize::from_value(state)?;
+        self.in_service = in_service;
+        self.extra_latency = extra;
+        self.serviced = serviced;
+        Ok(())
     }
 }
 
@@ -138,6 +153,19 @@ impl Program for GpfsServer {
 
     fn kind(&self) -> &'static str {
         "mmfsd"
+    }
+
+    fn snapshot_state(&self) -> Value {
+        (self.reply.clone(), self.extra_latency, self.serviced).to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        type Snap = (Option<pa_kernel::Message>, SimDur, u64);
+        let (reply, extra, serviced): Snap = Deserialize::from_value(state)?;
+        self.reply = reply;
+        self.extra_latency = extra;
+        self.serviced = serviced;
+        Ok(())
     }
 }
 

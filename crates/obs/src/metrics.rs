@@ -17,6 +17,40 @@
 use serde::value::Value;
 use std::collections::BTreeMap;
 
+/// Two histograms with different bucket layouts were asked to merge.
+/// Merging them would silently misbin counts, so it is rejected with
+/// enough context to find the offending series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    /// Registry key of the offending histogram (empty when two bare
+    /// [`Histogram`]s were merged outside a registry).
+    pub name: String,
+    /// Bucket edges of the left-hand (accumulating) histogram.
+    pub expected: Vec<u64>,
+    /// Bucket edges of the histogram being folded in.
+    pub got: Vec<u64>,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.name.is_empty() {
+            write!(
+                f,
+                "histogram bucket layouts differ: expected edges {:?}, got {:?}",
+                self.expected, self.got
+            )
+        } else {
+            write!(
+                f,
+                "histogram {:?} bucket layouts differ: expected edges {:?}, got {:?}",
+                self.name, self.expected, self.got
+            )
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// A fixed-bucket histogram of `u64` observations.
 ///
 /// `edges` are inclusive upper bounds of the first `edges.len()` buckets;
@@ -107,13 +141,17 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
-    /// Fold another histogram in.
-    ///
-    /// # Panics
-    /// Panics when bucket layouts differ — merging histograms with
-    /// different edges silently misbins, so it is rejected outright.
-    pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.edges, other.edges, "histogram bucket layouts differ");
+    /// Fold another histogram in. Rejected with a [`MergeError`] when the
+    /// bucket layouts differ — merging histograms with different edges
+    /// would silently misbin counts.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        if self.edges != other.edges {
+            return Err(MergeError {
+                name: String::new(),
+                expected: self.edges.clone(),
+                got: other.edges.clone(),
+            });
+        }
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
         }
@@ -121,6 +159,7 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        Ok(())
     }
 
     fn to_value(&self) -> Value {
@@ -219,9 +258,13 @@ impl MetricsRegistry {
     }
 
     /// Fold `other` in: counters add, gauges take `other`'s value when
-    /// set, histograms merge bucket-wise (layouts must match). This is
-    /// how campaign-level aggregates are built from per-point registries.
-    pub fn merge(&mut self, other: &MetricsRegistry) {
+    /// set, histograms merge bucket-wise. This is how campaign-level
+    /// aggregates are built from per-point registries.
+    ///
+    /// Fails with a [`MergeError`] naming the offending histogram when
+    /// two same-named histograms have different bucket layouts; counters
+    /// and gauges folded before the mismatch remain applied.
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<(), MergeError> {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
@@ -230,12 +273,16 @@ impl MetricsRegistry {
         }
         for (k, h) in &other.histograms {
             match self.histograms.get_mut(k) {
-                Some(mine) => mine.merge(h),
+                Some(mine) => mine.merge(h).map_err(|e| MergeError {
+                    name: k.clone(),
+                    ..e
+                })?,
                 None => {
                     self.histograms.insert(k.clone(), h.clone());
                 }
             }
         }
+        Ok(())
     }
 
     /// The snapshot as a structured value (sorted keys throughout).
@@ -347,11 +394,39 @@ mod tests {
         b.set_gauge("g", 9);
         b.declare_histogram("h", &[5]);
         b.observe("h", 8);
-        a.merge(&b);
+        a.merge(&b).expect("layouts match");
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.counter("y"), 7);
         assert_eq!(a.gauge("g"), Some(9));
         assert_eq!(a.histogram("h").unwrap().counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_layouts_by_name() {
+        let mut a = Histogram::new(&[5, 10]);
+        let b = Histogram::new(&[5, 20]);
+        let err = a.merge(&b).unwrap_err();
+        assert_eq!(err.expected, vec![5, 10]);
+        assert_eq!(err.got, vec![5, 20]);
+        assert!(err.name.is_empty());
+        assert!(err.to_string().contains("bucket layouts differ"));
+
+        let mut ra = MetricsRegistry::new();
+        ra.declare_histogram("lat", &[5, 10]);
+        let mut rb = MetricsRegistry::new();
+        rb.declare_histogram("lat", &[5, 20]);
+        let err = ra.merge(&rb).unwrap_err();
+        assert_eq!(err.name, "lat");
+        assert!(
+            err.to_string().contains("\"lat\""),
+            "error must name the series: {err}"
+        );
+        // A matching registry still merges after the failed attempt.
+        let mut rc = MetricsRegistry::new();
+        rc.declare_histogram("lat", &[5, 10]);
+        rc.observe("lat", 3);
+        ra.merge(&rc).expect("matching layout merges");
+        assert_eq!(ra.histogram("lat").unwrap().count(), 1);
     }
 
     #[test]

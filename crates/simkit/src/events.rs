@@ -12,6 +12,7 @@
 
 use crate::time::SimTime;
 use core::cmp::Reverse;
+use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashSet};
 
 /// Handle to a scheduled event; use with [`EventQueue::cancel`].
@@ -57,7 +58,7 @@ impl<E> Ord for Entry<E> {
 /// `pa-obs` metrics registry. Everything here is simulation-determined —
 /// no wall-clock values — so it is safe to include in deterministic
 /// snapshots.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueueStats {
     /// Events ever scheduled.
     pub scheduled: u64,
@@ -211,6 +212,71 @@ impl<E> EventQueue<E> {
             self.now
         );
         self.now = time;
+    }
+
+    /// Live (non-cancelled) entries as `(time, raw event id, payload)`,
+    /// sorted in pop order `(time, id)`. Tombstones of cancelled events
+    /// are omitted — they are unobservable and need not survive a
+    /// checkpoint. Ids are exposed raw so a restored queue can reproduce
+    /// the exact FIFO tie-breaking of the original.
+    pub fn live_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut out: Vec<(SimTime, u64, &E)> = self
+            .heap
+            .iter()
+            .filter(|Reverse(e)| self.pending.contains(&e.id))
+            .map(|Reverse(e)| (e.time, e.id.0, &e.payload))
+            .collect();
+        out.sort_by_key(|&(t, id, _)| (t, id));
+        out
+    }
+
+    /// The next id this queue would hand out (checkpoint bookkeeping).
+    pub fn next_id_raw(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Rebuild a queue from checkpointed parts: clock position, id
+    /// allocator, lifetime stats, and the live entries with their
+    /// original ids. The inverse of [`EventQueue::live_entries`] plus the
+    /// scalar accessors.
+    ///
+    /// Errors (rather than corrupting causality) if an entry lies in the
+    /// past of `now`, reuses an id, or holds an id at or above `next_id`.
+    pub fn from_parts(
+        now: SimTime,
+        next_id: u64,
+        stats: QueueStats,
+        entries: Vec<(SimTime, u64, E)>,
+    ) -> Result<Self, String> {
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        let mut pending = HashSet::with_capacity(entries.len());
+        for (time, id, payload) in entries {
+            if time < now {
+                return Err(format!(
+                    "checkpointed event at {time} lies before the queue clock {now}"
+                ));
+            }
+            if id >= next_id {
+                return Err(format!(
+                    "checkpointed event id {id} not below the id allocator {next_id}"
+                ));
+            }
+            if !pending.insert(EventId(id)) {
+                return Err(format!("checkpointed event id {id} appears twice"));
+            }
+            heap.push(Reverse(Entry {
+                time,
+                id: EventId(id),
+                payload,
+            }));
+        }
+        Ok(EventQueue {
+            heap,
+            pending,
+            next_id,
+            now,
+            stats,
+        })
     }
 
     /// Timestamp of the next live event without popping it.
@@ -391,6 +457,67 @@ mod tests {
         q.schedule(SimTime::from_micros(9), ());
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(9)));
+    }
+
+    #[test]
+    fn live_entries_round_trip_preserves_order_and_ids() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), "late");
+        let dead = q.schedule(SimTime::from_micros(2), "dead");
+        let t = SimTime::from_micros(5);
+        q.schedule(t, "tie-a");
+        q.schedule(t, "tie-b");
+        q.cancel(dead);
+        q.schedule(SimTime::from_micros(3), "early");
+        q.pop(); // consumes "early", clock now at 3 us
+
+        let entries: Vec<(SimTime, u64, &str)> = q
+            .live_entries()
+            .into_iter()
+            .map(|(t, id, p)| (t, id, *p))
+            .collect();
+        let mut r = EventQueue::from_parts(q.now(), q.next_id_raw(), q.stats(), entries).unwrap();
+        assert_eq!(r.now(), q.now());
+        assert_eq!(r.stats(), q.stats());
+        assert_eq!(r.len(), 3, "tombstone must not survive the round trip");
+        // Same-timestamp events keep their original FIFO order.
+        assert_eq!(r.pop().unwrap().1, "tie-a");
+        assert_eq!(r.pop().unwrap().1, "tie-b");
+        assert_eq!(r.pop().unwrap().1, "late");
+        // The id allocator continues where the original left off.
+        assert_eq!(r.schedule(SimTime::from_micros(20), "new"), {
+            let mut orig = q;
+            orig.pop();
+            orig.pop();
+            orig.pop();
+            orig.schedule(SimTime::from_micros(20), "new")
+        });
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_entries() {
+        let stats = QueueStats::default();
+        let now = SimTime::from_micros(10);
+        // Event in the past of the clock.
+        assert!(
+            EventQueue::from_parts(now, 5, stats, vec![(SimTime::from_micros(9), 0, ())],).is_err()
+        );
+        // Id at/above the allocator.
+        assert!(
+            EventQueue::from_parts(now, 5, stats, vec![(SimTime::from_micros(11), 5, ())],)
+                .is_err()
+        );
+        // Duplicate id.
+        assert!(EventQueue::from_parts(
+            now,
+            5,
+            stats,
+            vec![
+                (SimTime::from_micros(11), 2, ()),
+                (SimTime::from_micros(12), 2, ()),
+            ],
+        )
+        .is_err());
     }
 
     #[test]

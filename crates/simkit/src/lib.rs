@@ -19,13 +19,15 @@
 #![forbid(unsafe_code)]
 
 pub mod events;
+pub mod hash;
 pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use events::{EventId, EventQueue, QueueStats};
+pub use hash::{sha256_hex, Sha256};
 pub use report::{Series, SeriesPoint, Table};
-pub use rng::{SeedSpace, SimRng};
+pub use rng::{RngState, SeedSpace, SimRng};
 pub use stats::{linfit, LineFit, OnlineStats, Summary};
 pub use time::{SimDur, SimTime};

@@ -14,6 +14,7 @@
 use crate::time::SimDur;
 use rand::{RngExt, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// Factory for per-component RNG streams derived from one master seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +64,20 @@ impl SeedSpace {
     }
 }
 
+/// The serializable position of one RNG stream: the ChaCha input block,
+/// the current keystream block, and the next-unread-word index. Captured
+/// at a checkpoint and loaded on restore so every stream resumes at the
+/// exact draw it stopped at.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngState {
+    /// ChaCha input block (constants, key, counter, nonce), 16 words.
+    pub state: Vec<u32>,
+    /// Current keystream block, 16 words.
+    pub buf: Vec<u32>,
+    /// Next unread word of `buf` (16 = exhausted).
+    pub idx: u64,
+}
+
 /// A deterministic RNG stream with simulation-flavoured helpers.
 #[derive(Debug, Clone)]
 pub struct SimRng {
@@ -75,6 +90,33 @@ impl SimRng {
         SimRng {
             inner: ChaCha8Rng::seed_from_u64(seed),
         }
+    }
+
+    /// Capture this stream's exact position for a checkpoint.
+    pub fn save_state(&self) -> RngState {
+        let (state, buf, idx) = self.inner.dump_state();
+        RngState {
+            state: state.to_vec(),
+            buf: buf.to_vec(),
+            idx: idx as u64,
+        }
+    }
+
+    /// Reposition this stream to a previously captured state. Errors if
+    /// the word vectors do not have the expected length of 16.
+    pub fn load_state(&mut self, s: &RngState) -> Result<(), String> {
+        let state: [u32; 16] = s
+            .state
+            .as_slice()
+            .try_into()
+            .map_err(|_| format!("rng state has {} words, expected 16", s.state.len()))?;
+        let buf: [u32; 16] = s
+            .buf
+            .as_slice()
+            .try_into()
+            .map_err(|_| format!("rng buf has {} words, expected 16", s.buf.len()))?;
+        self.inner = ChaCha8Rng::from_state(state, buf, s.idx.min(16) as usize);
+        Ok(())
     }
 
     /// Uniform f64 in `[0, 1)`.
@@ -233,6 +275,29 @@ mod tests {
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
         assert!(r.chance(2.0)); // clamped
+    }
+
+    #[test]
+    fn save_load_resumes_exact_stream() {
+        let mut r = SeedSpace::new(11).stream("ckpt/0/0");
+        // Park the stream mid-block so idx != 0.
+        for _ in 0..37 {
+            r.range(0, 1 << 40);
+        }
+        let saved = r.save_state();
+        let expect: Vec<u64> = (0..100).map(|_| r.range(0, 1 << 40)).collect();
+        let mut fresh = SimRng::from_seed(0);
+        fresh.load_state(&saved).unwrap();
+        let got: Vec<u64> = (0..100).map(|_| fresh.range(0, 1 << 40)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn load_rejects_malformed_state() {
+        let mut r = SimRng::from_seed(1);
+        let mut s = r.save_state();
+        s.state.pop();
+        assert!(r.load_state(&s).is_err());
     }
 
     #[test]

@@ -178,6 +178,43 @@ impl TraceBuffer {
         self.evicted_until = None;
     }
 
+    /// Ring contents for a checkpoint: retained events in order, the
+    /// dropped count, and the eviction horizon. Capacity, mask, and thread
+    /// registrations are construction-time state and are rebuilt from the
+    /// experiment spec instead of being snapshotted.
+    pub fn snapshot_ring(&self) -> (Vec<TraceEvent>, u64, Option<SimTime>) {
+        (
+            self.events.iter().copied().collect(),
+            self.dropped,
+            self.evicted_until,
+        )
+    }
+
+    /// Restore ring contents captured by [`TraceBuffer::snapshot_ring`]
+    /// into a freshly rebuilt buffer. Errors if the event list exceeds
+    /// this buffer's capacity or is not in time order.
+    pub fn restore_ring(
+        &mut self,
+        events: Vec<TraceEvent>,
+        dropped: u64,
+        evicted_until: Option<SimTime>,
+    ) -> Result<(), String> {
+        if events.len() > self.capacity {
+            return Err(format!(
+                "checkpointed trace ring holds {} events but capacity is {}",
+                events.len(),
+                self.capacity
+            ));
+        }
+        if events.windows(2).any(|w| w[0].time > w[1].time) {
+            return Err("checkpointed trace ring is not in time order".into());
+        }
+        self.events = events.into();
+        self.dropped = dropped;
+        self.evicted_until = evicted_until;
+        Ok(())
+    }
+
     /// Times of `AppMarker` events with the given marker value, in order.
     /// The aggregate benchmark brackets every 64-call block with markers,
     /// so this is how the figure harness finds block boundaries.
@@ -278,6 +315,44 @@ mod tests {
         assert_eq!(b.evicted_until(), None);
         assert_eq!(b.thread_name(1), "app");
         assert!(b.mask().contains(HookId::Dispatch));
+    }
+
+    #[test]
+    fn ring_snapshot_round_trip() {
+        let mut b = TraceBuffer::new(3);
+        b.set_mask(HookMask::ALL);
+        b.register_thread(1, "app", ThreadClass::App);
+        for i in 0..5 {
+            b.record(ev(i, HookId::Tick, 1));
+        }
+        let (events, dropped, horizon) = b.snapshot_ring();
+
+        let mut r = TraceBuffer::new(3);
+        r.set_mask(HookMask::ALL);
+        r.register_thread(1, "app", ThreadClass::App);
+        r.restore_ring(events, dropped, horizon).unwrap();
+        assert_eq!(r.dropped(), b.dropped());
+        assert_eq!(r.evicted_until(), b.evicted_until());
+        let got: Vec<_> = r.events().copied().collect();
+        let want: Vec<_> = b.events().copied().collect();
+        assert_eq!(got, want);
+        // The restored ring keeps evicting correctly.
+        r.record(ev(9, HookId::Tick, 1));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 3);
+    }
+
+    #[test]
+    fn restore_ring_validates() {
+        let mut small = TraceBuffer::new(2);
+        let too_many = vec![
+            ev(1, HookId::Tick, 0),
+            ev(2, HookId::Tick, 0),
+            ev(3, HookId::Tick, 0),
+        ];
+        assert!(small.restore_ring(too_many, 0, None).is_err());
+        let out_of_order = vec![ev(5, HookId::Tick, 0), ev(4, HookId::Tick, 0)];
+        assert!(small.restore_ring(out_of_order, 0, None).is_err());
     }
 
     #[test]

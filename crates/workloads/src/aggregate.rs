@@ -13,7 +13,8 @@
 //! `marker_interval`-th call.
 
 use pa_mpi::{MpiOp, RankWorkload};
-use pa_simkit::{SimDur, SimRng};
+use pa_simkit::{RngState, SimDur, SimRng};
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the aggregate benchmark.
@@ -98,6 +99,18 @@ impl RankWorkload for AggregateTrace {
             return MpiOp::Mark(u64::from(i));
         }
         self.pending.pop().expect("just pushed")
+    }
+
+    fn snapshot_state(&self) -> Value {
+        (self.issued, self.pending.clone(), self.rng.save_state()).to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let (issued, pending, rng): (u32, Vec<MpiOp>, RngState) = Deserialize::from_value(state)?;
+        self.issued = issued;
+        self.pending = pending;
+        self.rng.load_state(&rng).map_err(serde::Error)?;
+        Ok(())
     }
 }
 

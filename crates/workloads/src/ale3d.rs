@@ -16,7 +16,8 @@
 //! bracketed with the co-scheduler detach/attach API of §4.
 
 use pa_mpi::{MpiOp, RankWorkload};
-use pa_simkit::{SimDur, SimRng};
+use pa_simkit::{RngState, SimDur, SimRng};
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 
 /// Proxy configuration.
@@ -112,7 +113,7 @@ fn grid_dims(n: u32) -> (u32, u32, u32) {
     (nx.max(1), ny.max(1), nz.max(1))
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Phase {
     InitIo,
     Stepping,
@@ -216,6 +217,26 @@ impl RankWorkload for Ale3d {
                 Phase::Finished => return MpiOp::Done,
             }
         }
+    }
+
+    fn snapshot_state(&self) -> Value {
+        (
+            self.phase,
+            self.step,
+            self.pending.clone(),
+            self.rng.save_state(),
+        )
+            .to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        type Snap = (Phase, u32, Vec<MpiOp>, RngState);
+        let (phase, step, pending, rng): Snap = Deserialize::from_value(state)?;
+        self.phase = phase;
+        self.step = step;
+        self.pending = pending;
+        self.rng.load_state(&rng).map_err(serde::Error)?;
+        Ok(())
     }
 }
 

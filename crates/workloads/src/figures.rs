@@ -9,7 +9,10 @@
 //! the mean/variance of per-call times, which converges far earlier).
 
 use crate::aggregate::{AggregateSpec, AggregateTrace};
-use pa_campaign::{run_campaign, CampaignOutcome, ExecutorConfig, PointResult, PointSpec};
+use pa_campaign::{
+    run_campaign, run_campaign_resumable, CampaignOutcome, CheckpointCtx, ExecutorConfig,
+    PointResult, PointSpec,
+};
 use pa_core::{CoschedSetup, Experiment, RunOutput};
 use pa_kernel::SchedOptions;
 use pa_mpi::{OpKind, ProgressSpec, RankWorkload};
@@ -201,7 +204,7 @@ pub fn run_scaling_campaign(
     cfg: &ScalingConfig,
     exec: &ExecutorConfig,
 ) -> Result<(Vec<ScalePoint>, CampaignOutcome), pa_campaign::TruncatedPoints> {
-    let outcome = run_campaign(&cfg.points(), exec, aggregate_runner);
+    let outcome = run_campaign_resumable(&cfg.points(), exec, aggregate_runner_ckpt);
     outcome.ensure_complete(&exec.label)?;
     let points = collect_scale_points(cfg, &outcome.results);
     Ok((points, outcome))
@@ -243,8 +246,26 @@ pub fn aggregate_runner(spec: &PointSpec<AggregateSpec>) -> PointResult {
     PointResult::from_run(&run_point(spec))
 }
 
+/// [`aggregate_runner`] for checkpoint-armed campaigns: when the executor
+/// supplies a [`CheckpointCtx`], the run writes periodic mid-run
+/// checkpoints there — and restores from it first if a previous
+/// invocation died mid-point. The restored tail replays bit-identically,
+/// so the cached scalars match an uninterrupted run's.
+pub fn aggregate_runner_ckpt(
+    spec: &PointSpec<AggregateSpec>,
+    ckpt: Option<&CheckpointCtx>,
+) -> PointResult {
+    PointResult::from_run(&run_point_ckpt(spec, ckpt))
+}
+
 /// Run one aggregate-benchmark point.
 pub fn run_point(spec: &PointSpec<AggregateSpec>) -> RunOutput {
+    run_point_ckpt(spec, None)
+}
+
+/// [`run_point`] with optional mid-run checkpointing (see
+/// [`aggregate_runner_ckpt`]).
+pub fn run_point_ckpt(spec: &PointSpec<AggregateSpec>, ckpt: Option<&CheckpointCtx>) -> RunOutput {
     let seeds = SeedSpace::new(spec.seed);
     let agg = spec.workload;
     let mut make = |rank: u32| -> Box<dyn RankWorkload> {
@@ -253,7 +274,25 @@ pub fn run_point(spec: &PointSpec<AggregateSpec>) -> RunOutput {
             seeds.stream_at("wl/agg", u64::from(rank), 0),
         ))
     };
-    spec.experiment().run(&mut make)
+    let mut e = spec.experiment();
+    if let Some(cx) = ckpt {
+        e = e.with_checkpoint_every(cx.every, &cx.path);
+        if cx.path.exists() {
+            // A damaged checkpoint is treated like a missing one (the
+            // same policy as corrupt cache entries): rerun from scratch.
+            match pa_cluster::verify_checkpoint_file(&cx.path) {
+                Ok(()) => e = e.with_restore_from(&cx.path),
+                Err(err) => {
+                    eprintln!(
+                        "warning: ignoring damaged checkpoint {}: {err}",
+                        cx.path.display()
+                    );
+                    let _ = std::fs::remove_file(&cx.path);
+                }
+            }
+        }
+    }
+    e.run(&mut make)
 }
 
 /// Run one configuration at one size and seed.

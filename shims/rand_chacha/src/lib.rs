@@ -49,6 +49,26 @@ impl SeedableRng for ChaCha8Rng {
 }
 
 impl ChaCha8Rng {
+    /// Export the full generator state — input block, current keystream
+    /// block, and the next-unread-word index — so a deterministic
+    /// simulation can checkpoint a stream mid-flight and resume it at the
+    /// exact draw it stopped at.
+    pub fn dump_state(&self) -> ([u32; 16], [u32; 16], usize) {
+        (self.state, self.buf, self.idx)
+    }
+
+    /// Rebuild a generator from state captured by
+    /// [`ChaCha8Rng::dump_state`]. `idx` is clamped to 16 (= exhausted
+    /// block, refill on next draw), which is the only out-of-range value
+    /// a well-formed dump can contain.
+    pub fn from_state(state: [u32; 16], buf: [u32; 16], idx: usize) -> Self {
+        ChaCha8Rng {
+            state,
+            buf,
+            idx: idx.min(16),
+        }
+    }
+
     fn refill(&mut self) {
         let mut x = self.state;
         for _ in 0..4 {

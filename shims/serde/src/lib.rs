@@ -274,6 +274,20 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
     }
 }
 
+// A `Value` serializes as itself. This lets checkpoint structs embed an
+// opaque, already-structured state blob (e.g. a trait object's mutable
+// state captured by the object itself) inside a derived container.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! ser_tuple {
     ($(($($n:tt $t:ident),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {

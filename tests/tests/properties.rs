@@ -283,6 +283,86 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Checkpoint/restore: resuming from a mid-run checkpoint reproduces the
+// uninterrupted run bit for bit, at any engine thread count. The
+// checkpoint interval is random, so across cases the restore point lands
+// on arbitrary window barriers.
+// ---------------------------------------------------------------------
+
+/// Everything observable about one run that must survive a restore:
+/// final clock, event count, completion, the exact mean, and node 0's
+/// full trace history.
+type RunPrint = (pa_simkit::SimDur, u64, bool, u64, Vec<pa_trace::TraceEvent>);
+
+fn run_print(out: &pa_core::RunOutput) -> RunPrint {
+    (
+        out.wall,
+        out.events,
+        out.completed,
+        out.mean_allreduce_us().to_bits(),
+        out.sim.kernel(0).trace().events().copied().collect(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn restore_at_any_barrier_is_bit_identical(
+        nodes in 2u32..5,
+        tasks in 1u32..3,
+        seed in 0u64..10_000,
+        cosched in any::<bool>(),
+        every_us in 50u64..400,
+    ) {
+        let base = || {
+            let mut e = Experiment::new(nodes, tasks)
+                .with_cpus_per_node(4)
+                .with_trace_node(0)
+                .with_seed(seed);
+            if cosched {
+                e = e.with_cosched(CoschedSetup::default());
+            }
+            e
+        };
+        let wl = || {
+            |_rank: u32| -> Box<dyn RankWorkload> {
+                Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 64 }; 24]))
+            }
+        };
+        let path = std::env::temp_dir().join(format!(
+            "pa-prop-ckpt-{}-{nodes}-{tasks}-{seed}-{every_us}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        // Uninterrupted reference, then the same run writing periodic
+        // checkpoints — which must not perturb anything observable.
+        let want = run_print(&base().run(&mut wl()));
+        let ckpt = base()
+            .with_checkpoint_every(SimDur::from_micros(every_us), &path)
+            .run(&mut wl());
+        prop_assert_eq!(&run_print(&ckpt), &want, "checkpointing perturbed the run");
+
+        // Resume from the last barrier checkpoint at several thread
+        // counts; every resumed tail must land on the identical history.
+        if ckpt.sim.checkpoints_written() > 0 {
+            for threads in [1usize, 2, 4] {
+                let resumed = base()
+                    .with_sim_threads(threads)
+                    .with_restore_from(&path)
+                    .run(&mut wl());
+                prop_assert_eq!(resumed.sim.checkpoint_restores(), 1);
+                prop_assert_eq!(
+                    &run_print(&resumed), &want,
+                    "restore diverges at {} threads (nodes={}, tasks={}, seed={}, every={}µs)",
+                    threads, nodes, tasks, seed, every_us
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Admin table round trip.
 // ---------------------------------------------------------------------
 

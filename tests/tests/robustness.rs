@@ -1,9 +1,11 @@
 //! Robustness: edge configurations and failure-injection-style stress.
 
+use pa_campaign::{run_campaign_resumable, Cache, CheckpointCtx, ExecutorConfig};
 use pa_core::{CoschedSetup, Experiment, SchedOptions};
 use pa_mpi::{Algorithm, MpiConfig, MpiOp, OpList, RankWorkload};
 use pa_noise::NoiseProfile;
 use pa_simkit::SimDur;
+use pa_workloads::{aggregate_runner_ckpt, run_point_ckpt, ScalingConfig};
 
 fn allreduces(n: usize) -> impl FnMut(u32) -> Box<dyn RankWorkload> {
     move |_r| Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 8 }; n]))
@@ -157,6 +159,125 @@ fn large_payload_allreduce() {
         big.mean_allreduce_us(),
         small.mean_allreduce_us()
     );
+}
+
+// ---------------------------------------------------------------------
+// Interrupted campaigns: a killed invocation must resume — from the
+// cache for points that finished, from a mid-run checkpoint for the
+// point it died inside — to results bit-identical to an uninterrupted
+// campaign's.
+// ---------------------------------------------------------------------
+
+#[test]
+fn interrupted_campaign_resumes_bit_identically() {
+    let mut cfg = ScalingConfig::fig3(true);
+    cfg.node_counts = vec![2, 4];
+    cfg.allreduces = 48;
+    cfg.seeds = vec![42, 43];
+    cfg.target_sim_time = None;
+    let points = cfg.points();
+    let every = SimDur::from_micros(200);
+    let tag =
+        |t: &str| std::env::temp_dir().join(format!("pa-robustness-{t}-{}", std::process::id()));
+    let (dir_ref, dir_int) = (tag("ckpt-ref"), tag("ckpt-int"));
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&dir_int);
+
+    // Uninterrupted reference campaign, cold cache of its own.
+    let exec_ref = ExecutorConfig::serial("ref")
+        .with_cache(Cache::at(&dir_ref).unwrap())
+        .with_checkpoint_every(every);
+    let reference = run_campaign_resumable(&points, &exec_ref, aggregate_runner_ckpt);
+    assert!(reference.truncated.is_empty());
+
+    // "Killed" campaign: the first half of the points finished and were
+    // cached before the process died …
+    let exec_int = || {
+        ExecutorConfig::serial("int")
+            .with_cache(Cache::at(&dir_int).unwrap())
+            .with_checkpoint_every(every)
+    };
+    let half = points.len() / 2;
+    let partial = run_campaign_resumable(&points[..half], &exec_int(), aggregate_runner_ckpt);
+    assert_eq!(partial.results, reference.results[..half]);
+
+    // … and the invocation died inside the next point, leaving its
+    // periodic checkpoint behind (emulated by running that point alone
+    // with checkpointing armed at the campaign's own checkpoint path;
+    // the file left behind captures a mid-run window barrier).
+    let victim = &points[half];
+    let ckpt_path = Cache::at(&dir_int)
+        .unwrap()
+        .dir()
+        .join("checkpoints")
+        .join(format!("{}.json", victim.content_key()));
+    let killed = run_point_ckpt(
+        victim,
+        Some(&CheckpointCtx {
+            path: ckpt_path.clone(),
+            every,
+        }),
+    );
+    assert!(killed.completed);
+    assert!(
+        ckpt_path.exists(),
+        "no mid-run checkpoint written — shrink `every`"
+    );
+
+    // Warm re-run of the full campaign: the cached half is served from
+    // disk, the victim restores from its checkpoint and replays only the
+    // tail, the rest run fresh. Results must match the uninterrupted
+    // campaign bit for bit, and the served checkpoint must be gone.
+    let resumed = run_campaign_resumable(&points, &exec_int(), aggregate_runner_ckpt);
+    assert_eq!(resumed.results, reference.results);
+    assert_eq!(resumed.metrics.cache_hits, half);
+    assert!(
+        !ckpt_path.exists(),
+        "checkpoint must be deleted once the point's result is cached"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_ref);
+    let _ = std::fs::remove_dir_all(&dir_int);
+}
+
+#[test]
+fn damaged_checkpoint_falls_back_to_a_fresh_run() {
+    // Same policy as corrupt cache entries: a checkpoint that fails
+    // verification is ignored (and removed), never fatal, and the rerun
+    // reproduces the undamaged result exactly.
+    let mut cfg = ScalingConfig::fig3(true);
+    cfg.node_counts = vec![2];
+    cfg.allreduces = 48;
+    cfg.seeds = vec![42];
+    cfg.target_sim_time = None;
+    let spec = &cfg.points()[0];
+    let every = SimDur::from_micros(200);
+    let path = std::env::temp_dir().join(format!(
+        "pa-robustness-damaged-ckpt-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let ctx = CheckpointCtx {
+        path: path.clone(),
+        every,
+    };
+    let reference = run_point_ckpt(spec, Some(&ctx));
+    assert!(path.exists(), "no checkpoint written — shrink `every`");
+
+    // Flip one byte inside the hashed payload.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let i = bytes.len() / 2;
+    bytes[i] ^= 1;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let rerun = run_point_ckpt(spec, Some(&ctx));
+    assert_eq!(rerun.wall, reference.wall);
+    assert_eq!(rerun.events, reference.events);
+    assert_eq!(
+        rerun.mean_allreduce_us().to_bits(),
+        reference.mean_allreduce_us().to_bits()
+    );
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
