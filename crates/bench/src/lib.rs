@@ -24,7 +24,9 @@
 //!   `ns`/`us`/`ms`/`s` suffix; bare integers are ms). Needs the result
 //!   cache; a killed invocation resumes each partially-run point from its
 //!   last checkpoint, and the resumed results are bit-identical to an
-//!   uninterrupted run's.
+//!   uninterrupted run's;
+//! * `--policies LIST` — batch placement policies for the `multi_job`
+//!   sweep (comma-separated `fcfs`/`backfill`/`pack`/`equi`; default all).
 //!
 //! The default mode is a balanced configuration that reproduces every
 //! qualitative result in a few minutes.
@@ -75,6 +77,9 @@ pub struct Args {
     /// Write a Chrome trace-event span timeline here (open in Perfetto
     /// or `chrome://tracing`).
     pub trace_out: Option<std::path::PathBuf>,
+    /// Batch placement policies to compare (`multi_job` only): names from
+    /// `pa_jobs::PolicyKind::parse`, comma-separated. `None` = all.
+    pub policies: Option<Vec<pa_jobs::PolicyKind>>,
 }
 
 impl Args {
@@ -92,6 +97,7 @@ impl Args {
             checkpoint_every: None,
             metrics_out: None,
             trace_out: None,
+            policies: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -166,6 +172,15 @@ impl Args {
                             .unwrap_or_else(|| usage("--trace-out needs a path")),
                     );
                 }
+                "--policies" => {
+                    let v = it.next().unwrap_or_else(|| {
+                        usage("--policies needs a comma-separated list (e.g. fcfs,backfill)")
+                    });
+                    let parsed: Result<Vec<_>, _> =
+                        v.split(',').map(pa_jobs::PolicyKind::parse).collect();
+                    args.policies =
+                        Some(parsed.unwrap_or_else(|e| usage(&format!("--policies: {e}"))));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument '{other}'")),
             }
@@ -229,7 +244,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <bin> [--quick|--full] [--json] [--seed N] [--jobs N] [--sim-threads N] \
          [--no-cache] [--rerun] [--link-bandwidth B|unlimited] [--checkpoint-every DUR] \
-         [--metrics-out PATH] [--trace-out PATH]"
+         [--metrics-out PATH] [--trace-out PATH] [--policies LIST]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -21,7 +21,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// v4: campaign points may be produced by checkpoint-resumed runs; bumped
 /// with the engine checkpoint/restore feature so entries written before
 /// the restore path existed are unreachable.
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+/// v5: `PointSpec` gained the `policy` field for multi-job batch points;
+/// v4 entries (which lack it) must read as misses, never as results for
+/// a policy-bearing spec.
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
 
 /// Whether a point was served from disk or freshly simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +207,7 @@ mod tests {
             seed: 5,
             horizon: None,
             link_bandwidth: None,
+            policy: None,
         }
     }
 
@@ -272,5 +276,28 @@ mod tests {
         cache.store(&key, &s, &result()).unwrap();
         assert_eq!(cache.lookup(&key), Some(result()));
         assert_eq!(cache.corrupt_entries(), 3);
+    }
+
+    #[test]
+    fn pre_policy_schema_entries_read_as_misses() {
+        // A well-formed v4 entry (written before `PointSpec.policy`
+        // existed) stored under a v5 key must be a miss, not a result.
+        let cache = tmp_cache("schema-v4");
+        let s = spec();
+        let key = s.content_key();
+        cache.store(&key, &s, &result()).unwrap();
+        let entry = std::fs::read_to_string(cache.path_for(&key)).unwrap();
+        let downgraded = entry.replacen(
+            &format!("\"schema\": {CACHE_SCHEMA_VERSION}"),
+            "\"schema\": 4",
+            1,
+        );
+        assert_ne!(entry, downgraded, "entry must carry the schema field");
+        std::fs::write(cache.path_for(&key), downgraded).unwrap();
+        assert!(
+            cache.lookup(&key).is_none(),
+            "v4 entry must not satisfy a v5 lookup"
+        );
+        assert_eq!(cache.corrupt_entries(), 1);
     }
 }

@@ -381,6 +381,7 @@ mod tests {
             seed,
             horizon: None,
             link_bandwidth: None,
+            policy: None,
         }
     }
 

@@ -47,6 +47,9 @@ pub struct PointSpec<W> {
     /// Per-node link capacity, bytes/sec; `None` is the unlimited legacy
     /// fabric with no contention.
     pub link_bandwidth: Option<f64>,
+    /// Batch placement policy name for multi-job points (`pa-jobs`
+    /// families); `None` for single-job points.
+    pub policy: Option<String>,
 }
 
 // Manual impls: the derive macro in the serde shim does not handle
@@ -69,6 +72,7 @@ impl<W: Serialize> Serialize for PointSpec<W> {
             ("seed".into(), self.seed.to_value()),
             ("horizon".into(), self.horizon.to_value()),
             ("link_bandwidth".into(), self.link_bandwidth.to_value()),
+            ("policy".into(), self.policy.to_value()),
         ])
     }
 }
@@ -97,6 +101,7 @@ impl<W: Deserialize> Deserialize for PointSpec<W> {
             seed: field(map, "seed")?,
             horizon: field(map, "horizon")?,
             link_bandwidth: field(map, "link_bandwidth")?,
+            policy: field(map, "policy")?,
         })
     }
 }
@@ -158,6 +163,7 @@ mod tests {
             seed: 42,
             horizon: None,
             link_bandwidth: None,
+            policy: None,
         }
     }
 
@@ -188,6 +194,9 @@ mod tests {
         let mut e = spec();
         e.link_bandwidth = Some(350e6);
         assert_ne!(a.content_key(), e.content_key());
+        let mut f = spec();
+        f.policy = Some("backfill".into());
+        assert_ne!(a.content_key(), f.content_key());
     }
 
     #[test]

@@ -645,6 +645,41 @@ impl ClusterSim {
         self.now
     }
 
+    /// Spawn a thread on `node` at the current barrier time — a mid-run
+    /// arrival (the batch layer's job launch). Callable only between run
+    /// calls, when every shard is quiescent at a window barrier, so the
+    /// spawn lands at the same instant regardless of `--sim-threads`.
+    /// The kernel schedules a dispatcher nudge so the thread starts
+    /// without waiting for the next tick.
+    pub fn spawn_thread(
+        &mut self,
+        node: u32,
+        spec: pa_kernel::ThreadSpec,
+        program: Box<dyn pa_kernel::Program>,
+    ) -> pa_kernel::Tid {
+        assert!(self.booted, "spawn_thread on an unbooted cluster");
+        let sh = &mut self.shards[node as usize];
+        // The shard clock may sit ahead of the global barrier time when a
+        // prior `run_until` advanced it; never spawn into the past.
+        let at = self.now.max(sh.queue.now());
+        let tid = sh.kernel.spawn_at(at, spec, program, &mut sh.fx);
+        sh.drain_effects(at, &self.fabric);
+        tid
+    }
+
+    /// Inject a message at the current barrier time, as if sent by an
+    /// external agent (the batch layer's control traffic to per-node
+    /// daemons). Delivery is immediate — control decisions are taken at
+    /// quiescent barriers, so no fabric transit is modeled. Callable only
+    /// between run calls; injection order is the caller's iteration
+    /// order, which must itself be canonical.
+    pub fn inject_message(&mut self, msg: Message) {
+        assert!(self.booted, "inject_message on an unbooted cluster");
+        let sh = &mut self.shards[msg.dst.node as usize];
+        let at = self.now.max(sh.queue.now());
+        sh.queue.schedule(at, KernelEvent::Deliver { msg });
+    }
+
     /// Total events processed across all shards.
     pub fn events_processed(&self) -> u64 {
         self.shards.iter().map(|s| s.events_processed).sum()

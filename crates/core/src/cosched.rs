@@ -56,6 +56,11 @@ pub struct CoschedParams {
     pub adjust_cost: SimDur,
     /// Additional cost per task adjusted.
     pub adjust_cost_per_task: SimDur,
+    /// Offset of this job's window grid from the local-clock origin. The
+    /// single-job study always uses zero (windows aligned to second
+    /// boundaries, §4); the batch layer hands co-resident gangs distinct
+    /// phases so their favored windows interleave instead of colliding.
+    pub phase: SimDur,
 }
 
 impl CoschedParams {
@@ -70,6 +75,7 @@ impl CoschedParams {
             duty: 0.9,
             adjust_cost: SimDur::from_micros(30),
             adjust_cost_per_task: SimDur::from_micros(3),
+            phase: SimDur::ZERO,
         }
     }
 
@@ -99,23 +105,39 @@ impl CoschedParams {
         if !self.favored.beats(self.unfavored) {
             return Err("favored priority must beat unfavored".into());
         }
+        if self.phase >= self.period {
+            return Err(format!(
+                "phase {} must be less than the period {}",
+                self.phase, self.period
+            ));
+        }
         Ok(())
+    }
+
+    /// This job's window grid runs `phase` later than the local clock's
+    /// period grid; shifting time *back* by the phase maps it onto the
+    /// canonical zero-phase grid. Adding `period` first keeps the
+    /// subtraction in range for local times inside the first period.
+    fn onto_grid(&self, local: SimTime) -> SimTime {
+        local + self.period - self.phase
     }
 
     /// Is local time `t` inside a favored window?
     pub fn in_favored(&self, local: SimTime) -> bool {
-        (local % self.period) < self.favored_len()
+        (self.onto_grid(local) % self.period) < self.favored_len()
     }
 
     /// Next window edge strictly after `local`.
     pub fn next_edge(&self, local: SimTime) -> SimTime {
-        let pos = local % self.period;
+        let shifted = self.onto_grid(local);
+        let pos = shifted % self.period;
         let fav = self.favored_len();
-        if pos < fav {
-            local - pos + fav
+        let edge = if pos < fav {
+            shifted - pos + fav
         } else {
-            local - pos + self.period
-        }
+            shifted - pos + self.period
+        };
+        edge + self.phase - self.period
     }
 }
 
@@ -221,6 +243,25 @@ impl CoschedDaemon {
                 self.detached = false;
                 self.attaches += 1;
                 self.queue_apply(local);
+            }
+            Some(CtrlOp::Shutdown) => {
+                // Job teardown: put every task back at base priority (a
+                // straggling SetPriority to an exited thread is a no-op in
+                // the kernel), then leave. The Exit rides the action queue
+                // so pending adjustments drain first.
+                let n = self.tasks.len() as u64;
+                self.queue.push_back(Action::Compute(
+                    self.params.adjust_cost + self.params.adjust_cost_per_task * n,
+                ));
+                for &t in &self.tasks {
+                    self.queue.push_back(Action::SetPriority {
+                        target: t,
+                        prio: self.params.base,
+                    });
+                }
+                self.setprio_sent += n;
+                self.adjustments += 1;
+                self.queue.push_back(Action::Exit);
             }
             // Redundant detach/attach requests (every rank sends one).
             Some(CtrlOp::Detach) | Some(CtrlOp::Attach) => {}

@@ -1,0 +1,307 @@
+//! Multi-job workload specifications and their validation.
+//!
+//! A [`MultiJobSpec`] describes one batch-scheduling scenario: the
+//! cluster shape, the gang-scheduling setup, the placement policy knobs
+//! supplied at run time, and a list of [`JobRequest`]s arriving at
+//! simulated instants. Validation follows the `FabricModel` convention:
+//! every rejection names the offending value, so a sweep that builds
+//! scenarios programmatically fails with an actionable message instead
+//! of a deep-engine assert.
+
+use pa_simkit::SimDur;
+use serde::{Deserialize, Serialize};
+
+/// One job submitted to the batch queue.
+///
+/// The work model is bulk-synchronous: a job runs `chunks` *chunks*, each
+/// `iters_per_chunk` iterations of (compute, Allreduce). The compute per
+/// iteration is `work_per_iter` **in total across ranks** — more ranks
+/// mean less compute per rank but the same collective count, the classic
+/// malleable speedup model (perfect compute scaling, communication
+/// overhead growing with the rank count). Chunk boundaries are the
+/// barrier-aligned reconfiguration points where a malleable job may be
+/// re-sized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Display name (also the trace name prefix).
+    pub name: String,
+    /// Arrival time, measured from the start of the simulation.
+    pub submit_at: SimDur,
+    /// Requested node count (initial width for malleable jobs).
+    pub nodes: u32,
+    /// Smallest width a malleable job accepts (= `nodes` when rigid).
+    pub min_nodes: u32,
+    /// Largest width a malleable job can exploit (= `nodes` when rigid).
+    pub max_nodes: u32,
+    /// Ranks per node.
+    pub tasks_per_node: u32,
+    /// Number of chunks (reconfiguration points are the boundaries).
+    pub chunks: u32,
+    /// (compute, Allreduce) iterations per chunk.
+    pub iters_per_chunk: u32,
+    /// Total compute per iteration, divided evenly across ranks.
+    pub work_per_iter: SimDur,
+    /// Allreduce payload.
+    pub bytes: u32,
+    /// Multiplicative jitter on per-rank compute.
+    pub jitter: f64,
+    /// Queue priority; higher is served first.
+    pub priority: u8,
+    /// User-supplied runtime estimate (the backfill policy's shadow-time
+    /// input, like a LoadLeveler wall-clock limit).
+    pub estimate: SimDur,
+}
+
+impl JobRequest {
+    /// A rigid job: fixed width, sensible small-benchmark defaults.
+    pub fn rigid(name: impl Into<String>, submit_at: SimDur, nodes: u32) -> JobRequest {
+        JobRequest {
+            name: name.into(),
+            submit_at,
+            nodes,
+            min_nodes: nodes,
+            max_nodes: nodes,
+            tasks_per_node: 2,
+            chunks: 1,
+            iters_per_chunk: 20,
+            work_per_iter: SimDur::from_micros(400),
+            bytes: 8,
+            jitter: 0.2,
+            priority: 50,
+            estimate: SimDur::from_millis(50),
+        }
+    }
+
+    /// A malleable job: width may be re-chosen in `[min, max]` at each
+    /// chunk boundary.
+    pub fn malleable(
+        name: impl Into<String>,
+        submit_at: SimDur,
+        nodes: u32,
+        min: u32,
+        max: u32,
+        chunks: u32,
+    ) -> JobRequest {
+        JobRequest {
+            min_nodes: min,
+            max_nodes: max,
+            chunks,
+            ..JobRequest::rigid(name, submit_at, nodes)
+        }
+    }
+
+    /// Can this job's width change at reconfiguration points?
+    pub fn is_malleable(&self) -> bool {
+        self.min_nodes != self.max_nodes
+    }
+}
+
+/// A complete multi-job scenario (everything but the placement policy,
+/// which is swept at the campaign layer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiJobSpec {
+    /// Cluster nodes.
+    pub nodes: u32,
+    /// CPUs per node.
+    pub cpus_per_node: u32,
+    /// Scheduler decision interval: arrivals, completions, and resizes
+    /// are acted on at these instants (batch daemons poll; they do not
+    /// trap job exit).
+    pub quantum: SimDur,
+    /// Per-job gang scheduling (co-scheduler daemons on the job's nodes).
+    /// `false` models uncontrolled jobs, the paper's baseline.
+    pub gang: bool,
+    /// Gang window period. The 2003 study cycles priorities every 5 s on
+    /// hour-long jobs; batch scenarios run millisecond-scale chunks, so
+    /// the window grid scales down with them.
+    pub gang_period: SimDur,
+    /// Stagger co-resident jobs' gang windows by assigning each launched
+    /// job a distinct phase slot instead of aligning every window grid.
+    pub gang_stagger: bool,
+    /// Jobs in submission order.
+    pub jobs: Vec<JobRequest>,
+}
+
+impl Default for MultiJobSpec {
+    fn default() -> Self {
+        MultiJobSpec {
+            nodes: 8,
+            cpus_per_node: 2,
+            quantum: SimDur::from_millis(5),
+            gang: true,
+            gang_period: SimDur::from_millis(2),
+            gang_stagger: false,
+            jobs: Vec::new(),
+        }
+    }
+}
+
+impl MultiJobSpec {
+    /// Validate, naming the offending value in every rejection.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("cluster nodes must be positive, got 0".into());
+        }
+        if self.cpus_per_node == 0 {
+            return Err("cpus_per_node must be positive, got 0".into());
+        }
+        if self.quantum.is_zero() {
+            return Err("scheduler quantum must be positive, got 0".into());
+        }
+        if self.gang && self.gang_period.is_zero() {
+            return Err("gang_period must be positive when gang scheduling is on, got 0".into());
+        }
+        if self.jobs.is_empty() {
+            return Err("job list is empty: a batch scenario needs at least one job".into());
+        }
+        let mut last_submit = SimDur::ZERO;
+        for (i, j) in self.jobs.iter().enumerate() {
+            let who = format!("job #{i} ({:?})", j.name);
+            if j.nodes == 0 || j.min_nodes == 0 {
+                return Err(format!(
+                    "{who}: zero-rank jobs are rejected (nodes = {}, min_nodes = {})",
+                    j.nodes, j.min_nodes
+                ));
+            }
+            if j.tasks_per_node == 0 {
+                return Err(format!("{who}: tasks_per_node must be positive, got 0"));
+            }
+            if j.tasks_per_node > self.cpus_per_node {
+                return Err(format!(
+                    "{who}: tasks_per_node = {} exceeds cpus_per_node = {}",
+                    j.tasks_per_node, self.cpus_per_node
+                ));
+            }
+            if !(j.min_nodes <= j.nodes && j.nodes <= j.max_nodes) {
+                return Err(format!(
+                    "{who}: width bounds violated: min_nodes = {} <= nodes = {} <= max_nodes = {} \
+                     does not hold",
+                    j.min_nodes, j.nodes, j.max_nodes
+                ));
+            }
+            if j.max_nodes > self.nodes {
+                return Err(format!(
+                    "{who}: max_nodes = {} ranks over {} nodes exceeds the cluster capacity of \
+                     {} nodes",
+                    j.max_nodes, j.max_nodes, self.nodes
+                ));
+            }
+            if j.chunks == 0 {
+                return Err(format!("{who}: chunks must be positive, got 0"));
+            }
+            if j.iters_per_chunk == 0 {
+                return Err(format!("{who}: iters_per_chunk must be positive, got 0"));
+            }
+            if !(0.0..=1.0).contains(&j.jitter) {
+                return Err(format!("{who}: jitter = {} out of [0, 1]", j.jitter));
+            }
+            if j.estimate.is_zero() {
+                return Err(format!(
+                    "{who}: estimate must be positive, got 0 (backfill needs a shadow time)"
+                ));
+            }
+            if j.submit_at < last_submit {
+                return Err(format!(
+                    "{who}: submission times must be non-decreasing, got {} after {}",
+                    j.submit_at, last_submit
+                ));
+            }
+            last_submit = j.submit_at;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_jobs() -> MultiJobSpec {
+        MultiJobSpec {
+            jobs: vec![
+                JobRequest::rigid("a", SimDur::ZERO, 4),
+                JobRequest::malleable("b", SimDur::from_millis(1), 2, 1, 6, 3),
+            ],
+            ..MultiJobSpec::default()
+        }
+    }
+
+    #[test]
+    fn valid_scenario_passes() {
+        assert!(two_jobs().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_rank_job_rejected_by_name() {
+        let mut s = two_jobs();
+        s.jobs[1].nodes = 0;
+        s.jobs[1].min_nodes = 0;
+        let err = s.validate().expect_err("zero-rank job must be rejected");
+        assert!(err.contains("job #1"), "error must name the job: {err}");
+        assert!(err.contains("\"b\""), "error must name the job: {err}");
+        assert!(
+            err.contains("nodes = 0"),
+            "error must name the value: {err}"
+        );
+    }
+
+    #[test]
+    fn over_capacity_job_rejected_by_name() {
+        let mut s = two_jobs();
+        s.jobs[0].nodes = 9;
+        s.jobs[0].min_nodes = 9;
+        s.jobs[0].max_nodes = 9;
+        let err = s.validate().expect_err("oversized job must be rejected");
+        assert!(
+            err.contains("max_nodes = 9") && err.contains("capacity of 8 nodes"),
+            "error must name both values: {err}"
+        );
+    }
+
+    #[test]
+    fn non_monotone_submissions_rejected_by_name() {
+        let mut s = two_jobs();
+        s.jobs[1].submit_at = SimDur::ZERO;
+        s.jobs[0].submit_at = SimDur::from_millis(2);
+        let err = s
+            .validate()
+            .expect_err("reordered submits must be rejected");
+        assert!(
+            err.contains("non-decreasing"),
+            "error must explain the rule: {err}"
+        );
+        assert!(
+            err.contains("2.000ms"),
+            "error must show the offending times: {err}"
+        );
+    }
+
+    #[test]
+    fn width_bound_violations_rejected() {
+        let mut s = two_jobs();
+        s.jobs[1].min_nodes = 3; // min > nodes(2)
+        let err = s.validate().expect_err("min > nodes must be rejected");
+        assert!(err.contains("min_nodes = 3"), "{err}");
+
+        let mut s = two_jobs();
+        s.jobs[1].max_nodes = 1; // max < nodes(2)
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn tasks_per_node_over_cpus_rejected() {
+        let mut s = two_jobs();
+        s.jobs[0].tasks_per_node = 3; // cpus_per_node = 2
+        let err = s.validate().expect_err("tpn > cpus must be rejected");
+        assert!(
+            err.contains("tasks_per_node = 3") && err.contains("cpus_per_node = 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rigid_and_malleable_classification() {
+        assert!(!JobRequest::rigid("r", SimDur::ZERO, 2).is_malleable());
+        assert!(JobRequest::malleable("m", SimDur::ZERO, 2, 1, 4, 2).is_malleable());
+    }
+}

@@ -1,0 +1,157 @@
+//! The per-chunk rank workload of a batch job.
+//!
+//! Each rank of a running chunk alternates jittered compute with a global
+//! Allreduce — the same bulk-synchronous skeleton as `aggregate_trace`,
+//! but with the *total* compute per iteration fixed by the job spec and
+//! divided evenly across the current rank count. That makes the chunk a
+//! malleable unit: re-running the next chunk on more ranks shrinks the
+//! per-rank compute while the collective round count stays put, which is
+//! exactly the speedup/overhead trade the placement policies arbitrate.
+
+use pa_mpi::{MpiOp, RankWorkload};
+use pa_simkit::{RngState, SimDur, SimRng};
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// One chunk of a batch job, executed by a single rank.
+///
+/// The engine installs a fresh `ChunkWorkload` per (job, chunk, rank)
+/// launch, so the struct only ever runs one chunk and then reports
+/// [`MpiOp::Done`]; chunk sequencing lives in the jobs engine.
+#[derive(Debug)]
+pub struct ChunkWorkload {
+    /// Iterations left in this chunk.
+    remaining: u32,
+    /// Per-rank compute per iteration (already divided by the rank count).
+    compute: SimDur,
+    /// Allreduce payload.
+    bytes: u32,
+    /// Multiplicative jitter on the compute slice.
+    jitter: f64,
+    /// Per-(job, chunk, rank) RNG stream.
+    rng: SimRng,
+    /// Half-iteration state: the compute was issued, the Allreduce is due.
+    allreduce_due: bool,
+}
+
+impl ChunkWorkload {
+    /// Build a chunk for one rank. `work_per_iter` is the job-wide total;
+    /// it is split evenly across `nranks`.
+    pub fn new(
+        iters: u32,
+        work_per_iter: SimDur,
+        nranks: u32,
+        bytes: u32,
+        jitter: f64,
+        rng: SimRng,
+    ) -> ChunkWorkload {
+        assert!(nranks > 0, "a chunk needs at least one rank");
+        ChunkWorkload {
+            remaining: iters,
+            compute: SimDur::from_nanos(work_per_iter.nanos() / u64::from(nranks)),
+            bytes,
+            jitter,
+            rng,
+            allreduce_due: false,
+        }
+    }
+}
+
+impl RankWorkload for ChunkWorkload {
+    fn next_op(&mut self, _rank: u32, _nranks: u32) -> MpiOp {
+        if self.allreduce_due {
+            self.allreduce_due = false;
+            return MpiOp::Allreduce { bytes: self.bytes };
+        }
+        if self.remaining == 0 {
+            return MpiOp::Done;
+        }
+        self.remaining -= 1;
+        self.allreduce_due = true;
+        if self.compute.is_zero() {
+            self.allreduce_due = false;
+            return MpiOp::Allreduce { bytes: self.bytes };
+        }
+        MpiOp::Compute(self.rng.jitter(self.compute, self.jitter))
+    }
+
+    fn snapshot_state(&self) -> Value {
+        (self.remaining, self.allreduce_due, self.rng.save_state()).to_value()
+    }
+
+    fn restore_state(&mut self, state: &Value) -> Result<(), serde::Error> {
+        let (remaining, due, rng): (u32, bool, RngState) = Deserialize::from_value(state)?;
+        self.remaining = remaining;
+        self.allreduce_due = due;
+        self.rng.load_state(&rng).map_err(serde::Error)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut ChunkWorkload) -> Vec<MpiOp> {
+        let mut ops = Vec::new();
+        loop {
+            let op = w.next_op(0, 4);
+            if op == MpiOp::Done {
+                break;
+            }
+            ops.push(op);
+        }
+        ops
+    }
+
+    #[test]
+    fn alternates_compute_and_allreduce() {
+        let mut w =
+            ChunkWorkload::new(3, SimDur::from_micros(400), 4, 8, 0.2, SimRng::from_seed(7));
+        let ops = drain(&mut w);
+        assert_eq!(ops.len(), 6);
+        for pair in ops.chunks(2) {
+            assert!(matches!(pair[0], MpiOp::Compute(_)));
+            assert!(matches!(pair[1], MpiOp::Allreduce { bytes: 8 }));
+        }
+    }
+
+    #[test]
+    fn compute_splits_across_ranks() {
+        // 400µs over 8 ranks with no jitter: exactly 50µs per rank.
+        let mut w =
+            ChunkWorkload::new(1, SimDur::from_micros(400), 8, 8, 0.0, SimRng::from_seed(7));
+        match w.next_op(0, 8) {
+            MpiOp::Compute(d) => assert_eq!(d, SimDur::from_micros(50)),
+            other => panic!("expected compute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_compute_degenerates_to_pure_allreduce() {
+        let mut w = ChunkWorkload::new(2, SimDur::ZERO, 4, 16, 0.0, SimRng::from_seed(7));
+        let ops = drain(&mut w);
+        assert_eq!(ops.len(), 2);
+        assert!(ops.iter().all(|o| matches!(o, MpiOp::Allreduce { .. })));
+    }
+
+    #[test]
+    fn done_is_sticky() {
+        let mut w = ChunkWorkload::new(1, SimDur::from_micros(1), 1, 8, 0.0, SimRng::from_seed(7));
+        let _ = drain(&mut w);
+        assert_eq!(w.next_op(0, 1), MpiOp::Done);
+        assert_eq!(w.next_op(0, 1), MpiOp::Done);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_resumes_mid_chunk() {
+        let mut a =
+            ChunkWorkload::new(5, SimDur::from_micros(100), 2, 8, 0.3, SimRng::from_seed(9));
+        let _ = a.next_op(0, 2); // compute issued, allreduce due
+        let snap = a.snapshot_state();
+        let mut b =
+            ChunkWorkload::new(5, SimDur::from_micros(100), 2, 8, 0.3, SimRng::from_seed(1));
+        b.restore_state(&snap).unwrap();
+        assert_eq!(drain(&mut a), drain(&mut b));
+    }
+}

@@ -85,6 +85,15 @@ pub enum KernelEvent {
         /// Pseudo-tid of the handler.
         itid: Tid,
     },
+    /// Scheduler nudge after a post-boot spawn ([`Kernel::spawn_at`]): run
+    /// the dispatcher on `cpu` so a freshly Ready thread is picked up
+    /// without waiting for the next tick. Unlike [`KernelEvent::Ipi`] this
+    /// models no interrupt cost — job launch overhead is accounted by the
+    /// batch layer, not the node kernel.
+    Resched {
+        /// CPU whose dispatcher runs.
+        cpu: CpuId,
+    },
 }
 
 /// Side effects of handling one event, drained by the cluster driver.
@@ -501,10 +510,39 @@ impl Kernel {
     }
 
     /// Spawn a thread. Threads spawned before [`Kernel::boot`] start Ready;
-    /// spawning after boot is not supported (all of the paper's actors
-    /// exist at job start).
+    /// for mid-run arrivals (the batch-queue layer's job launches) use
+    /// [`Kernel::spawn_at`] instead.
     pub fn spawn(&mut self, spec: ThreadSpec, program: Box<dyn Program>) -> Tid {
-        assert!(!self.booted, "spawn after boot is not supported");
+        assert!(!self.booted, "spawn after boot: use spawn_at");
+        self.spawn_inner(spec, program, SimTime::ZERO).0
+    }
+
+    /// Spawn a thread on a *booted* node at global time `now` — a mid-run
+    /// job arrival. The thread becomes Ready immediately and a
+    /// [`KernelEvent::Resched`] is scheduled for its home CPU so an idle
+    /// or preemptible CPU picks it up without waiting for the next tick.
+    /// `now` must not precede any event already handled by this kernel;
+    /// the cluster engine guarantees this by spawning only at window
+    /// barriers.
+    pub fn spawn_at(
+        &mut self,
+        now: SimTime,
+        spec: ThreadSpec,
+        program: Box<dyn Program>,
+        fx: &mut Effects,
+    ) -> Tid {
+        assert!(self.booted, "spawn_at before boot: use spawn");
+        let (tid, home) = self.spawn_inner(spec, program, now);
+        fx.schedule.push((now, KernelEvent::Resched { cpu: home }));
+        tid
+    }
+
+    fn spawn_inner(
+        &mut self,
+        spec: ThreadSpec,
+        program: Box<dyn Program>,
+        enq_at: SimTime,
+    ) -> (Tid, CpuId) {
         let tid = Tid(self.threads.len() as u32);
         let home = spec.home_cpu.unwrap_or_else(|| {
             let h = CpuId(self.next_daemon_home % self.ncpus);
@@ -538,11 +576,11 @@ impl Kernel {
             in_msg: None,
             cpu_time: SimDur::ZERO,
             last_dispatch: SimTime::ZERO,
-            enqueued_at: SimTime::ZERO,
+            enqueued_at: enq_at,
             poll_since: SimTime::ZERO,
         });
-        self.enqueue(tid, SimTime::ZERO);
-        tid
+        self.enqueue(tid, enq_at);
+        (tid, home)
     }
 
     /// Register a device-interrupt source. Returns its pseudo-tid.
@@ -678,6 +716,7 @@ impl Kernel {
             KernelEvent::Deliver { msg } => self.on_deliver(msg, now, fx),
             KernelEvent::DeviceInterrupt { source } => self.on_device_interrupt(source, now, fx),
             KernelEvent::InterruptEnd { cpu, itid } => self.on_interrupt_end(cpu, itid, now, fx),
+            KernelEvent::Resched { cpu } => self.resched(cpu, now, fx),
         }
     }
 

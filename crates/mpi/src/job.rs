@@ -128,6 +128,97 @@ pub fn install_job(
     }
 }
 
+/// Spawn a job on an explicit subset of nodes of a *booted* cluster — the
+/// batch layer's job launch. Differences from [`install_job`]:
+///
+/// * ranks are numbered by position in `nodes` (`idx * tpn + local`), so
+///   a job on nodes `[2, 5]` has ranks 0..2·tpn with endpoints carrying
+///   the physical node ids — collectives route by endpoint and need no
+///   remapping;
+/// * threads are spawned through [`ClusterSim::spawn_thread`] at the
+///   current window barrier, so the launch instant is identical at any
+///   `--sim-threads`;
+/// * thread names carry `name_prefix` (e.g. `j3_rank_0`) so traces from
+///   co-resident jobs stay distinguishable.
+///
+/// Rank CPU slots restart at 0 on each node: two jobs time-sharing a node
+/// pin their local rank *i* to the same CPU *i* and the per-job gang
+/// windows arbitrate between them.
+pub fn install_job_on(
+    sim: &mut ClusterSim,
+    layout: LayoutHandle,
+    spec: &JobSpec,
+    seeds: &SeedSpace,
+    nodes: &[u32],
+    name_prefix: &str,
+    make_workload: &mut dyn FnMut(u32) -> Box<dyn RankWorkload>,
+) -> Job {
+    let tpn = spec.tasks_per_node;
+    assert!(tpn > 0, "a job needs at least one task per node");
+    assert!(!nodes.is_empty(), "a job needs at least one node");
+    let nranks = nodes.len() as u32 * tpn;
+    let recorder = RunRecorder::shared();
+    let mut rank_tids = Vec::with_capacity(nranks as usize);
+    let mut timer_tids = Vec::new();
+    let aux_prio = Prio(spec.rank_prio.0.saturating_sub(5));
+    let timer_phase = spec.progress.map(|ps| {
+        let mut rng = seeds.stream_at("mpi/timer-phase", 0, 0);
+        pa_simkit::SimDur::from_nanos(rng.range(0, ps.interval.nanos().max(1)))
+    });
+
+    for (idx, &node) in nodes.iter().enumerate() {
+        assert!(
+            tpn <= u32::from(sim.kernel(node).ncpus()),
+            "more tasks per node than CPUs is not the paper's regime"
+        );
+        for local in 0..tpn {
+            let rank = idx as u32 * tpn + local;
+            let program = RankProgram::new(
+                rank,
+                nranks,
+                layout.clone(),
+                make_workload(rank),
+                recorder.clone(),
+                spec.mpi,
+            );
+            let tid = sim.spawn_thread(
+                node,
+                ThreadSpec::new(
+                    format!("{name_prefix}rank_{rank}"),
+                    ThreadClass::App,
+                    spec.rank_prio,
+                )
+                .on_cpu(CpuId(local as u8)),
+                Box::new(program),
+            );
+            rank_tids.push(Endpoint { node, tid });
+            if let Some(ps) = spec.progress {
+                let rng = seeds.stream_at("mpi/timer", u64::from(node), u64::from(local));
+                let phase = timer_phase.expect("phase drawn when progress is set");
+                let ttid: Tid = sim.spawn_thread(
+                    node,
+                    ThreadSpec::new(
+                        format!("{name_prefix}timer_{rank}"),
+                        ThreadClass::MpiAux,
+                        aux_prio,
+                    )
+                    .on_cpu(CpuId(local as u8)),
+                    Box::new(ProgressThread::with_phase(ps, phase, rng)),
+                );
+                timer_tids.push(Endpoint { node, tid: ttid });
+            }
+        }
+    }
+    layout.write().unwrap().set_ranks(rank_tids.clone(), tpn);
+    Job {
+        layout,
+        recorder,
+        rank_tids,
+        timer_tids,
+        nranks,
+    }
+}
+
 /// Convenience: an empty layout handle (no co-scheduler registered).
 pub fn fresh_layout() -> LayoutHandle {
     JobLayout::empty()

@@ -19,8 +19,10 @@ pub struct JobLayout {
 
 /// Shared layout handle. An `RwLock` (not `RefCell`): rank programs on
 /// different shards of the parallel cluster engine read the layout
-/// concurrently. It is written only during job installation, before the
-/// cluster boots, so runtime reads never contend with a writer.
+/// concurrently. It is written only during job installation — before the
+/// cluster boots, or (batch-layer launches) at a quiescent window barrier
+/// while no worker threads run — so runtime reads never contend with a
+/// writer.
 pub type LayoutHandle = Arc<RwLock<JobLayout>>;
 
 impl JobLayout {

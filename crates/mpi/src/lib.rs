@@ -27,7 +27,7 @@ pub mod recorder;
 pub mod tags;
 
 pub use coll::{Algorithm, CollStep};
-pub use job::{fresh_layout, install_job, Job, JobSpec};
+pub use job::{fresh_layout, install_job, install_job_on, Job, JobSpec};
 pub use layout::{JobLayout, LayoutHandle};
 pub use progress::{ProgressSpec, ProgressThread};
 pub use rank::{MpiConfig, MpiOp, OpList, RankProgram, RankWorkload};

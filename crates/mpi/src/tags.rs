@@ -47,6 +47,10 @@ pub enum CtrlOp {
     Detach,
     /// The application requests co-scheduling be resumed.
     Attach,
+    /// The batch layer retires a finished job's co-scheduler: restore base
+    /// priorities and exit. (POE's partition manager tears the daemon down
+    /// with the job; the 2003 single-job runs never send this.)
+    Shutdown,
 }
 
 impl CtrlOp {
@@ -56,6 +60,7 @@ impl CtrlOp {
             CtrlOp::Register => 1,
             CtrlOp::Detach => 2,
             CtrlOp::Attach => 3,
+            CtrlOp::Shutdown => 4,
         };
         (KIND_CTRL << 60) | code
     }
@@ -69,6 +74,7 @@ impl CtrlOp {
             1 => Some(CtrlOp::Register),
             2 => Some(CtrlOp::Detach),
             3 => Some(CtrlOp::Attach),
+            4 => Some(CtrlOp::Shutdown),
             _ => None,
         }
     }
@@ -117,7 +123,12 @@ mod tests {
 
     #[test]
     fn ctrl_roundtrip() {
-        for op in [CtrlOp::Register, CtrlOp::Detach, CtrlOp::Attach] {
+        for op in [
+            CtrlOp::Register,
+            CtrlOp::Detach,
+            CtrlOp::Attach,
+            CtrlOp::Shutdown,
+        ] {
             assert_eq!(CtrlOp::from_tag(op.tag()), Some(op));
         }
         assert_eq!(CtrlOp::from_tag(coll_tag(1, 1)), None);

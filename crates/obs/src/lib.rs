@@ -25,5 +25,5 @@
 pub mod metrics;
 pub mod span;
 
-pub use metrics::{Histogram, MergeError, MetricsRegistry};
+pub use metrics::{Histogram, MergeError, MetricsRegistry, LOCAL_PREFIX};
 pub use span::SpanTimeline;

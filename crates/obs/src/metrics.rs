@@ -12,10 +12,19 @@
 //! Wall-clock quantities (elapsed seconds, events/sec, cache hits) must
 //! **never** enter the registry; they vary run-to-run and would break
 //! snapshot identity. Report those beside the snapshot instead (see
-//! `BENCH_engine.json`).
+//! `BENCH_engine.json`). Quantities that are simulation-meaningful but
+//! *process*-local — a resumed run's restore count, for instance — go
+//! under the [`LOCAL_PREFIX`] namespace, which the canonical snapshot
+//! omits so determinism diffs need no text filtering.
 
 use serde::value::Value;
 use std::collections::BTreeMap;
+
+/// Namespace prefix for process-local (non-deterministic) metrics. Keys
+/// starting with this prefix stay readable through [`MetricsRegistry`]
+/// accessors and the full snapshot, but are excluded from the canonical
+/// snapshot that determinism fingerprints and CI byte-diffs consume.
+pub const LOCAL_PREFIX: &str = "local.";
 
 /// Two histograms with different bucket layouts were asked to merge.
 /// Merging them would silently misbin counts, so it is rejected with
@@ -285,21 +294,39 @@ impl MetricsRegistry {
         Ok(())
     }
 
-    /// The snapshot as a structured value (sorted keys throughout).
+    /// The canonical snapshot as a structured value (sorted keys
+    /// throughout). Metrics in the [`LOCAL_PREFIX`] namespace are
+    /// excluded: they are process-local by design (restore counts, wall
+    /// clocks) and must not leak into determinism fingerprints.
     pub fn snapshot_value(&self) -> Value {
+        self.snapshot_value_filtered(true)
+    }
+
+    /// Like [`MetricsRegistry::snapshot_value`] but including the
+    /// `local.*` namespace — for debugging output, never for fingerprints
+    /// or byte-compared artifacts.
+    pub fn snapshot_value_full(&self) -> Value {
+        self.snapshot_value_filtered(false)
+    }
+
+    fn snapshot_value_filtered(&self, canonical: bool) -> Value {
+        let keep = |k: &str| !(canonical && k.starts_with(LOCAL_PREFIX));
         let counters = self
             .counters
             .iter()
+            .filter(|(k, _)| keep(k))
             .map(|(k, &v)| (k.clone(), Value::UInt(v)))
             .collect();
         let gauges = self
             .gauges
             .iter()
+            .filter(|(k, _)| keep(k))
             .map(|(k, &v)| (k.clone(), Value::Int(v)))
             .collect();
         let histograms = self
             .histograms
             .iter()
+            .filter(|(k, _)| keep(k))
             .map(|(k, h)| (k.clone(), h.to_value()))
             .collect();
         Value::Map(vec![
@@ -309,8 +336,9 @@ impl MetricsRegistry {
         ])
     }
 
-    /// Canonical JSON snapshot: sorted keys, stable formatting. Two
-    /// snapshots of the same deterministic run compare byte-equal.
+    /// Canonical JSON snapshot: sorted keys, stable formatting, `local.*`
+    /// excluded. Two snapshots of the same deterministic run compare
+    /// byte-equal — with no text filtering needed downstream.
     pub fn snapshot_json(&self) -> String {
         let mut s = self.snapshot_value().to_json_string_pretty();
         s.push('\n');
@@ -427,6 +455,42 @@ mod tests {
         rc.observe("lat", 3);
         ra.merge(&rc).expect("matching layout merges");
         assert_eq!(ra.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn local_namespace_excluded_from_canonical_snapshot() {
+        let mut r = MetricsRegistry::new();
+        r.inc("engine.events", 10);
+        r.inc("local.checkpoint.restores", 1);
+        r.set_gauge("local.wall_ms", 1234);
+        r.declare_histogram("local.lat", &[5]);
+        r.observe("local.lat", 3);
+        // Readable through accessors…
+        assert_eq!(r.counter("local.checkpoint.restores"), 1);
+        assert_eq!(r.gauge("local.wall_ms"), Some(1234));
+        assert!(r.histogram("local.lat").is_some());
+        // …but absent from the canonical snapshot.
+        let canon = r.snapshot_json();
+        assert!(!canon.contains("local."), "local.* leaked: {canon}");
+        assert!(canon.contains("engine.events"));
+        // The full snapshot keeps them, for debugging.
+        let full = r.snapshot_value_full().to_json_string_pretty();
+        assert!(full.contains("local.checkpoint.restores"));
+        assert!(full.contains("local.wall_ms"));
+        assert!(full.contains("local.lat"));
+    }
+
+    #[test]
+    fn local_metrics_do_not_break_snapshot_identity() {
+        // Two runs differing only in local.* metrics — e.g. one resumed
+        // from a checkpoint, one not — produce identical canonical
+        // snapshots with no text filtering.
+        let mut a = MetricsRegistry::new();
+        a.inc("run.completed", 1);
+        let mut b = MetricsRegistry::new();
+        b.inc("run.completed", 1);
+        b.inc("local.checkpoint.restores", 2);
+        assert_eq!(a.snapshot_json(), b.snapshot_json());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   mechanism ablation, and the duty-cycle sensitivity sweep;
 //! * [`illustrations`] — the Figure 1 overlap measurement and Figure 2
 //!   BSP phase breakdown;
+//! * [`multi_job`] — the batch-layer sweep: one job stream under several
+//!   `pa-jobs` placement policies, compared on makespan/wait/utilization;
 //! * [`overlap`] / [`audit`] — the underlying trace analyses.
 
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@ pub mod ale3d;
 pub mod audit;
 pub mod figures;
 pub mod illustrations;
+pub mod multi_job;
 pub mod overlap;
 pub mod tables;
 
@@ -35,6 +38,10 @@ pub use figures::{
     Fig6Result, ScalePoint, ScalingConfig,
 };
 pub use illustrations::{fig1, fig2, BspRankRow, Fig1Result};
+pub use multi_job::{
+    batch_point, batch_scenario, multi_job_runner, policy_comparison, run_batch_point, BatchScale,
+    PolicyRow,
+};
 pub use overlap::{green_fraction, red_touch_fraction};
 pub use tables::{
     duty_cycle_sweep, run_ale3d, tab_15v16, tab_ablation, tab_ale3d, tab_ale3d_io, tab_timer,
