@@ -232,16 +232,31 @@ fn main() {
         ),
         ("mode".into(), Value::Str(format!("{:?}", args.mode))),
     ]);
-    let path = args
-        .metrics_out
-        .clone()
-        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_engine.json"));
+    // The canonical copy lives under `results/` with the other bench
+    // artifacts so the trajectory accumulates; a repo-root copy stays for
+    // tools that expect the historical location. `--metrics-out` overrides
+    // both with a single explicit path.
     let body = doc.to_json_string_pretty() + "\n";
-    if let Err(e) = std::fs::write(&path, body) {
-        eprintln!("error: cannot write {}: {e}", path.display());
-        std::process::exit(1);
+    let paths: Vec<std::path::PathBuf> = match args.metrics_out.clone() {
+        Some(p) => vec![p],
+        None => {
+            if let Err(e) = std::fs::create_dir_all("results") {
+                eprintln!("error: cannot create results/: {e}");
+                std::process::exit(1);
+            }
+            vec![
+                std::path::PathBuf::from("results/BENCH_engine.json"),
+                std::path::PathBuf::from("BENCH_engine.json"),
+            ]
+        }
+    };
+    for path in &paths {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("engine baseline written to {}", path.display());
     }
-    println!("engine baseline written to {}", path.display());
     if overhead > threshold {
         eprintln!(
             "error: observability overhead {:.2}% exceeds {:.0}%",

@@ -4,11 +4,11 @@
 //! predicts.
 
 use pa_bench::{
-    banner, campaign_registry, emit, no_trace_source, require_complete, scale_sweep, write_metrics,
-    Args, Mode,
+    banner, campaign_registry, emit, no_trace_source, require_complete, scale_sweep, write_blame,
+    write_metrics, Args, Mode,
 };
 use pa_simkit::{report, Table};
-use pa_workloads::{run_scaling_campaign, ScalingConfig};
+use pa_workloads::{campaign_blame_totals, run_blame_point, run_scaling_campaign, ScalingConfig};
 
 fn main() {
     let args = Args::parse();
@@ -19,6 +19,18 @@ fn main() {
     let cfg = scale_sweep(ScalingConfig::fig3(args.mode == Mode::Quick), &args);
     let (points, outcome) = require_complete(run_scaling_campaign(&cfg, &args.campaign("fig3")));
     write_metrics(&args, &campaign_registry("fig3", &outcome));
+    if args.blame_out.is_some() {
+        // One representative point re-runs fresh with full collective
+        // capture (critical path needs per-op samples); the sweep's
+        // cached category sums merge alongside it.
+        let report = pa_blame::BlameReport {
+            title: "fig3".into(),
+            runs: vec![run_blame_point(&cfg, "fig3")],
+            campaigns: vec![campaign_blame_totals("fig3", &outcome.results)],
+            ..pa_blame::BlameReport::default()
+        };
+        write_blame(&args, &report);
+    }
     no_trace_source(&args, "fig3");
     emit(args.json, &points, || {
         let mut t = Table::new(

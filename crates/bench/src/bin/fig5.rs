@@ -3,11 +3,11 @@
 //! smaller variability than Figure 3.
 
 use pa_bench::{
-    banner, campaign_registry, emit, no_trace_source, require_complete, scale_sweep, write_metrics,
-    Args, Mode,
+    banner, campaign_registry, emit, no_trace_source, require_complete, scale_sweep, write_blame,
+    write_metrics, Args, Mode,
 };
 use pa_simkit::{report, Table};
-use pa_workloads::{run_scaling_campaign, ScalingConfig};
+use pa_workloads::{campaign_blame_totals, run_blame_point, run_scaling_campaign, ScalingConfig};
 
 fn main() {
     let args = Args::parse();
@@ -18,6 +18,15 @@ fn main() {
     let cfg = scale_sweep(ScalingConfig::fig5(args.mode == Mode::Quick), &args);
     let (points, outcome) = require_complete(run_scaling_campaign(&cfg, &args.campaign("fig5")));
     write_metrics(&args, &campaign_registry("fig5", &outcome));
+    if args.blame_out.is_some() {
+        let report = pa_blame::BlameReport {
+            title: "fig5".into(),
+            runs: vec![run_blame_point(&cfg, "fig5")],
+            campaigns: vec![campaign_blame_totals("fig5", &outcome.results)],
+            ..pa_blame::BlameReport::default()
+        };
+        write_blame(&args, &report);
+    }
     no_trace_source(&args, "fig5");
     emit(args.json, &points, || {
         let mut t = Table::new(

@@ -3,11 +3,13 @@
 //! 300% on synchronizing collectives").
 
 use pa_bench::{
-    banner, campaign_registry, emit, no_trace_source, require_complete, scale_sweep, write_metrics,
-    Args, Mode,
+    banner, campaign_registry, emit, no_trace_source, require_complete, scale_sweep, write_blame,
+    write_metrics, Args, Mode,
 };
 use pa_simkit::report;
-use pa_workloads::{fig6, run_scaling_campaign, ScalingConfig};
+use pa_workloads::{
+    campaign_blame_totals, fig6, run_blame_point, run_scaling_campaign, ScalingConfig,
+};
 
 fn main() {
     let args = Args::parse();
@@ -26,6 +28,23 @@ fn main() {
     reg.merge(&campaign_registry("fig6.prototype", &pout))
         .expect("fig6 registries share histogram layouts");
     write_metrics(&args, &reg);
+    if args.blame_out.is_some() {
+        // Side-by-side sections: where vanilla loses its time vs. where
+        // the prototype spends it — the mechanism behind the slope ratio.
+        let report = pa_blame::BlameReport {
+            title: "fig6".into(),
+            runs: vec![
+                run_blame_point(&vcfg, "vanilla"),
+                run_blame_point(&pcfg, "prototype"),
+            ],
+            campaigns: vec![
+                campaign_blame_totals("vanilla", &vout.results),
+                campaign_blame_totals("prototype", &pout.results),
+            ],
+            ..pa_blame::BlameReport::default()
+        };
+        write_blame(&args, &report);
+    }
     no_trace_source(&args, "fig6");
     emit(args.json, &result, || {
         println!(

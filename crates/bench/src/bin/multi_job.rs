@@ -8,7 +8,7 @@
 //! are compared under the interference the paper measures. Output is
 //! bit-identical at any `--sim-threads` and `--jobs`.
 
-use pa_bench::{banner, emit, write_metrics, write_trace, Args};
+use pa_bench::{banner, emit, write_blame, write_metrics, write_trace, Args};
 use pa_jobs::PolicyKind;
 use pa_noise::NoiseProfile;
 use pa_simkit::{report, Table};
@@ -64,7 +64,7 @@ fn main() {
         }
         print!("{}", t.render());
     });
-    if args.metrics_out.is_some() || args.trace_out.is_some() {
+    if args.metrics_out.is_some() || args.trace_out.is_some() || args.blame_out.is_some() {
         // Re-run the first policy fresh to keep its full observability
         // output (the cache holds scalars only). Deterministic, so this
         // matches what the campaign measured.
@@ -78,5 +78,27 @@ fn main() {
         let out = run_batch_point(&spec);
         write_metrics(&args, &out.metrics);
         write_trace(&args, &out.spans);
+        if args.blame_out.is_some() {
+            // Per-job sections from the fresh run, plus its fold as a
+            // one-point campaign total for uniformity with the figures.
+            let mut cats = pa_blame::Categories::default();
+            let mut wall = 0u64;
+            for jb in &out.blame {
+                cats.add(&jb.cats);
+                wall += jb.wall_ns;
+            }
+            let report = pa_blame::BlameReport {
+                title: "multi_job".into(),
+                jobs: out.blame.clone(),
+                campaigns: vec![pa_blame::CampaignTotals {
+                    label: format!("multi_job/{}", policies[0].name()),
+                    points: 1,
+                    wall_ns: wall,
+                    cats,
+                }],
+                ..pa_blame::BlameReport::default()
+            };
+            write_blame(&args, &report);
+        }
     }
 }

@@ -77,6 +77,11 @@ pub struct Args {
     /// Write a Chrome trace-event span timeline here (open in Perfetto
     /// or `chrome://tracing`).
     pub trace_out: Option<std::path::PathBuf>,
+    /// Write a wait-state blame report (canonical JSON) here. Scaling
+    /// sweeps re-run one representative point with full collective
+    /// capture for the critical path and merge the remaining points'
+    /// cached category sums.
+    pub blame_out: Option<std::path::PathBuf>,
     /// Batch placement policies to compare (`multi_job` only): names from
     /// `pa_jobs::PolicyKind::parse`, comma-separated. `None` = all.
     pub policies: Option<Vec<pa_jobs::PolicyKind>>,
@@ -97,6 +102,7 @@ impl Args {
             checkpoint_every: None,
             metrics_out: None,
             trace_out: None,
+            blame_out: None,
             policies: None,
         };
         let mut it = std::env::args().skip(1);
@@ -172,6 +178,13 @@ impl Args {
                             .unwrap_or_else(|| usage("--trace-out needs a path")),
                     );
                 }
+                "--blame-out" => {
+                    args.blame_out = Some(
+                        it.next()
+                            .map(std::path::PathBuf::from)
+                            .unwrap_or_else(|| usage("--blame-out needs a path")),
+                    );
+                }
                 "--policies" => {
                     let v = it.next().unwrap_or_else(|| {
                         usage("--policies needs a comma-separated list (e.g. fcfs,backfill)")
@@ -244,7 +257,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <bin> [--quick|--full] [--json] [--seed N] [--jobs N] [--sim-threads N] \
          [--no-cache] [--rerun] [--link-bandwidth B|unlimited] [--checkpoint-every DUR] \
-         [--metrics-out PATH] [--trace-out PATH] [--policies LIST]"
+         [--metrics-out PATH] [--trace-out PATH] [--blame-out PATH] [--policies LIST]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -276,6 +289,24 @@ pub fn write_trace(args: &Args, timeline: &pa_obs::SpanTimeline) {
             timeline.len(),
             path.display()
         );
+    }
+}
+
+/// Write the blame report if `--blame-out` was given: canonical JSON to
+/// the file (byte-identical at any `--sim-threads`/`--jobs`) and the
+/// human-readable tables to stderr, so stdout stays byte-stable for the
+/// figure output itself.
+pub fn write_blame(args: &Args, report: &pa_blame::BlameReport) {
+    if let Some(path) = &args.blame_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!(
+                "error: cannot write blame report to {}: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+        eprint!("{}", report.render());
+        eprintln!("blame report written to {}", path.display());
     }
 }
 

@@ -24,7 +24,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// v5: `PointSpec` gained the `policy` field for multi-job batch points;
 /// v4 entries (which lack it) must read as misses, never as results for
 /// a policy-bearing spec.
-pub const CACHE_SCHEMA_VERSION: u32 = 5;
+/// v6: `PointResult.extra` gained the `blame.*` wait-state category sums
+/// (and the kernel's wait-state accounting changed what a run records);
+/// v5 entries lack them and must not satisfy blame-merging campaigns.
+pub const CACHE_SCHEMA_VERSION: u32 = 6;
 
 /// Whether a point was served from disk or freshly simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +64,17 @@ impl PointResult {
         // counts; f64 is lossless far beyond any realistic run.
         extra.insert("fabric.link_waits".into(), out.sim.link_waits() as f64);
         extra.insert("fabric.link_wait_ns".into(), out.sim.link_wait_ns() as f64);
+        // Wait-state category sums (ns over all ranks). Exact u64/i64
+        // counts; f64 is lossless far beyond any realistic run. Cached so
+        // campaign blame totals merge without re-running points.
+        let cats = pa_core::blame_totals(out);
+        extra.insert("blame.compute_ns".into(), cats.compute_ns as f64);
+        extra.insert("blame.coll_wait_ns".into(), cats.coll_wait_ns as f64);
+        extra.insert("blame.runq_wait_ns".into(), cats.runq_wait_ns as f64);
+        extra.insert("blame.noise_ns".into(), cats.noise_ns as f64);
+        extra.insert("blame.io_wait_ns".into(), cats.io_wait_ns as f64);
+        extra.insert("blame.overhead_ns".into(), cats.overhead_ns as f64);
+        extra.insert("blame.wall_ns".into(), cats.total_ns() as f64);
         PointResult {
             mean_allreduce_us: out.mean_allreduce_us(),
             wall_s: out.wall.as_secs_f64(),

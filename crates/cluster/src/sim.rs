@@ -390,7 +390,10 @@ pub const CHECKPOINT_FORMAT: &str = "pa-cluster-checkpoint";
 
 /// Checkpoint format version. Bump on any change to the snapshot schema;
 /// restore rejects mismatches instead of guessing.
-pub const CHECKPOINT_VERSION: u64 = 1;
+///
+/// v2: per-thread wait-state accounting fields in `ThreadSnap`, the
+/// rank program's compute counters, and the recorder's record-all flag.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// Whole-cluster checkpoint state (everything the engine mutates).
 #[derive(Debug, Serialize, Deserialize)]
@@ -710,6 +713,15 @@ impl ClusterSim {
     /// Total link queueing delay across all messages, nanoseconds.
     pub fn link_wait_ns(&self) -> u64 {
         self.shards.iter().map(|s| s.link_wait_ns).sum()
+    }
+
+    /// One node's link contention: `(delayed messages, total queueing
+    /// delay ns)` charged at that node's shard — its egress waits plus
+    /// the ingress waits of messages arriving there. The per-node blame
+    /// ranking reads this.
+    pub fn link_wait_of(&self, node: u32) -> (u64, u64) {
+        let sh = &self.shards[node as usize];
+        (sh.link_waits, sh.link_wait_ns)
     }
 
     /// Link queueing-delay histogram, merged across shards; buckets are

@@ -91,6 +91,8 @@ pub struct Experiment {
     pub trace_nodes: Vec<u32>,
     /// Node whose ranks get full per-call series (Figure-4 style).
     pub watch_node: Option<u32>,
+    /// Record full per-call series for *every* rank (blame capture).
+    pub record_all_ranks: bool,
     /// Trace ring capacity per node.
     pub trace_capacity: usize,
     /// Give-up horizon.
@@ -127,6 +129,7 @@ impl Experiment {
             fabric: FabricModel::default(),
             trace_nodes: Vec::new(),
             watch_node: None,
+            record_all_ranks: false,
             trace_capacity: 1 << 18,
             horizon: SimDur::from_secs(3_600),
             sim_threads: crate::default_sim_threads(),
@@ -195,6 +198,15 @@ impl Experiment {
     /// Record full per-call series for one node's ranks.
     pub fn with_watch_node(mut self, node: u32) -> Self {
         self.watch_node = Some(node);
+        self
+    }
+
+    /// Record full per-call series for every rank, as
+    /// [`crate::observe::blame_of`]'s critical-path extraction needs.
+    /// Memory grows with ranks × collectives, so this is for
+    /// representative blame runs, not whole campaigns.
+    pub fn with_record_all_ranks(mut self) -> Self {
+        self.record_all_ranks = true;
         self
     }
 
@@ -297,6 +309,9 @@ impl Experiment {
         if let Some(node) = self.watch_node {
             let ranks = job.layout.read().unwrap().ranks_on(node);
             job.recorder.lock().unwrap().watch_ranks(&ranks);
+        }
+        if self.record_all_ranks {
+            job.recorder.lock().unwrap().record_all_ranks();
         }
 
         sim.boot();

@@ -30,7 +30,10 @@ pub mod schedtune;
 pub use admin::{AdminTable, PriorityGrant, PriorityRecord};
 pub use cosched::{CoschedDaemon, CoschedParams};
 pub use experiment::{CoschedSetup, Experiment, RunOutput};
-pub use observe::{metrics_of, timeline_from_trace, timeline_of};
+pub use observe::{
+    blame_input_of, blame_of, blame_totals, categories_of, metrics_of, timeline_from_trace,
+    timeline_of,
+};
 pub use schedtune::{render as schedtune_render, schedtune};
 
 // The two kernels the paper compares, re-exported for discoverability.

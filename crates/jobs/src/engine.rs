@@ -26,6 +26,7 @@
 use crate::policy::{Launch, PolicyKind, QueuedJob, RunningJob, SchedView};
 use crate::spec::{JobRequest, MultiJobSpec};
 use crate::workload::ChunkWorkload;
+use pa_blame::{Categories, JobBlame};
 use pa_cluster::{ClusterSim, ClusterSpec, FabricModel};
 use pa_core::{CoschedDaemon, CoschedParams, SchedOptions};
 use pa_kernel::{Endpoint, Message, Prio, ThreadSpec, ThreadState};
@@ -130,6 +131,10 @@ pub struct JobsOutcome {
     pub metrics: MetricsRegistry,
     /// Per-job spans and instants for Perfetto.
     pub spans: SpanTimeline,
+    /// Per-job wall-time blame (submission order): the six-way category
+    /// decomposition summed over every rank thread the job ever ran,
+    /// chunks included, plus its queue wait. Canonical.
+    pub blame: Vec<JobBlame>,
 }
 
 impl JobsOutcome {
@@ -305,6 +310,12 @@ impl JobsEngine {
             })
             .collect();
         let mut active: Vec<Active> = Vec::new();
+        // Per-job blame accumulator: (categories, summed rank wall ns,
+        // rank-thread count), folded chunk by chunk as chunks retire —
+        // the handles are dropped then, so the accounts must be read at
+        // the same decision instant the completion is detected.
+        let mut job_acct: Vec<(Categories, u64, u32)> =
+            vec![(Categories::default(), 0, 0); recs.len()];
         let mut node_free = vec![true; spec.nodes as usize];
         let mut node_busy = vec![SimDur::ZERO; spec.nodes as usize];
         let mut next_arrival = 0usize; // index into recs, submission order
@@ -338,6 +349,7 @@ impl JobsEngine {
                     still.push(a);
                     continue;
                 }
+                fold_chunk_blame(&sim, &a.handles, t, &mut job_acct[a.job]);
                 for &n in &a.nodes {
                     node_busy[n as usize] += t.since(a.started);
                     node_free[n as usize] = true;
@@ -468,8 +480,10 @@ impl JobsEngine {
             sim.run_until(t);
         };
 
-        // Account partially-run chunks (horizon overrun) into busy time.
+        // Account partially-run chunks (horizon overrun) into busy time
+        // and blame (their accounts close at the final decision instant).
         for a in &active {
+            fold_chunk_blame(&sim, &a.handles, t, &mut job_acct[a.job]);
             for &n in &a.nodes {
                 node_busy[n as usize] += t.since(a.started);
             }
@@ -518,6 +532,18 @@ impl JobsEngine {
                 shrinks: r.shrinks,
             })
             .collect();
+        let blame = recs
+            .iter()
+            .enumerate()
+            .map(|(id, r)| JobBlame {
+                job: id as u32,
+                name: r.req.name.clone(),
+                queue_wait_ns: r.first_start.map_or(0, |s| s.since(r.submit).nanos()),
+                nranks: job_acct[id].2,
+                wall_ns: job_acct[id].1,
+                cats: job_acct[id].0,
+            })
+            .collect();
         JobsOutcome {
             policy: self.policy,
             jobs,
@@ -529,6 +555,7 @@ impl JobsEngine {
             events: sim.events_processed(),
             metrics,
             spans,
+            blame,
         }
     }
 
@@ -611,6 +638,31 @@ impl JobsEngine {
     }
 }
 
+/// Fold one chunk's rank-thread accounts into a job's blame
+/// accumulator. `end` closes any interval still open (a horizon cut);
+/// for retired chunks every thread has exited and `end` is inert. The
+/// wall identity per thread is exact, so the folded categories sum to
+/// the folded wall to the nanosecond.
+fn fold_chunk_blame(
+    sim: &ClusterSim,
+    handles: &Job,
+    end: SimTime,
+    acc: &mut (Categories, u64, u32),
+) {
+    for ep in &handles.rank_tids {
+        let kernel = sim.kernel(ep.node);
+        let a = kernel.thread_account(ep.tid, end);
+        let compute_ns = kernel
+            .thread_program_metrics(ep.tid)
+            .iter()
+            .find(|(name, _)| *name == "compute_ns")
+            .map_or(0, |&(_, v)| v);
+        acc.0.add(&pa_core::categories_of(&a, compute_ns));
+        acc.1 += a.wall.nanos();
+        acc.2 += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +698,25 @@ mod tests {
         assert_eq!(out.metrics.counter("jobs.completed"), 1);
         assert!(out.makespan > SimDur::ZERO);
         assert!(out.utilization > 0.0 && out.utilization <= 1.0);
+        // Blame: one job, every rank thread folded, exact category sum.
+        assert_eq!(out.blame.len(), 1);
+        let b = &out.blame[0];
+        assert_eq!(b.nranks, 2 * out.jobs[0].widths[0]);
+        assert_eq!(b.cats.total_ns(), b.wall_ns as i64, "exact sum per job");
+        assert!(b.cats.compute_ns > 0, "chunk compute must be charged");
+    }
+
+    #[test]
+    fn blame_covers_queued_and_multi_chunk_jobs() {
+        let spec = small_spec(vec![quick_job("a", 0, 4), quick_job("b", 0, 4)]);
+        let out = JobsEngine::new(spec, PolicyKind::FcfsFirstFit).run();
+        assert!(out.completed);
+        let b = &out.blame[1];
+        assert!(b.queue_wait_ns > 0, "queued job must show its wait");
+        for jb in &out.blame {
+            assert_eq!(jb.cats.total_ns(), jb.wall_ns as i64, "job {}", jb.job);
+            assert!(jb.wall_ns > 0);
+        }
     }
 
     #[test]

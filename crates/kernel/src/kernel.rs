@@ -173,6 +173,23 @@ enum Cont {
     IoIdle,
 }
 
+/// Why a thread entered [`ThreadState::Blocked`], latched at block time.
+///
+/// Latching matters: [`Kernel::on_deliver`] rewrites `cont` to
+/// `FinishRecv` *before* waking the sleeper, so the reason can no longer
+/// be inferred from the continuation at wake time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum BlockReason {
+    /// Not blocked (or reason already consumed by a wake).
+    None,
+    /// Blocked in `Recv { wait: Block }` — collective/message wait.
+    Msg,
+    /// Blocked on an I/O completion (or the I/O daemon idling).
+    Io,
+    /// Blocked in the callout queue (`SleepUntil`).
+    Sleep,
+}
+
 /// One thread's kernel-side state.
 struct ThreadSlot {
     name: String,
@@ -194,6 +211,26 @@ struct ThreadSlot {
     enqueued_at: SimTime,
     /// When the thread last started busy-polling on a CPU (spin stats).
     poll_since: SimTime,
+    // --- per-thread wait-state accounting (pa-blame substrate) ---
+    /// When the thread was spawned (accounting epoch).
+    spawned_at: SimTime,
+    /// Total closed ready-queue wait.
+    runq_wait: SimDur,
+    /// Total closed busy-poll spin (subset of `cpu_time`).
+    poll_spin: SimDur,
+    /// Device-interrupt time charged into this thread's segments as debt
+    /// (subset of `cpu_time` once the debt is served).
+    noise_debt: SimDur,
+    /// Total closed blocked time, split by the latched [`BlockReason`].
+    blk_msg: SimDur,
+    blk_io: SimDur,
+    blk_sleep: SimDur,
+    /// When the thread last entered [`ThreadState::Blocked`].
+    blocked_since: SimTime,
+    /// Why it is blocked (valid while state is Blocked).
+    block_reason: BlockReason,
+    /// When the thread exited; end of its accounting interval.
+    exited_at: Option<SimTime>,
 }
 
 /// One CPU's dispatcher state.
@@ -220,6 +257,44 @@ pub struct UsageRow {
     pub class: ThreadClass,
     /// Total on-CPU time.
     pub cpu_time: SimDur,
+}
+
+/// Exhaustive wall-time decomposition of one thread, produced by
+/// [`Kernel::thread_account`].
+///
+/// Invariant (exact, in integer nanoseconds): for any query time `end`
+/// at or after every event this kernel has handled,
+/// `wall == cpu + runq_wait + blocked_msg + blocked_io + blocked_sleep`.
+/// Every instant of the thread's life is in exactly one bucket: it is
+/// Running (cpu), Ready in a queue (runq_wait), or Blocked (one of the
+/// three latched reasons). `poll_spin` and `noise_debt` are *subsets* of
+/// `cpu`, not additional buckets: spinning happens on-CPU, and served
+/// interference debt extends on-CPU segments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadAccount {
+    /// Start of the accounting interval (spawn time).
+    pub spawned_at: SimTime,
+    /// End of the accounting interval (exit time, or the query time for
+    /// threads still live at a horizon cut).
+    pub end: SimTime,
+    /// `end - spawned_at`.
+    pub wall: SimDur,
+    /// On-CPU time, including busy-poll spin and served debt.
+    pub cpu: SimDur,
+    /// Ready-queue wait before dispatch.
+    pub runq_wait: SimDur,
+    /// Blocked waiting for a message (`Recv { wait: Block }`).
+    pub blocked_msg: SimDur,
+    /// Blocked on I/O completion (or the I/O daemon idling).
+    pub blocked_io: SimDur,
+    /// Blocked in the callout queue (`SleepUntil`).
+    pub blocked_sleep: SimDur,
+    /// Busy-poll spin; subset of `cpu`.
+    pub poll_spin: SimDur,
+    /// Device-interrupt debt charged into this thread's segments; subset
+    /// of `cpu` once served (a horizon cut can leave charged debt
+    /// unserved — consumers treat the compute residual as signed).
+    pub noise_debt: SimDur,
 }
 
 /// Display names of the runqueue-wait priority bands (see [`prio_band`]).
@@ -314,6 +389,16 @@ struct ThreadSnap {
     last_dispatch: SimTime,
     enqueued_at: SimTime,
     poll_since: SimTime,
+    spawned_at: SimTime,
+    runq_wait: SimDur,
+    poll_spin: SimDur,
+    noise_debt: SimDur,
+    blk_msg: SimDur,
+    blk_io: SimDur,
+    blk_sleep: SimDur,
+    blocked_since: SimTime,
+    block_reason: BlockReason,
+    exited_at: Option<SimTime>,
     mailbox: Vec<Message>,
     program: Value,
 }
@@ -578,6 +663,16 @@ impl Kernel {
             last_dispatch: SimTime::ZERO,
             enqueued_at: enq_at,
             poll_since: SimTime::ZERO,
+            spawned_at: enq_at,
+            runq_wait: SimDur::ZERO,
+            poll_spin: SimDur::ZERO,
+            noise_debt: SimDur::ZERO,
+            blk_msg: SimDur::ZERO,
+            blk_io: SimDur::ZERO,
+            blk_sleep: SimDur::ZERO,
+            blocked_since: SimTime::ZERO,
+            block_reason: BlockReason::None,
+            exited_at: None,
         });
         self.enqueue(tid, enq_at);
         (tid, home)
@@ -605,6 +700,16 @@ impl Kernel {
             last_dispatch: SimTime::ZERO,
             enqueued_at: SimTime::ZERO,
             poll_since: SimTime::ZERO,
+            spawned_at: SimTime::ZERO,
+            runq_wait: SimDur::ZERO,
+            poll_spin: SimDur::ZERO,
+            noise_debt: SimDur::ZERO,
+            blk_msg: SimDur::ZERO,
+            blk_io: SimDur::ZERO,
+            blk_sleep: SimDur::ZERO,
+            blocked_since: SimTime::ZERO,
+            block_reason: BlockReason::None,
+            exited_at: Some(SimTime::ZERO),
         });
         self.interrupt_sources.push(InterruptSource { spec, itid });
         itid
@@ -662,6 +767,61 @@ impl Kernel {
     /// Accumulated on-CPU time of a thread (updated when it leaves a CPU).
     pub fn thread_cpu_time(&self, tid: Tid) -> SimDur {
         self.threads[tid.0 as usize].cpu_time
+    }
+
+    /// Exhaustive wall-time decomposition of a thread at query time
+    /// `end`, which must be at or after every event this kernel has
+    /// handled (the cluster driver's final time qualifies). Open
+    /// intervals — a thread still running, queued, or blocked at a
+    /// horizon cut — are closed against `end` by its current state, so
+    /// the [`ThreadAccount`] sum invariant holds mid-run too.
+    pub fn thread_account(&self, tid: Tid, end: SimTime) -> ThreadAccount {
+        let t = &self.threads[tid.0 as usize];
+        let mut acc = ThreadAccount {
+            spawned_at: t.spawned_at,
+            end,
+            wall: SimDur::ZERO,
+            cpu: t.cpu_time,
+            runq_wait: t.runq_wait,
+            blocked_msg: t.blk_msg,
+            blocked_io: t.blk_io,
+            blocked_sleep: t.blk_sleep,
+            poll_spin: t.poll_spin,
+            noise_debt: t.noise_debt,
+        };
+        match t.state {
+            ThreadState::Running => {
+                acc.cpu += end.since(t.last_dispatch);
+                if matches!(t.cont, Cont::PollWait { .. }) {
+                    acc.poll_spin += end.since(t.poll_since);
+                }
+            }
+            ThreadState::Ready => acc.runq_wait += end.since(t.enqueued_at),
+            ThreadState::Blocked => {
+                let open = end.since(t.blocked_since);
+                match t.block_reason {
+                    BlockReason::Msg => acc.blocked_msg += open,
+                    BlockReason::Io => acc.blocked_io += open,
+                    BlockReason::Sleep => acc.blocked_sleep += open,
+                    BlockReason::None => {
+                        debug_assert!(false, "blocked thread without a latched reason")
+                    }
+                }
+            }
+            ThreadState::Exited => acc.end = t.exited_at.unwrap_or(t.spawned_at),
+        }
+        acc.wall = acc.end.since(acc.spawned_at);
+        acc
+    }
+
+    /// Deterministic counters of one thread's program (empty for
+    /// programless pseudo-threads). Exited threads keep their programs,
+    /// so final counters stay readable.
+    pub fn thread_program_metrics(&self, tid: Tid) -> Vec<(&'static str, u64)> {
+        self.threads[tid.0 as usize]
+            .program
+            .as_ref()
+            .map_or_else(Vec::new, |p| p.metrics())
     }
 
     /// Per-thread usage rows (for the overhead audit experiment).
@@ -819,6 +979,7 @@ impl Kernel {
             slot.in_msg = Some(m);
             slot.cont = Cont::FinishRecv;
             slot.remaining = recv_cost;
+            slot.poll_spin += spin;
             self.stats.poll_spin_ns += spin.nanos();
             self.start_segment(cpu, tid, now, fx);
         }
@@ -890,6 +1051,10 @@ impl Kernel {
             self.trace.emit(now, cpu.0, HookId::Undispatch, tid.0, 0);
             if self.cpus[ci].seg_end.is_some() {
                 self.cpus[ci].debt += dur;
+                // Noise attribution: device interrupts are the
+                // profile-injected interference; tick/IPI steal is kernel
+                // overhead and stays in the unattributed cpu residual.
+                self.threads[tid.0 as usize].noise_debt += dur;
             }
         }
         self.trace.emit(now, cpu.0, HookId::Dispatch, itid.0, 0);
@@ -991,13 +1156,15 @@ impl Kernel {
         self.cpus[ci].debt = SimDur::ZERO;
         self.cpus[ci].slice_start = now;
         self.trace.emit(now, cpu.0, HookId::Dispatch, tid.0, 0);
-        {
-            let slot = &self.threads[tid.0 as usize];
-            let band = prio_band(slot.prio);
-            self.stats.dispatches += 1;
-            self.stats.runq_wait_ns[band] += now.since(slot.enqueued_at).nanos();
-            self.stats.runq_waits[band] += 1;
-        }
+        let (band, waited) = {
+            let slot = &mut self.threads[tid.0 as usize];
+            let waited = now.since(slot.enqueued_at);
+            slot.runq_wait += waited;
+            (prio_band(slot.prio), waited)
+        };
+        self.stats.dispatches += 1;
+        self.stats.runq_wait_ns[band] += waited.nanos();
+        self.stats.runq_waits[band] += 1;
 
         enum Next {
             Segment,
@@ -1243,6 +1410,7 @@ impl Kernel {
                         let slot = &mut self.threads[tid.0 as usize];
                         slot.state = ThreadState::Exited;
                         slot.cpu_time += now.since(last);
+                        slot.exited_at = Some(now);
                     }
                     if class == ThreadClass::App {
                         self.app_alive -= 1;
@@ -1273,6 +1441,7 @@ impl Kernel {
             // Poll-waiter: its on-CPU time so far was pure spinning.
             if matches!(slot.cont, Cont::PollWait { .. }) {
                 spin = now.since(slot.poll_since);
+                slot.poll_spin += spin;
             }
             slot.remaining = SimDur::ZERO;
         }
@@ -1299,6 +1468,19 @@ impl Kernel {
         let slot = &mut self.threads[tid.0 as usize];
         slot.state = ThreadState::Blocked;
         slot.cpu_time += now.since(slot.last_dispatch);
+        slot.blocked_since = now;
+        // Latch the reason now: `on_deliver` rewrites `cont` before the
+        // wake, so it cannot be recovered later.
+        slot.block_reason = match slot.cont {
+            Cont::BlockedRecv { .. } => BlockReason::Msg,
+            Cont::Sleeping => BlockReason::Sleep,
+            Cont::IoWait | Cont::IoIdle => BlockReason::Io,
+            _ => BlockReason::None,
+        };
+        debug_assert!(
+            slot.block_reason != BlockReason::None,
+            "block_current with a runnable continuation"
+        );
         self.trace.emit(now, cpu.0, HookId::Undispatch, tid.0, 0);
         self.dispatch_next(cpu, now, fx);
     }
@@ -1313,6 +1495,14 @@ impl Kernel {
             if matches!(slot.cont, Cont::Sleeping) {
                 slot.cont = Cont::Step;
             }
+            let blocked = now.since(slot.blocked_since);
+            match slot.block_reason {
+                BlockReason::Msg => slot.blk_msg += blocked,
+                BlockReason::Io => slot.blk_io += blocked,
+                BlockReason::Sleep => slot.blk_sleep += blocked,
+                BlockReason::None => {}
+            }
+            slot.block_reason = BlockReason::None;
             slot.state = ThreadState::Ready;
         }
         self.enqueue(tid, now);
@@ -1445,7 +1635,14 @@ impl Kernel {
         match self.threads[target.0 as usize].state {
             ThreadState::Ready => {
                 // Re-key in its queue, then re-run placement (forward
-                // preemption if it now beats a runner).
+                // preemption if it now beats a runner). Bank the ready
+                // time waited so far first — `enqueue` restamps
+                // `enqueued_at`, and the wait-state identity must not
+                // lose the interval spent under the old key.
+                {
+                    let slot = &mut self.threads[target.0 as usize];
+                    slot.runq_wait += now.since(slot.enqueued_at);
+                }
                 self.dequeue(target);
                 self.enqueue(target, now);
                 self.place(target, now, fx);
@@ -1521,6 +1718,16 @@ impl Kernel {
                     last_dispatch: t.last_dispatch,
                     enqueued_at: t.enqueued_at,
                     poll_since: t.poll_since,
+                    spawned_at: t.spawned_at,
+                    runq_wait: t.runq_wait,
+                    poll_spin: t.poll_spin,
+                    noise_debt: t.noise_debt,
+                    blk_msg: t.blk_msg,
+                    blk_io: t.blk_io,
+                    blk_sleep: t.blk_sleep,
+                    blocked_since: t.blocked_since,
+                    block_reason: t.block_reason,
+                    exited_at: t.exited_at,
                     mailbox: t.mailbox.snapshot(),
                     program: t
                         .program
@@ -1626,6 +1833,16 @@ impl Kernel {
             slot.last_dispatch = ts.last_dispatch;
             slot.enqueued_at = ts.enqueued_at;
             slot.poll_since = ts.poll_since;
+            slot.spawned_at = ts.spawned_at;
+            slot.runq_wait = ts.runq_wait;
+            slot.poll_spin = ts.poll_spin;
+            slot.noise_debt = ts.noise_debt;
+            slot.blk_msg = ts.blk_msg;
+            slot.blk_io = ts.blk_io;
+            slot.blk_sleep = ts.blk_sleep;
+            slot.blocked_since = ts.blocked_since;
+            slot.block_reason = ts.block_reason;
+            slot.exited_at = ts.exited_at;
             slot.mailbox.restore(ts.mailbox.clone());
             if let Some(p) = slot.program.as_mut() {
                 p.restore_state(&ts.program)

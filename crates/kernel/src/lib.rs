@@ -39,8 +39,8 @@ pub use clock::ClockModel;
 pub use interrupts::InterruptSourceSpec;
 pub use io::{IoRequest, IoServiceModel};
 pub use kernel::{
-    prio_band, Effects, Kernel, KernelEvent, KernelSnapshot, KernelStats, ThreadSpec, UsageRow,
-    RUNQ_BANDS,
+    prio_band, Effects, Kernel, KernelEvent, KernelSnapshot, KernelStats, ThreadAccount,
+    ThreadSpec, UsageRow, RUNQ_BANDS,
 };
 pub use msg::{Endpoint, Mailbox, Message, SrcSel, TagSel};
 pub use options::{CostModel, SchedOptions};

@@ -150,6 +150,8 @@ struct RankSnap {
     registered: bool,
     next_seq: u64,
     next_io: u64,
+    compute_ns: u64,
+    pending_compute: SimDur,
     cur: Option<(OpKind, u64, SimTime)>,
     queue: Vec<Action>,
     workload: Value,
@@ -172,6 +174,15 @@ pub struct RankProgram {
     /// collective (a single plot-writing rank must not desynchronize its
     /// collective tags from everyone else's).
     next_io: u64,
+    /// Useful application compute completed, ns. Charged when the *next*
+    /// step arrives (the kernel steps again only after the segment is
+    /// fully served), so a horizon cut never counts a half-served
+    /// segment. Collective-internal reduce costs are excluded: they are
+    /// protocol overhead, not workload compute.
+    compute_ns: u64,
+    /// The workload Compute issued by the last step, not yet confirmed
+    /// complete.
+    pending_compute: SimDur,
     cur: Option<CurOp>,
     queue: VecDeque<Action>,
     sched_cache: HashMap<OpKind, Vec<CollStep>>,
@@ -198,6 +209,8 @@ impl RankProgram {
             registered: false,
             next_seq: 0,
             next_io: 0,
+            compute_ns: 0,
+            pending_compute: SimDur::ZERO,
             cur: None,
             queue: VecDeque::new(),
             sched_cache: HashMap::new(),
@@ -332,6 +345,10 @@ impl RankProgram {
 
 impl Program for RankProgram {
     fn step(&mut self, ctx: &mut StepCtx<'_>) -> Action {
+        // Being stepped again means the previously issued workload
+        // Compute (if any) was served to completion.
+        let done = core::mem::take(&mut self.pending_compute);
+        self.compute_ns += done.nanos();
         // MPI init: report our pid to the co-scheduler's control pipe.
         if !self.registered {
             self.registered = true;
@@ -354,7 +371,10 @@ impl Program for RankProgram {
                     .record(self.rank, cur.seq, cur.kind, cur.start, ctx.now);
             }
             match self.workload.next_op(self.rank, self.nranks) {
-                MpiOp::Compute(d) => return Action::Compute(d),
+                MpiOp::Compute(d) => {
+                    self.pending_compute = d;
+                    return Action::Compute(d);
+                }
                 MpiOp::Allreduce { bytes } => self.begin_collective(OpKind::Allreduce, bytes, ctx),
                 MpiOp::Barrier => self.begin_collective(OpKind::Barrier, 8, ctx),
                 MpiOp::Allgather { bytes } => self.begin_collective(OpKind::Allgather, bytes, ctx),
@@ -420,7 +440,11 @@ impl Program for RankProgram {
     }
 
     fn metrics(&self) -> Vec<(&'static str, u64)> {
-        vec![("collectives", self.next_seq), ("io_ops", self.next_io)]
+        vec![
+            ("collectives", self.next_seq),
+            ("io_ops", self.next_io),
+            ("compute_ns", self.compute_ns),
+        ]
     }
 
     fn snapshot_state(&self) -> Value {
@@ -428,6 +452,8 @@ impl Program for RankProgram {
             registered: self.registered,
             next_seq: self.next_seq,
             next_io: self.next_io,
+            compute_ns: self.compute_ns,
+            pending_compute: self.pending_compute,
             cur: self.cur.as_ref().map(|c| (c.kind, c.seq, c.start)),
             queue: self.queue.iter().cloned().collect(),
             workload: self.workload.snapshot_state(),
@@ -440,6 +466,8 @@ impl Program for RankProgram {
         self.registered = snap.registered;
         self.next_seq = snap.next_seq;
         self.next_io = snap.next_io;
+        self.compute_ns = snap.compute_ns;
+        self.pending_compute = snap.pending_compute;
         self.cur = snap
             .cur
             .map(|(kind, seq, start)| CurOp { kind, seq, start });

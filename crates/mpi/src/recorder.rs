@@ -95,6 +95,10 @@ pub struct RunRecorder {
     ops: HashMap<u64, OpAgg>,
     watch: Vec<u32>,
     detailed: HashMap<u32, Vec<OpSample>>,
+    /// Keep per-call samples for *every* rank (critical-path analysis).
+    /// Off by default: a 1936-rank sweep would hold gigabytes; blame
+    /// analysis re-runs one representative point with this on.
+    record_all: bool,
 }
 
 /// Shared handle to a [`RunRecorder`].
@@ -120,6 +124,17 @@ impl RunRecorder {
         }
     }
 
+    /// Keep full per-call series for every rank that records (the
+    /// critical-path input). Memory-heavy; see the field note.
+    pub fn record_all_ranks(&mut self) {
+        self.record_all = true;
+    }
+
+    /// Is every-rank sample capture on?
+    pub fn records_all_ranks(&self) -> bool {
+        self.record_all
+    }
+
     /// Record one rank's completion of one operation.
     pub fn record(&mut self, rank: u32, seq: u64, kind: OpKind, start: SimTime, end: SimTime) {
         debug_assert!(end >= start, "operation ended before it started");
@@ -135,13 +150,16 @@ impl RunRecorder {
         agg.last_end = agg.last_end.max(end);
         agg.completions += 1;
         agg.sum_rank_dur_ns += (end - start).nanos();
-        if let Some(v) = self.detailed.get_mut(&rank) {
-            v.push(OpSample {
-                seq,
-                kind,
-                start,
-                end,
-            });
+        let sample = OpSample {
+            seq,
+            kind,
+            start,
+            end,
+        };
+        if self.record_all {
+            self.detailed.entry(rank).or_default().push(sample);
+        } else if let Some(v) = self.detailed.get_mut(&rank) {
+            v.push(sample);
         }
     }
 
@@ -214,16 +232,17 @@ impl RunRecorder {
             })
             .collect();
         detailed.sort_by_key(|(r, _)| *r);
-        (ops, self.watch.clone(), detailed).to_value()
+        (ops, self.watch.clone(), detailed, self.record_all).to_value()
     }
 
     /// Replace this recorder's state with a checkpointed snapshot.
     pub fn restore_value(&mut self, state: &Value) -> Result<(), serde::Error> {
-        type Snap = (Vec<(u64, OpAgg)>, Vec<u32>, Vec<(u32, Vec<OpSample>)>);
-        let (ops, watch, detailed): Snap = Deserialize::from_value(state)?;
+        type Snap = (Vec<(u64, OpAgg)>, Vec<u32>, Vec<(u32, Vec<OpSample>)>, bool);
+        let (ops, watch, detailed, record_all): Snap = Deserialize::from_value(state)?;
         self.ops = ops.into_iter().collect();
         self.watch = watch;
         self.detailed = detailed.into_iter().collect();
+        self.record_all = record_all;
         Ok(())
     }
 

@@ -150,6 +150,27 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Deterministic quantile estimate from the bucket counts: the upper
+    /// edge of the bucket holding the `ceil(q·count)`-th observation (the
+    /// recorded maximum for the overflow bucket, which has no edge).
+    /// `None` when empty. `q` is clamped to `(0, 1]`; being bucket-based,
+    /// the estimate depends only on the counts, never on float summation
+    /// order, so exports stay byte-identical.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.edges.get(i).copied().unwrap_or(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Fold another histogram in. Rejected with a [`MergeError`] when the
     /// bucket layouts differ — merging histograms with different edges
     /// would silently misbin counts.
@@ -185,6 +206,9 @@ impl Histogram {
             ("sum".into(), Value::UInt(self.sum)),
             ("min".into(), Value::UInt(self.min().unwrap_or(0))),
             ("max".into(), Value::UInt(self.max().unwrap_or(0))),
+            ("p50".into(), Value::UInt(self.quantile(0.50).unwrap_or(0))),
+            ("p95".into(), Value::UInt(self.quantile(0.95).unwrap_or(0))),
+            ("p99".into(), Value::UInt(self.quantile(0.99).unwrap_or(0))),
         ])
     }
 }
@@ -395,6 +419,28 @@ mod tests {
             single.record(200);
         }
         assert_eq!(bulk, single);
+    }
+
+    #[test]
+    fn quantiles_follow_bucket_edges() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..90 {
+            h.record(5); // ≤10 bucket
+        }
+        for _ in 0..9 {
+            h.record(50); // ≤100 bucket
+        }
+        h.record(5000); // overflow
+        assert_eq!(h.quantile(0.50), Some(10));
+        assert_eq!(h.quantile(0.95), Some(100));
+        // The 100th observation lands in the overflow bucket, which has
+        // no edge — the recorded max stands in.
+        assert_eq!(h.quantile(1.0), Some(5000));
+        assert_eq!(h.quantile(0.99), Some(100));
+        let v = h.to_value().to_json_string_pretty();
+        assert!(v.contains("\"p50\""), "export must carry quantiles: {v}");
+        assert!(v.contains("\"p95\"") && v.contains("\"p99\""));
     }
 
     #[test]

@@ -135,8 +135,32 @@ impl SpanTimeline {
         for (&pid, name) in &self.process_names {
             events.push(meta_event(pid, 0, "process_name", name));
         }
+        // Fallback labels: every lane holding events gets name metadata
+        // even when the caller registered none, so Perfetto shows
+        // "process 3 / track 1" rather than bare numeric ids. Tracks are
+        // in a sorted map, so the fallback order is deterministic.
+        let mut last_pid = None;
+        for &(pid, _) in self.tracks.keys() {
+            if last_pid == Some(pid) {
+                continue;
+            }
+            last_pid = Some(pid);
+            if !self.process_names.contains_key(&pid) {
+                events.push(meta_event(
+                    pid,
+                    0,
+                    "process_name",
+                    &format!("process {pid}"),
+                ));
+            }
+        }
         for (&(pid, tid), name) in &self.track_names {
             events.push(meta_event(pid, tid, "thread_name", name));
+        }
+        for &(pid, tid) in self.tracks.keys() {
+            if !self.track_names.contains_key(&(pid, tid)) {
+                events.push(meta_event(pid, tid, "thread_name", &format!("track {tid}")));
+            }
         }
         for (&(pid, tid), track) in &self.tracks {
             for ev in &track.events {
@@ -253,6 +277,19 @@ mod tests {
         let x = events[4].as_map().unwrap();
         assert_eq!(serde::value::get(x, "ts").unwrap().as_f64(), Some(30.0));
         assert_eq!(serde::value::get(x, "dur").unwrap().as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn unnamed_lanes_get_fallback_metadata() {
+        let mut tl = SpanTimeline::new();
+        tl.name_process(0, "node 0"); // explicit name wins
+        tl.begin(0, 1, "a", t(0));
+        tl.begin(7, 3, "b", t(1)); // entirely unnamed lane
+        let json = tl.to_chrome_trace();
+        assert!(json.contains("node 0"));
+        assert!(!json.contains("process 0"), "explicit name must win");
+        assert!(json.contains("process 7"), "unnamed pid needs a label");
+        assert!(json.contains("track 1") && json.contains("track 3"));
     }
 
     #[test]

@@ -301,6 +301,53 @@ pub fn run_one(cfg: &ScalingConfig, nodes: u32, seed: u64) -> RunOutput {
     run_point(&cfg.point(nodes, seed))
 }
 
+/// Run the sweep's *representative* point — largest size, first seed —
+/// fresh with full per-rank collective capture, and analyze it into a
+/// blame section. Campaigns cache only scalar category sums; the
+/// critical path needs per-op samples, so one representative point is
+/// re-simulated whenever a blame report is requested. Deterministic:
+/// same spec and seed → byte-identical section at any `--sim-threads`.
+pub fn run_blame_point(cfg: &ScalingConfig, title: &str) -> pa_blame::RunBlame {
+    let nodes = *cfg.node_counts.last().expect("sweep has sizes");
+    let seed = *cfg.seeds.first().expect("sweep has seeds");
+    let spec = cfg.point(nodes, seed);
+    let seeds = SeedSpace::new(spec.seed);
+    let agg = spec.workload;
+    let mut make = |rank: u32| -> Box<dyn RankWorkload> {
+        Box::new(AggregateTrace::new(
+            agg,
+            seeds.stream_at("wl/agg", u64::from(rank), 0),
+        ))
+    };
+    let out = spec.experiment().with_record_all_ranks().run(&mut make);
+    pa_core::blame_of(&out, format!("{title}: {nodes} nodes, seed {seed}"))
+}
+
+/// Fold a campaign's cached `blame.*` extras into one category total —
+/// the same merge rule metrics use, so cached points contribute without
+/// re-running. The sums are exact integer counts carried through f64
+/// (lossless far beyond any realistic run length).
+pub fn campaign_blame_totals(label: &str, results: &[PointResult]) -> pa_blame::CampaignTotals {
+    let mut cats = pa_blame::Categories::default();
+    let mut wall = 0u64;
+    for r in results {
+        let g = |key: &str| r.extra.get(key).copied().unwrap_or(0.0);
+        cats.compute_ns += g("blame.compute_ns") as u64;
+        cats.coll_wait_ns += g("blame.coll_wait_ns") as u64;
+        cats.runq_wait_ns += g("blame.runq_wait_ns") as u64;
+        cats.noise_ns += g("blame.noise_ns") as u64;
+        cats.io_wait_ns += g("blame.io_wait_ns") as u64;
+        cats.overhead_ns += g("blame.overhead_ns") as i64;
+        wall += g("blame.wall_ns") as u64;
+    }
+    pa_blame::CampaignTotals {
+        label: label.into(),
+        points: results.len() as u64,
+        wall_ns: wall,
+        cats,
+    }
+}
+
 /// Figure 6: the fitted lines and their ratio. The paper reports
 /// `y_vanilla = 0.70x + 166` and `y_prototype = 0.22x + 210` (µs vs
 /// processors), a ~3× slope improvement.

@@ -142,6 +142,22 @@ fn point_result(out: &JobsOutcome) -> PointResult {
     let shrinks: u32 = out.jobs.iter().map(|j| j.shrinks).sum();
     extra.insert("jobs.grows".into(), f64::from(grows));
     extra.insert("jobs.shrinks".into(), f64::from(shrinks));
+    // Wait-state category sums over all jobs' rank threads, matching
+    // the scaling points' `blame.*` extras so campaign blame totals
+    // merge uniformly across figure and batch sweeps.
+    let mut cats = pa_blame::Categories::default();
+    let mut wall = 0u64;
+    for jb in &out.blame {
+        cats.add(&jb.cats);
+        wall += jb.wall_ns;
+    }
+    extra.insert("blame.compute_ns".into(), cats.compute_ns as f64);
+    extra.insert("blame.coll_wait_ns".into(), cats.coll_wait_ns as f64);
+    extra.insert("blame.runq_wait_ns".into(), cats.runq_wait_ns as f64);
+    extra.insert("blame.noise_ns".into(), cats.noise_ns as f64);
+    extra.insert("blame.io_wait_ns".into(), cats.io_wait_ns as f64);
+    extra.insert("blame.overhead_ns".into(), cats.overhead_ns as f64);
+    extra.insert("blame.wall_ns".into(), wall as f64);
     PointResult {
         mean_allreduce_us: 0.0,
         wall_s: out.makespan.as_secs_f64(),

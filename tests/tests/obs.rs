@@ -115,8 +115,9 @@ fn chrome_trace_round_trips_through_serde_json() {
     let events = serde::value::get(top, "traceEvents")
         .and_then(|e| e.as_seq())
         .expect("traceEvents seq");
-    // 2 metadata + B + i + E + X.
-    assert_eq!(events.len(), 6);
+    // 3 metadata (named process + named track 0 + fallback name for the
+    // unnamed track 1) + B + i + E + X.
+    assert_eq!(events.len(), 7);
     for ev in events {
         let m = ev.as_map().expect("event object");
         for key in ["ph", "pid", "tid"] {
