@@ -7,10 +7,17 @@
 //! across reruns. The overhead measurement runs the same experiment with
 //! and without artifact extraction (metrics fold + span timeline +
 //! Chrome-trace render); the acceptance threshold is 5%.
+//!
+//! Every acceptance check is reported as a gate object (`pass`/`skip`/
+//! `fail` with the measured value and limit) in the JSON, so a host that
+//! cannot meaningfully run a gate — e.g. a 2-core runner asked about
+//! 4-thread speedup — records a `skip` with the reason instead of a
+//! vacuous pass. The process exits non-zero only on `fail`.
 
 use pa_bench::{Args, Mode};
+use pa_core::CoschedSetup;
 use pa_mpi::{MpiOp, OpList, RankWorkload};
-use pa_simkit::{EventQueue, SimTime};
+use pa_simkit::{EventQueue, SimDur, SimTime};
 use serde_json::Value;
 use std::time::Instant;
 
@@ -42,13 +49,66 @@ fn queue_scenario(batches: u32) -> Scenario {
     }
 }
 
+/// Cancel-heavy calendar throughput: the timer re-arm pattern that used
+/// to leak tombstones without bound. Each round re-arms a far-future
+/// timer per slot (cancel + schedule) and pops one near event. Runs in
+/// both queue modes and asserts the lazy fallback's compaction bound —
+/// tombstones never exceed live entries — every round.
+fn queue_cancel_scenario(rounds: u32, lazy: bool) -> Scenario {
+    const SLOTS: usize = 512;
+    let started = Instant::now();
+    let mut q = if lazy {
+        EventQueue::<u32>::new_lazy()
+    } else {
+        EventQueue::<u32>::new()
+    };
+    let mut timers = Vec::with_capacity(SLOTS);
+    let far = SimTime::from_nanos(u64::MAX / 2);
+    for i in 0..SLOTS {
+        timers.push(q.schedule(far, i as u32));
+    }
+    let mut ops = 0u64;
+    for r in 0..rounds {
+        for (i, t) in timers.iter_mut().enumerate() {
+            q.cancel(*t);
+            *t = q.schedule(far, i as u32);
+            ops += 2;
+        }
+        // One live near event keeps pops meaningful and anchors the root.
+        let near = q.schedule(q.now() + SimDur::from_nanos(1), u32::MAX);
+        let _ = near;
+        q.pop();
+        ops += 2;
+        let live = (q.stats().scheduled - q.stats().popped - q.stats().cancelled) as usize;
+        assert!(
+            q.stats().tombstones as usize <= live.max(1),
+            "round {r}: {} tombstones exceed {live} live entries",
+            q.stats().tombstones
+        );
+        assert!(
+            q.resident_len() <= 2 * live + 1,
+            "round {r}: resident {} exceeds 2*live+1 for {live} live",
+            q.resident_len()
+        );
+    }
+    Scenario {
+        name: if lazy {
+            "event_queue/cancel_rearm_lazy"
+        } else {
+            "event_queue/cancel_rearm_indexed"
+        },
+        events: ops,
+        events_per_sec: ops as f64 / started.elapsed().as_secs_f64(),
+    }
+}
+
 fn experiment(seed: u64, calls: usize) -> pa_core::RunOutput {
     let mut wl = |_rank: u32| -> Box<dyn RankWorkload> {
         Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 8 }; calls]))
     };
     pa_core::Experiment::new(2, 4)
         .with_cpus_per_node(4)
-        .with_cosched(pa_core::CoschedSetup::default())
+        .with_cosched(CoschedSetup::default())
         .with_trace_node(0)
         .with_seed(seed)
         .run(&mut wl)
@@ -88,51 +148,101 @@ struct SpeedupPoint {
     wall_s: f64,
     events_per_sec: f64,
     speedup: f64,
+    cancelled: u64,
+    tombstones: u64,
 }
 
-/// Parallel-engine throughput on a 64-node cluster at 1/2/4 worker
-/// threads. The sharded engine's history is bit-identical at every
-/// point; only the wall clock moves. Each point takes the minimum wall
-/// time over `reps` runs to shed scheduler jitter.
-fn thread_scaling(calls: usize, reps: u32) -> Vec<SpeedupPoint> {
-    let run = |threads: usize| -> (u64, f64) {
+/// The cancel-heavy co-scheduled workload used for the scaling curves:
+/// skewed compute segments keep every CPU busy while a fast-cycling
+/// priority daemon preempts runners mid-segment, each preemption voiding
+/// a `SegEnd` timer — exercising true cancellation on the hot path.
+fn cancel_heavy_setup() -> CoschedSetup {
+    let mut setup = CoschedSetup::default();
+    setup.params.period = SimDur::from_millis(1);
+    setup.params.duty = 0.5;
+    setup
+}
+
+fn cancel_heavy_wl(rank: u32, iters: usize) -> Box<dyn RankWorkload> {
+    let mut ops = Vec::with_capacity(iters + iters / 10);
+    for i in 0..iters as u64 {
+        let us = 200 + ((u64::from(rank) * 37 + i * 13) % 400);
+        ops.push(MpiOp::Compute(SimDur::from_micros(us)));
+        if i % 10 == 9 {
+            ops.push(MpiOp::Allreduce { bytes: 256 });
+        }
+    }
+    Box::new(OpList::new(ops))
+}
+
+/// Parallel-engine throughput at each worker thread count on a cluster
+/// of `nodes` × `tasks` (one CPU per task). The sharded engine's history
+/// is bit-identical at every point; only the wall clock moves. Each
+/// point takes the minimum wall time over `reps` runs to shed scheduler
+/// jitter. Asserts the workload actually exercised cancellation and that
+/// event counts agree across thread counts.
+fn thread_scaling(
+    nodes: u32,
+    tasks: u32,
+    iters: usize,
+    threads_list: &[usize],
+    reps: u32,
+) -> Vec<SpeedupPoint> {
+    let run = |threads: usize| -> (u64, f64, u64, u64) {
         let mut events = 0u64;
         let mut wall = f64::INFINITY;
+        let mut cancelled = 0u64;
+        let mut tombstones = 0u64;
         for _ in 0..reps.max(1) {
-            let mut wl = |_rank: u32| -> Box<dyn RankWorkload> {
-                Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 256 }; calls]))
-            };
+            let mut wl = |rank: u32| -> Box<dyn RankWorkload> { cancel_heavy_wl(rank, iters) };
             let started = Instant::now();
-            let out = pa_core::Experiment::new(64, 2)
-                .with_cpus_per_node(4)
+            let out = pa_core::Experiment::new(nodes, tasks)
+                .with_cpus_per_node(tasks as u8)
+                .with_cosched(cancel_heavy_setup())
                 .with_seed(42)
                 .with_sim_threads(threads)
                 .run(&mut wl);
             wall = wall.min(started.elapsed().as_secs_f64());
             events = out.events;
+            let q = out.sim.queue_stats();
+            cancelled = q.cancelled;
+            tombstones = q.tombstones;
+            let live = q.scheduled - q.popped - q.cancelled;
+            assert!(
+                q.tombstones <= live.max(1),
+                "tombstones {} exceed {live} live entries at {threads} threads",
+                q.tombstones
+            );
         }
-        (events, wall)
+        (events, wall, cancelled, tombstones)
     };
-    let (base_events, base_wall) = run(1);
-    let mut points = vec![SpeedupPoint {
-        threads: 1,
-        events: base_events,
-        wall_s: base_wall,
-        events_per_sec: base_events as f64 / base_wall,
-        speedup: 1.0,
-    }];
-    for threads in [2usize, 4] {
-        let (events, wall) = run(threads);
-        assert_eq!(
-            events, base_events,
-            "sharded engine diverged from serial at {threads} threads"
-        );
+    let mut points: Vec<SpeedupPoint> = Vec::new();
+    for &threads in threads_list {
+        let (events, wall, cancelled, tombstones) = run(threads);
+        if let Some(base) = points.first() {
+            assert_eq!(
+                events, base.events,
+                "sharded engine diverged from serial at {threads} threads"
+            );
+            assert_eq!(
+                cancelled, base.cancelled,
+                "cancellation count diverged at {threads} threads"
+            );
+        } else {
+            assert!(
+                cancelled > 0,
+                "scaling workload produced no cancellations; not cancel-heavy"
+            );
+        }
+        let base_wall = points.first().map_or(wall, |p| p.wall_s);
         points.push(SpeedupPoint {
             threads,
             events,
             wall_s: wall,
             events_per_sec: events as f64 / wall,
             speedup: base_wall / wall,
+            cancelled,
+            tombstones,
         });
     }
     points
@@ -167,31 +277,73 @@ fn overhead_ratio(calls: usize, reps: u32) -> f64 {
     }
 }
 
+/// One acceptance gate: what was checked, what was measured, and whether
+/// it passed, failed, or could not meaningfully run on this host.
+struct Gate {
+    name: &'static str,
+    status: &'static str,
+    value: f64,
+    limit: f64,
+    detail: String,
+}
+
+fn curve_rows(curve: &[SpeedupPoint]) -> Vec<Value> {
+    curve
+        .iter()
+        .map(|p| {
+            Value::Map(vec![
+                ("threads".into(), Value::UInt(p.threads as u64)),
+                ("events".into(), Value::UInt(p.events)),
+                ("wall_s".into(), Value::Float(p.wall_s)),
+                ("events_per_sec".into(), Value::Float(p.events_per_sec)),
+                ("speedup".into(), Value::Float(p.speedup)),
+                ("cancelled".into(), Value::UInt(p.cancelled)),
+                ("tombstones".into(), Value::UInt(p.tombstones)),
+            ])
+        })
+        .collect()
+}
+
+fn print_curve(label: &str, curve: &[SpeedupPoint]) {
+    for p in curve {
+        eprintln!(
+            "  {label} @ {:>2} threads  {:>12.0} events/s  speedup {:.2}x  \
+             ({} cancelled)",
+            p.threads, p.events_per_sec, p.speedup, p.cancelled
+        );
+    }
+}
+
 fn main() {
     let args = Args::parse();
-    let (batches, calls, reps, scaling_calls, scaling_reps) = match args.mode {
-        Mode::Quick => (20, 800, 3, 4, 1),
-        Mode::Standard => (60, 2_000, 5, 12, 2),
-        Mode::Full => (200, 6_000, 7, 40, 3),
-    };
+    let (batches, cancel_rounds, calls, reps, scaling_iters, sp_iters, scaling_reps) =
+        match args.mode {
+            Mode::Quick => (20, 200, 800, 3, 60, 10, 1),
+            Mode::Standard => (60, 800, 2_000, 5, 150, 20, 2),
+            Mode::Full => (200, 2_000, 6_000, 7, 400, 40, 3),
+        };
     let scenarios = vec![
         queue_scenario(batches),
+        queue_cancel_scenario(cancel_rounds, false),
+        queue_cancel_scenario(cancel_rounds, true),
         cluster_scenario(calls),
         timeline_scenario(calls),
     ];
     let overhead = overhead_ratio(calls, reps);
     let threshold = 0.05;
-    let curve = thread_scaling(scaling_calls, scaling_reps);
+    // The historical 64-node shape, now cancel-heavy and extended past
+    // the old 4-thread knee.
+    let curve = thread_scaling(64, 4, scaling_iters, &[1, 2, 4, 8, 16], scaling_reps);
+    // The paper's measured configuration: 944 processes on 59 nodes
+    // (16-way SP nodes, §5). Serial vs 8 workers bounds the win at scale.
+    let sp_curve = thread_scaling(59, 16, sp_iters, &[1, 8], scaling_reps);
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
-    // 2× at 4 threads is only a meaningful expectation when the host can
-    // actually run 4 workers; wall-clock speedup on fewer cores is noise.
     let speedup_target = 2.0;
-    let speedup_enforced = host_parallelism >= 4;
 
     let mut rows = Vec::new();
     for s in &scenarios {
         eprintln!(
-            "  {:<28} {:>12} events  {:>12.0} events/s",
+            "  {:<32} {:>12} events  {:>12.0} events/s",
             s.name, s.events, s.events_per_sec
         );
         rows.push(Value::Map(vec![
@@ -205,31 +357,93 @@ fn main() {
         overhead * 100.0,
         threshold * 100.0
     );
-    let mut curve_rows = Vec::new();
-    for p in &curve {
-        eprintln!(
-            "  engine/64-node @ {} threads   {:>12.0} events/s  speedup {:.2}x",
-            p.threads, p.events_per_sec, p.speedup
-        );
-        curve_rows.push(Value::Map(vec![
-            ("threads".into(), Value::UInt(p.threads as u64)),
-            ("events".into(), Value::UInt(p.events)),
-            ("wall_s".into(), Value::Float(p.wall_s)),
-            ("events_per_sec".into(), Value::Float(p.events_per_sec)),
-            ("speedup".into(), Value::Float(p.speedup)),
-        ]));
-    }
+    print_curve("engine/64-node", &curve);
+    print_curve("engine/944-proc", &sp_curve);
+
+    // Acceptance gates. A gate that cannot meaningfully run on this host
+    // is recorded as `skip` with the reason — never as a silent pass.
+    let mut gates = Vec::new();
+    gates.push(Gate {
+        name: "obs_overhead",
+        status: if overhead <= threshold {
+            "pass"
+        } else {
+            "fail"
+        },
+        value: overhead,
+        limit: threshold,
+        detail: "metrics fold + snapshot wall-time as fraction of its run".into(),
+    });
+    let at4 = curve.iter().find(|p| p.threads == 4).expect("4t point");
+    gates.push(if host_parallelism < 4 {
+        Gate {
+            name: "speedup_4t",
+            status: "skip",
+            value: at4.speedup,
+            limit: speedup_target,
+            detail: format!(
+                "host parallelism {host_parallelism} < 4; wall-clock speedup \
+                 on fewer cores is noise"
+            ),
+        }
+    } else {
+        Gate {
+            name: "speedup_4t",
+            status: if at4.speedup >= speedup_target {
+                "pass"
+            } else {
+                "fail"
+            },
+            value: at4.speedup,
+            limit: speedup_target,
+            detail: format!("64-node curve at 4 threads on a {host_parallelism}-way host"),
+        }
+    });
+    let max_tomb = curve
+        .iter()
+        .chain(sp_curve.iter())
+        .map(|p| p.tombstones)
+        .max()
+        .unwrap_or(0);
+    gates.push(Gate {
+        name: "tombstone_bound",
+        status: "pass", // violations assert inside thread_scaling
+        value: max_tomb as f64,
+        limit: 0.0,
+        detail: "cancel-heavy runs end with tombstones <= live entries".into(),
+    });
+
+    let gate_rows: Vec<Value> = gates
+        .iter()
+        .map(|g| {
+            Value::Map(vec![
+                ("name".into(), Value::Str(g.name.into())),
+                ("status".into(), Value::Str(g.status.into())),
+                ("value".into(), Value::Float(g.value)),
+                ("limit".into(), Value::Float(g.limit)),
+                ("detail".into(), Value::Str(g.detail.clone())),
+            ])
+        })
+        .collect();
 
     let doc = Value::Map(vec![
         ("scenarios".into(), Value::Seq(rows)),
         ("obs_overhead_ratio".into(), Value::Float(overhead)),
         ("obs_overhead_threshold".into(), Value::Float(threshold)),
-        ("thread_scaling_64node".into(), Value::Seq(curve_rows)),
+        (
+            "thread_scaling_64node".into(),
+            Value::Seq(curve_rows(&curve)),
+        ),
+        (
+            "thread_scaling_944proc".into(),
+            Value::Seq(curve_rows(&sp_curve)),
+        ),
         ("speedup_target_4t".into(), Value::Float(speedup_target)),
         (
             "host_parallelism".into(),
             Value::UInt(host_parallelism as u64),
         ),
+        ("gates".into(), Value::Seq(gate_rows)),
         ("mode".into(), Value::Str(format!("{:?}", args.mode))),
     ]);
     // The canonical copy lives under `results/` with the other bench
@@ -257,28 +471,21 @@ fn main() {
         }
         println!("engine baseline written to {}", path.display());
     }
-    if overhead > threshold {
-        eprintln!(
-            "error: observability overhead {:.2}% exceeds {:.0}%",
-            overhead * 100.0,
-            threshold * 100.0
-        );
-        std::process::exit(1);
+    let mut failed = false;
+    for g in &gates {
+        match g.status {
+            "fail" => {
+                failed = true;
+                eprintln!(
+                    "error: gate {} failed: value {:.3} vs limit {:.3} ({})",
+                    g.name, g.value, g.limit, g.detail
+                );
+            }
+            "skip" => eprintln!("note: gate {} skipped: {}", g.name, g.detail),
+            _ => {}
+        }
     }
-    let at4 = curve.iter().find(|p| p.threads == 4);
-    if let Some(p) = at4 {
-        if speedup_enforced && p.speedup < speedup_target {
-            eprintln!(
-                "error: 4-thread speedup {:.2}x below {:.1}x target on a \
-                 {host_parallelism}-way host",
-                p.speedup, speedup_target
-            );
-            std::process::exit(1);
-        }
-        if !speedup_enforced {
-            eprintln!(
-                "note: speedup target not enforced (host parallelism {host_parallelism} < 4)"
-            );
-        }
+    if failed {
+        std::process::exit(1);
     }
 }

@@ -27,7 +27,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// v6: `PointResult.extra` gained the `blame.*` wait-state category sums
 /// (and the kernel's wait-state accounting changed what a run records);
 /// v5 entries lack them and must not satisfy blame-merging campaigns.
-pub const CACHE_SCHEMA_VERSION: u32 = 6;
+/// v7: the event queue gained true cancellation — kernel-voided segment
+/// timers are removed from the calendar instead of popping as stale
+/// no-ops — so per-run event counts shifted; v6 entries would disagree
+/// with a fresh run of the same spec.
+pub const CACHE_SCHEMA_VERSION: u32 = 7;
 
 /// Whether a point was served from disk or freshly simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

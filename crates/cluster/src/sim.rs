@@ -25,8 +25,10 @@
 //! makes the large one slower), which no real in-order fabric permits.
 
 use crate::fabric::{FabricModel, LINK_WAIT_BUCKETS, LINK_WAIT_EDGES_NS};
-use pa_kernel::{ClockModel, Effects, Kernel, KernelEvent, KernelSnapshot, Message, SchedOptions};
-use pa_simkit::{sha256_hex, EventQueue, QueueStats, SeedSpace, SimDur, SimTime};
+use pa_kernel::{
+    seg_slots_of, ClockModel, Effects, Kernel, KernelEvent, KernelSnapshot, Message, SchedOptions,
+};
+use pa_simkit::{sha256_hex, EventId, EventQueue, QueueStats, SeedSpace, SimDur, SimTime};
 use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use std::any::Any;
@@ -114,6 +116,10 @@ struct Shard {
     last_delivery: HashMap<u32, SimTime>,
     /// Cross-shard messages staged during the current window.
     outbox: Vec<StagedMsg>,
+    /// Outstanding `SegEnd` calendar entry per CPU ([`EventId::NONE`]
+    /// when none), so kernel-voided segment timers are cancelled out of
+    /// the calendar instead of accumulating as stale entries.
+    seg_events: Vec<EventId>,
     /// Busy-until register of this node's egress link. Advanced at send,
     /// inside the owning shard, so it is deterministic in event order.
     egress_free_at: SimTime,
@@ -170,6 +176,9 @@ impl Shard {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            if let KernelEvent::SegEnd { cpu, .. } = &ev {
+                self.seg_events[cpu.0 as usize] = EventId::NONE;
+            }
             self.events_processed += 1;
             self.kernel.handle(now, ev, &mut self.fx);
             self.drain_effects(now, fabric);
@@ -234,6 +243,10 @@ impl Shard {
             snap.queue_entries.clone(),
         )
         .map_err(|e| format!("node {}: {e}", self.node))?;
+        // The per-CPU outstanding-SegEnd slots are derived state: with
+        // true cancellation at most one SegEnd per CPU is live at any
+        // barrier, so the restored calendar names them all.
+        self.seg_events = seg_slots_of(&self.queue, self.kernel.ncpus() as usize);
         self.events_processed = snap.events_processed;
         self.messages_routed = snap.messages_routed;
         self.bytes_routed = snap.bytes_routed;
@@ -255,11 +268,44 @@ impl Shard {
         Ok(())
     }
 
+    /// Cancel the outstanding `SegEnd` entry for the CPU in `slot`.
+    fn cancel_seg_slot(queue: &mut EventQueue<KernelEvent>, slot: &mut EventId) {
+        if *slot != EventId::NONE {
+            queue.cancel(*slot);
+            *slot = EventId::NONE;
+        }
+    }
+
     /// Move kernel effects into the calendar (local) or outbox (remote).
     fn drain_effects(&mut self, now: SimTime, fabric: &FabricModel) {
-        for (t, ev) in self.fx.schedule.drain(..) {
-            self.queue.schedule(t, ev);
+        // Interleave voided-segment cancels with schedules in program
+        // order — a handler may cancel a CPU's timer and then arm a new
+        // one for the same CPU, and the watermark says how many schedule
+        // entries precede each cancel. Keeping the original schedule
+        // order also keeps event-id assignment (and therefore FIFO
+        // tie-breaks) identical to the uncancelled engine.
+        let mut ci = 0;
+        for (idx, (t, ev)) in self.fx.schedule.drain(..).enumerate() {
+            while ci < self.fx.cancels.len() && (self.fx.cancels[ci].after as usize) <= idx {
+                let slot = &mut self.seg_events[self.fx.cancels[ci].cpu.0 as usize];
+                Self::cancel_seg_slot(&mut self.queue, slot);
+                ci += 1;
+            }
+            let seg_cpu = match &ev {
+                KernelEvent::SegEnd { cpu, .. } => Some(cpu.0 as usize),
+                _ => None,
+            };
+            let id = self.queue.schedule(t, ev);
+            if let Some(c) = seg_cpu {
+                self.seg_events[c] = id;
+            }
         }
+        while ci < self.fx.cancels.len() {
+            let slot = &mut self.seg_events[self.fx.cancels[ci].cpu.0 as usize];
+            Self::cancel_seg_slot(&mut self.queue, slot);
+            ci += 1;
+        }
+        self.fx.cancels.clear();
         for msg in self.fx.outbound.drain(..) {
             let dst = msg.dst.node;
             assert!(dst < self.nnodes, "message to nonexistent node {dst}");
@@ -375,9 +421,17 @@ impl Default for WindowReport {
 /// forever. When the true bound exceeds `u64::MAX`, the window is instead
 /// closed *inclusively* at `FAR_FUTURE`.
 fn window_bounds(t_start: SimTime, horizon: SimTime, lookahead: SimDur) -> (SimTime, bool) {
+    bounds_from_end(window_end_u128(t_start, horizon, lookahead))
+}
+
+/// Exclusive window end in 128-bit nanoseconds (see [`window_bounds`]).
+fn window_end_u128(t_start: SimTime, horizon: SimTime, lookahead: SimDur) -> u128 {
     let end = u128::from(t_start.nanos()) + u128::from(lookahead.nanos());
-    let hard = u128::from(horizon.nanos()) + 1;
-    let end = end.min(hard);
+    end.min(u128::from(horizon.nanos()) + 1)
+}
+
+/// Convert a 128-bit exclusive window end to `(end, inclusive)` bounds.
+fn bounds_from_end(end: u128) -> (SimTime, bool) {
     if end > u128::from(u64::MAX) {
         (SimTime::FAR_FUTURE, true)
     } else {
@@ -393,7 +447,10 @@ pub const CHECKPOINT_FORMAT: &str = "pa-cluster-checkpoint";
 ///
 /// v2: per-thread wait-state accounting fields in `ThreadSnap`, the
 /// rank program's compute counters, and the recorder's record-all flag.
-pub const CHECKPOINT_VERSION: u64 = 2;
+///
+/// v3: `QueueStats` gained the `tombstones`/`compactions` queue-health
+/// fields (the indexed-heap event calendar overhaul).
+pub const CHECKPOINT_VERSION: u64 = 3;
 
 /// Whole-cluster checkpoint state (everything the engine mutates).
 #[derive(Debug, Serialize, Deserialize)]
@@ -435,6 +492,15 @@ pub struct ClusterSim {
     /// Size of the most recent checkpoint file written or restored.
     last_checkpoint_bytes: u64,
     extras_provider: Option<ExtrasProvider>,
+    /// Pooled barrier-merge buffer (serial path): reused across windows
+    /// so the per-barrier merge allocates nothing in steady state.
+    staged_buf: Vec<StagedMsg>,
+    /// Windows opened by the engine (serial or coordinator; identical at
+    /// any thread count).
+    windows_run: u64,
+    /// Windows widened past the lookahead because the whole cluster was
+    /// daemon-idle.
+    widened_windows: u64,
 }
 
 /// Serialize a checkpoint to `path` atomically (write + rename), hashing
@@ -590,6 +656,7 @@ impl ClusterSim {
                     msg_seq: 0,
                     last_delivery: HashMap::new(),
                     outbox: Vec::new(),
+                    seg_events: vec![EventId::NONE; spec.cpus_per_node as usize],
                     egress_free_at: SimTime::ZERO,
                     ingress_free_at: SimTime::ZERO,
                     link_waits: 0,
@@ -613,6 +680,9 @@ impl ClusterSim {
             checkpoint_restores: 0,
             last_checkpoint_bytes: 0,
             extras_provider: None,
+            staged_buf: Vec::new(),
+            windows_run: 0,
+            widened_windows: 0,
         }
     }
 
@@ -943,7 +1013,7 @@ impl ClusterSim {
             sh.kernel.boot(now, &mut sh.fx);
             sh.drain_effects(now, &self.fabric);
         }
-        Self::merge_outboxes(&mut self.shards, &self.fabric);
+        Self::merge_outboxes(&mut self.shards, &self.fabric, &mut self.staged_buf);
     }
 
     /// Live application threads across the cluster.
@@ -984,8 +1054,11 @@ impl ClusterSim {
 
     /// Deliver staged cross-shard messages in the canonical merge order,
     /// applying ingress-link queueing per destination as they land.
-    fn merge_outboxes(shards: &mut [Shard], fabric: &FabricModel) {
-        let mut staged: Vec<StagedMsg> = Vec::new();
+    /// `staged` is a pooled scratch buffer — cleared here, drained before
+    /// returning — so the per-barrier merge allocates nothing in steady
+    /// state.
+    fn merge_outboxes(shards: &mut [Shard], fabric: &FabricModel, staged: &mut Vec<StagedMsg>) {
+        staged.clear();
         for sh in shards.iter_mut() {
             staged.append(&mut sh.outbox);
         }
@@ -993,18 +1066,64 @@ impl ClusterSim {
             return;
         }
         staged.sort_by_key(|m| (m.deliver_at, m.src_node, m.seq));
-        for m in staged {
+        for m in staged.drain(..) {
             let dst = m.dst_node as usize;
             shards[dst].accept_staged(m, fabric);
         }
     }
 
     /// Earliest pending event across all shards.
-    fn next_event_time(&mut self) -> Option<SimTime> {
-        self.shards
-            .iter_mut()
-            .filter_map(|s| s.queue.peek_time())
-            .min()
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.shards.iter().filter_map(|s| s.queue.peek_time()).min()
+    }
+
+    /// Windows opened so far (a function of simulation state alone, so
+    /// identical at any `sim_threads`).
+    pub fn windows_run(&self) -> u64 {
+        self.windows_run
+    }
+
+    /// Windows widened past the lookahead because every application
+    /// thread had exited (daemon-idle fast-forward).
+    pub fn widened_windows(&self) -> u64 {
+        self.widened_windows
+    }
+
+    /// Bounds of the window opening at `t_start`, widened when the whole
+    /// cluster is daemon-idle. Returns `(end, inclusive, widened)`.
+    ///
+    /// Widening is sound because only application threads send cross-node
+    /// messages: with `apps == 0` everywhere, no event processed anywhere
+    /// can stage a cross-shard delivery, so the conservative-lookahead
+    /// bound is vacuous and the window may run to the horizon. New
+    /// application threads enter only via `spawn_thread`, between run
+    /// calls, never inside one. The widened window is capped at the next
+    /// periodic-checkpoint barrier so the checkpoint cadence survives
+    /// daemon-idle stretches, and the merge path asserts that a widened
+    /// window staged nothing (`daemon-idle window staged a cross-shard
+    /// message` means the invariant — daemons never send cross-node — was
+    /// broken by a new workload).
+    fn plan_window(
+        &mut self,
+        t_start: SimTime,
+        horizon: SimTime,
+        daemon_idle: bool,
+    ) -> (SimTime, bool, bool) {
+        self.windows_run += 1;
+        let normal = window_end_u128(t_start, horizon, self.lookahead);
+        if daemon_idle {
+            let mut wide = u128::from(horizon.nanos()) + 1;
+            if let Some(at) = self.next_checkpoint_at {
+                wide = wide.min(u128::from(at.nanos()).max(u128::from(t_start.nanos()) + 1));
+            }
+            if wide > normal {
+                self.widened_windows += 1;
+                let (we, inclusive) = bounds_from_end(wide);
+                return (we, inclusive, true);
+            }
+        }
+        let (we, inclusive) = window_bounds(t_start, horizon, self.lookahead);
+        (we, inclusive, false)
     }
 
     fn run_windows(&mut self, horizon: SimTime, until_apps_done: bool) {
@@ -1020,7 +1139,8 @@ impl ClusterSim {
     /// The serial engine: the reference window sequence.
     fn run_windows_serial(&mut self, horizon: SimTime, until_apps_done: bool) {
         loop {
-            if until_apps_done && self.apps_alive() == 0 {
+            let apps = self.apps_alive();
+            if until_apps_done && apps == 0 {
                 break;
             }
             let Some(t_start) = self.next_event_time() else {
@@ -1029,11 +1149,17 @@ impl ClusterSim {
             if t_start > horizon {
                 break;
             }
-            let (we, inclusive) = window_bounds(t_start, horizon, self.lookahead);
+            let (we, inclusive, widened) = self.plan_window(t_start, horizon, apps == 0);
             for sh in &mut self.shards {
                 sh.process_window(we, inclusive, &self.fabric);
             }
-            Self::merge_outboxes(&mut self.shards, &self.fabric);
+            if widened {
+                assert!(
+                    self.shards.iter().all(|sh| sh.outbox.is_empty()),
+                    "daemon-idle window staged a cross-shard message"
+                );
+            }
+            Self::merge_outboxes(&mut self.shards, &self.fabric, &mut self.staged_buf);
             if let Err(e) = self.maybe_autocheckpoint(we) {
                 panic!("periodic checkpoint failed: {e}");
             }
@@ -1048,7 +1174,6 @@ impl ClusterSim {
     /// so the history is identical to the serial engine's.
     fn run_windows_parallel(&mut self, horizon: SimTime, until_apps_done: bool, nthreads: usize) {
         let fabric = self.fabric;
-        let lookahead = self.lookahead;
         let shards: Vec<Mutex<Shard>> = std::mem::take(&mut self.shards)
             .into_iter()
             .map(Mutex::new)
@@ -1091,7 +1216,13 @@ impl ClusterSim {
                     }
                     let we = SimTime::from_nanos(window_end_ns.load(Ordering::Acquire));
                     let inclusive = window_inclusive.load(Ordering::Acquire);
-                    let mut report = WindowReport::default();
+                    // Reclaim the slot's report (the coordinator drained
+                    // its staged list but left the capacity), so steady
+                    // state reallocates nothing per window.
+                    let mut report = std::mem::take(&mut *lock(&slots[t]));
+                    report.min_next_ns = u64::MAX;
+                    report.apps = 0;
+                    report.staged.clear();
                     let mut i = t;
                     while i < shards.len() && !abort.load(Ordering::Acquire) {
                         let mut sh = lock(&shards[i]);
@@ -1137,12 +1268,15 @@ impl ClusterSim {
             let mut next_ns = u64::MAX;
             let mut apps = 0usize;
             for m in shards.iter() {
-                let mut sh = lock(m);
+                let sh = lock(m);
                 if let Some(t0) = sh.queue.peek_time() {
                     next_ns = next_ns.min(t0.nanos());
                 }
                 apps += sh.kernel.app_alive();
             }
+            // Pooled merge buffer: refilled from the report slots and
+            // drained into destination shards every barrier.
+            let mut staged: Vec<StagedMsg> = Vec::new();
             loop {
                 if until_apps_done && apps == 0 {
                     break;
@@ -1150,8 +1284,8 @@ impl ClusterSim {
                 if next_ns == u64::MAX || next_ns > horizon.nanos() {
                     break;
                 }
-                let (we, inclusive) =
-                    window_bounds(SimTime::from_nanos(next_ns), horizon, lookahead);
+                let (we, inclusive, widened) =
+                    self.plan_window(SimTime::from_nanos(next_ns), horizon, apps == 0);
                 window_end_ns.store(we.nanos(), Ordering::Release);
                 window_inclusive.store(inclusive, Ordering::Release);
                 barrier.wait(); // open the window
@@ -1162,7 +1296,7 @@ impl ClusterSim {
                     // down and re-raise below.
                     break;
                 }
-                let mut staged: Vec<StagedMsg> = Vec::new();
+                staged.clear();
                 next_ns = u64::MAX;
                 apps = 0;
                 for slot in slots.iter() {
@@ -1171,8 +1305,12 @@ impl ClusterSim {
                     apps += s.apps;
                     staged.append(&mut s.staged);
                 }
+                assert!(
+                    !widened || staged.is_empty(),
+                    "daemon-idle window staged a cross-shard message"
+                );
                 staged.sort_by_key(|m| (m.deliver_at, m.src_node, m.seq));
-                for m in staged {
+                for m in staged.drain(..) {
                     let dst = m.dst_node as usize;
                     // Ingress queueing may move the delivery later; track
                     // the *final* time so the next window opens exactly
@@ -1551,6 +1689,73 @@ mod tests {
         let end = sim.run_until(horizon);
         assert_eq!(end, horizon);
         assert_eq!(sim.now(), horizon, "clock must land on the horizon");
+    }
+
+    #[test]
+    fn daemon_idle_windows_widen_without_changing_history() {
+        // Short app phase with real cross-node traffic, then a long
+        // daemon-only tail: periodic sleepers ticking every 500 µs with
+        // nothing to say to other nodes. Once the apps exit, every
+        // window may widen past the lookahead — and must do so without
+        // perturbing anything observable at any thread count. The merge
+        // path hard-asserts the soundness condition (a widened window
+        // staging a cross-shard message panics), so running this at all
+        // proves every widened window preceded the earliest cross-shard
+        // delivery: after the apps exit there is none.
+        let fingerprint = |threads: usize| {
+            let spec = ClusterSpec {
+                nodes: 4,
+                cpus_per_node: 2,
+                options: SchedOptions::vanilla(),
+                skew_max: SimDur::from_millis(1),
+                trace_capacity: 1 << 14,
+                fabric: FabricModel::default(),
+            };
+            let mut sim = ClusterSim::build(&spec, &SeedSpace::new(11));
+            sim.set_sim_threads(threads);
+            for n in 0..4u32 {
+                let next = (n + 1) % 4;
+                sim.kernel_mut(n).spawn(
+                    ThreadSpec::new("rank", ThreadClass::App, Prio::USER).on_cpu(CpuId(0)),
+                    Box::new(Script::new(vec![
+                        Action::Send(msg(ep(n, 0), ep(next, 0), u64::from(n), 4096)),
+                        Action::Recv {
+                            tag: TagSel::Exact(u64::from((n + 3) % 4)),
+                            src: SrcSel::Any,
+                            wait: WaitMode::Poll,
+                        },
+                    ])),
+                );
+                let mut acts = Vec::new();
+                for k in 1..=40u64 {
+                    acts.push(Action::SleepUntil(SimTime::from_micros(500 * k)));
+                    acts.push(Action::Compute(SimDur::from_micros(5)));
+                }
+                sim.kernel_mut(n).spawn(
+                    ThreadSpec::new("syncd", ThreadClass::Daemon, Prio::USER).on_cpu(CpuId(1)),
+                    Box::new(Script::new(acts)),
+                );
+            }
+            sim.boot();
+            let end = sim.run_until(SimTime::from_millis(20));
+            assert_eq!(sim.apps_alive(), 0, "app phase must finish first");
+            (
+                end,
+                sim.events_processed(),
+                sim.messages_routed(),
+                sim.queue_stats(),
+                sim.windows_run(),
+                sim.widened_windows(),
+            )
+        };
+        let serial = fingerprint(1);
+        assert!(
+            serial.5 > 0,
+            "daemon-only tail widened no windows: {serial:?}"
+        );
+        assert!(serial.2 > 0, "app phase routed no cross-node messages");
+        assert_eq!(serial, fingerprint(2));
+        assert_eq!(serial, fingerprint(4));
     }
 
     #[test]

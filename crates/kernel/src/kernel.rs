@@ -96,6 +96,23 @@ pub enum KernelEvent {
     },
 }
 
+/// A voided in-flight [`KernelEvent::SegEnd`] timer. The kernel already
+/// guards against stale timers with occupancy tokens; this tells the
+/// driver the calendar entry itself is dead so it can be removed instead
+/// of surfacing later as a no-op pop (the tombstone source in
+/// cancel-heavy co-scheduled runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegCancel {
+    /// CPU whose outstanding segment timer is void.
+    pub cpu: CpuId,
+    /// Number of `Effects::schedule` entries already emitted when this
+    /// cancel was recorded. A handler may void a segment and then arm a
+    /// new one for the same CPU in a single event, so the driver must
+    /// interleave cancels with schedules in program order: apply this
+    /// cancel after scheduling exactly `after` entries of the batch.
+    pub after: u32,
+}
+
 /// Side effects of handling one event, drained by the cluster driver.
 #[derive(Debug, Default)]
 pub struct Effects {
@@ -104,6 +121,9 @@ pub struct Effects {
     /// Messages leaving this thread context; the fabric routes them (both
     /// cross-node and node-local loopback).
     pub outbound: Vec<Message>,
+    /// Segment timers voided by this event, watermarked against
+    /// `schedule` (see [`SegCancel::after`]).
+    pub cancels: Vec<SegCancel>,
 }
 
 impl Effects {
@@ -116,6 +136,16 @@ impl Effects {
     pub fn clear(&mut self) {
         self.schedule.clear();
         self.outbound.clear();
+        self.cancels.clear();
+    }
+
+    /// Record that `cpu`'s in-flight segment timer is void, watermarked
+    /// at the current position in `schedule`.
+    pub fn cancel_seg(&mut self, cpu: CpuId) {
+        self.cancels.push(SegCancel {
+            cpu,
+            after: self.schedule.len() as u32,
+        });
     }
 }
 
@@ -1396,7 +1426,7 @@ impl Kernel {
                 }
                 Action::Yield => {
                     self.threads[tid.0 as usize].cont = Cont::Step;
-                    self.preempt_current(cpu, now);
+                    self.preempt_current(cpu, now, fx);
                     self.dispatch_next(cpu, now, fx);
                     return;
                 }
@@ -1426,12 +1456,17 @@ impl Kernel {
 
     /// Take the running thread off `cpu` and requeue it (preemption,
     /// yield, round-robin). Leaves the CPU empty.
-    fn preempt_current(&mut self, cpu: CpuId, now: SimTime) {
+    fn preempt_current(&mut self, cpu: CpuId, now: SimTime, fx: &mut Effects) {
         let ci = cpu.0 as usize;
         let tid = self.cpus[ci].running.take().expect("preempt on idle CPU");
         let seg_end = self.cpus[ci].seg_end.take();
         let debt = core::mem::take(&mut self.cpus[ci].debt);
         self.cpus[ci].token += 1;
+        if seg_end.is_some() {
+            // The token bump already voids the in-flight SegEnd; tell the
+            // driver so the calendar entry dies instead of lingering.
+            fx.cancel_seg(cpu);
+        }
         let slot = &mut self.threads[tid.0 as usize];
         let mut spin = SimDur::ZERO;
         if let Some(end) = seg_end {
@@ -1462,7 +1497,9 @@ impl Kernel {
             "blocking mid-segment is not a kernel transition"
         );
         self.cpus[ci].running = None;
-        self.cpus[ci].seg_end = None;
+        if self.cpus[ci].seg_end.take().is_some() {
+            fx.cancel_seg(cpu);
+        }
         self.cpus[ci].debt = SimDur::ZERO;
         self.cpus[ci].token += 1;
         let slot = &mut self.threads[tid.0 as usize];
@@ -1612,7 +1649,7 @@ impl Kernel {
         };
         let slice_expired = now.since(self.cpus[ci].slice_start) >= self.opts.timeslice;
         if cand.beats(run_prio) || (cand == run_prio && slice_expired) {
-            self.preempt_current(cpu, now);
+            self.preempt_current(cpu, now, fx);
             self.dispatch_next(cpu, now, fx);
         }
     }

@@ -39,14 +39,14 @@ pub use clock::ClockModel;
 pub use interrupts::InterruptSourceSpec;
 pub use io::{IoRequest, IoServiceModel};
 pub use kernel::{
-    prio_band, Effects, Kernel, KernelEvent, KernelSnapshot, KernelStats, ThreadAccount,
+    prio_band, Effects, Kernel, KernelEvent, KernelSnapshot, KernelStats, SegCancel, ThreadAccount,
     ThreadSpec, UsageRow, RUNQ_BANDS,
 };
 pub use msg::{Endpoint, Mailbox, Message, SrcSel, TagSel};
 pub use options::{CostModel, SchedOptions};
 pub use program::{Action, PeriodicLoop, Program, Script, StepCtx, WaitMode};
 pub use runq::ReadyQueue;
-pub use solo::SoloRunner;
+pub use solo::{seg_slots_of, SoloRunner};
 pub use types::TickAlign;
 pub use types::{CpuId, DaemonQueuePolicy, PreemptMode, Prio, QueueDiscipline, ThreadState, Tid};
 

@@ -6,7 +6,7 @@
 //! multi-node driver lives in `pa-cluster`.
 
 use crate::kernel::{Effects, Kernel, KernelEvent};
-use pa_simkit::{EventQueue, SimDur, SimTime};
+use pa_simkit::{EventId, EventQueue, SimDur, SimTime};
 
 /// Drives one kernel to completion or a time horizon.
 pub struct SoloRunner {
@@ -17,17 +17,23 @@ pub struct SoloRunner {
     /// Loopback latency applied to node-local messages.
     pub shm_latency: SimDur,
     events_processed: u64,
+    /// Outstanding `SegEnd` calendar entry per CPU ([`EventId::NONE`]
+    /// when none), so kernel-voided segment timers are cancelled out of
+    /// the calendar instead of surfacing as stale pops.
+    seg_events: Vec<EventId>,
 }
 
 impl SoloRunner {
     /// Wrap a kernel (not yet booted).
     pub fn new(kernel: Kernel) -> SoloRunner {
+        let ncpus = kernel.ncpus() as usize;
         SoloRunner {
             kernel,
             queue: EventQueue::new(),
             fx: Effects::new(),
             shm_latency: SimDur::from_micros(2),
             events_processed: 0,
+            seg_events: vec![EventId::NONE; ncpus],
         }
     }
 
@@ -47,25 +53,63 @@ impl SoloRunner {
     }
 
     /// Replace the event calendar and event counter (checkpoint restore).
+    /// The per-CPU outstanding-`SegEnd` slots are rebuilt from the
+    /// queue's live entries — with true cancellation at most one is live
+    /// per CPU at any event boundary.
     pub fn restore_queue(&mut self, queue: EventQueue<KernelEvent>, events_processed: u64) {
+        self.seg_events = seg_slots_of(&queue, self.kernel.ncpus() as usize);
         self.queue = queue;
         self.events_processed = events_processed;
     }
 
     fn drain_effects(&mut self) {
         let now = self.queue.now();
-        for (t, ev) in self.fx.schedule.drain(..) {
-            self.queue.schedule(t, ev);
+        let node = self.kernel.node_id();
+        let Self {
+            queue,
+            fx,
+            seg_events,
+            ..
+        } = self;
+        // Interleave voided-segment cancels with schedules in program
+        // order (a handler may cancel a CPU's timer and then arm a new
+        // one); the watermark says how many schedule entries precede
+        // each cancel.
+        let mut ci = 0;
+        for (idx, (t, ev)) in fx.schedule.drain(..).enumerate() {
+            while ci < fx.cancels.len() && (fx.cancels[ci].after as usize) <= idx {
+                cancel_slot(queue, &mut seg_events[fx.cancels[ci].cpu.0 as usize]);
+                ci += 1;
+            }
+            let seg_cpu = match &ev {
+                KernelEvent::SegEnd { cpu, .. } => Some(cpu.0 as usize),
+                _ => None,
+            };
+            let id = queue.schedule(t, ev);
+            if let Some(c) = seg_cpu {
+                seg_events[c] = id;
+            }
         }
-        for msg in self.fx.outbound.drain(..) {
+        while ci < fx.cancels.len() {
+            cancel_slot(queue, &mut seg_events[fx.cancels[ci].cpu.0 as usize]);
+            ci += 1;
+        }
+        fx.cancels.clear();
+        for msg in fx.outbound.drain(..) {
             assert_eq!(
-                msg.dst.node,
-                self.kernel.node_id(),
+                msg.dst.node, node,
                 "SoloRunner cannot route cross-node messages"
             );
-            self.queue
-                .schedule(now + self.shm_latency, KernelEvent::Deliver { msg });
+            queue.schedule(now + self.shm_latency, KernelEvent::Deliver { msg });
         }
+    }
+
+    fn pop_event(&mut self) -> (SimTime, KernelEvent) {
+        let (now, ev) = self.queue.pop().expect("peeked event vanished");
+        if let KernelEvent::SegEnd { cpu, .. } = ev {
+            self.seg_events[cpu.0 as usize] = EventId::NONE;
+        }
+        (now, ev)
     }
 
     /// Boot the kernel at the current time.
@@ -88,7 +132,7 @@ impl SoloRunner {
             if t > horizon {
                 return self.queue.now();
             }
-            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            let (now, ev) = self.pop_event();
             self.events_processed += 1;
             self.kernel.handle(now, ev, &mut self.fx);
             self.drain_effects();
@@ -101,11 +145,40 @@ impl SoloRunner {
             if t > horizon {
                 break;
             }
-            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            let (now, ev) = self.pop_event();
             self.events_processed += 1;
             self.kernel.handle(now, ev, &mut self.fx);
             self.drain_effects();
         }
         horizon
     }
+}
+
+/// Cancel the calendar entry in `slot` (if any) and clear the slot.
+fn cancel_slot(queue: &mut EventQueue<KernelEvent>, slot: &mut EventId) {
+    if *slot != EventId::NONE {
+        queue.cancel(*slot);
+        *slot = EventId::NONE;
+    }
+}
+
+/// Rebuild per-CPU outstanding-`SegEnd` slots from a calendar's live
+/// entries (checkpoint restore). True cancellation guarantees at most
+/// one live `SegEnd` per CPU at any event boundary. Shared by every
+/// kernel driver that restores a calendar (`SoloRunner` here, the
+/// sharded cluster engine in `pa-cluster`).
+pub fn seg_slots_of(queue: &EventQueue<KernelEvent>, ncpus: usize) -> Vec<EventId> {
+    let mut slots = vec![EventId::NONE; ncpus];
+    for (_, id, ev) in queue.live_entries() {
+        if let KernelEvent::SegEnd { cpu, .. } = ev {
+            debug_assert_eq!(
+                slots[cpu.0 as usize],
+                EventId::NONE,
+                "two live SegEnd entries for cpu {}",
+                cpu.0
+            );
+            slots[cpu.0 as usize] = EventId::from_raw(id);
+        }
+    }
+    slots
 }

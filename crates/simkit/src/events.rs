@@ -5,15 +5,40 @@
 //! events are processed in the order they were scheduled (this keeps
 //! whole-cluster runs deterministic).
 //!
-//! Cancellation is lazy: [`EventQueue::cancel`] removes the handle from the
-//! pending set and the heap entry is discarded when it surfaces. The
-//! simulated kernel relies on this for preempted compute segments and
-//! rescheduled timers.
+//! # Structure
+//!
+//! The calendar is an **indexed 4-ary min-heap**: a flat `Vec` ordered by
+//! `(time, id)` plus a position map from [`EventId`] to heap slot. The
+//! position map doubles as the pending set, so `len`/`is_pending` are a
+//! single hash probe and — the part that matters — [`EventQueue::cancel`]
+//! is a true O(log n) removal: swap the victim with the last slot and
+//! sift. Nothing dead ever stays resident, so [`EventQueue::peek_time`]
+//! is a non-allocating, non-mutating `&self` read of slot 0. A 4-ary
+//! layout halves the tree depth of a binary heap and keeps each node's
+//! children in one cache line, which is where a discrete-event simulator
+//! spends its time.
+//!
+//! # Fallback: lazy cancellation with amortized compaction
+//!
+//! [`EventQueue::new_lazy`] builds the same heap with the pre-overhaul
+//! cancellation policy — cancel only drops the id from the pending map
+//! and the heap entry lingers as a *tombstone* — but with the leak
+//! fixed: the queue counts resident tombstones and **compacts** (retains
+//! live entries, re-heapifies) as soon as dead entries outnumber live
+//! ones. That bounds resident garbage at `tombstones <= live` while
+//! keeping cancel O(1) amortized. Dead roots are drained eagerly on
+//! `cancel`/`pop` so the root is always live and `peek_time` stays
+//! `&self` in both modes. [`QueueStats::tombstones`] (resident gauge)
+//! and [`QueueStats::compactions`] surface queue health to `pa-obs`.
 
 use crate::time::SimTime;
-use core::cmp::Reverse;
 use serde::{Deserialize, Serialize};
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Heap arity. Four children per node: shallower than binary, and a
+/// node's child block spans a single cache line of `(time, id)` keys.
+const D: usize = 4;
 
 /// Handle to a scheduled event; use with [`EventQueue::cancel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -23,7 +48,45 @@ impl EventId {
     /// A handle that never corresponds to a live event. Useful as an
     /// initializer for "no event outstanding" slots.
     pub const NONE: EventId = EventId(u64::MAX);
+
+    /// The raw id, for checkpoint plumbing. Pairs with
+    /// [`EventId::from_raw`] and the raw ids in
+    /// [`EventQueue::live_entries`].
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from a checkpointed raw id. Only meaningful for
+    /// ids previously obtained from [`EventId::raw`] against the same
+    /// queue history.
+    pub const fn from_raw(raw: u64) -> Self {
+        EventId(raw)
+    }
 }
+
+/// Event ids are dense, monotonically assigned integers, so a general
+/// SipHash is wasted cycles on the hottest map in the engine. One
+/// Fibonacci multiply mixes the low bits into the high ones, which is
+/// all a power-of-two-capacity table needs.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("EventId hashes via write_u64");
+    }
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type PosMap = HashMap<EventId, u32, BuildHasherDefault<IdHasher>>;
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -32,22 +95,12 @@ struct Entry<E> {
     payload: E,
 }
 
-// Order by (time, id): earliest first, insertion order among ties
-// (ids are handed out monotonically).
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.id == other.id
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
-        (self.time, self.id).cmp(&(other.time, other.id))
+impl<E> Entry<E> {
+    /// Pop order: earliest time first, insertion order among ties (ids
+    /// are handed out monotonically).
+    #[inline]
+    fn key(&self) -> (SimTime, EventId) {
+        (self.time, self.id)
     }
 }
 
@@ -68,6 +121,13 @@ pub struct QueueStats {
     pub cancelled: u64,
     /// High-water mark of live events pending at once.
     pub max_pending: u64,
+    /// Dead entries currently resident in the heap (a gauge, not a
+    /// lifetime total). Always 0 in indexed mode, bounded by the live
+    /// count in lazy mode — a growing value here is the leak this field
+    /// exists to catch.
+    pub tombstones: u64,
+    /// Times the lazy fallback compacted tombstones out of the heap.
+    pub compactions: u64,
 }
 
 impl QueueStats {
@@ -76,12 +136,15 @@ impl QueueStats {
     /// `max_pending` adds too, making the merged value an upper bound on
     /// simultaneously pending events that — unlike a true global
     /// high-water mark — does not depend on how shard processing
-    /// interleaves, so it is identical at any thread count.
+    /// interleaves, so it is identical at any thread count. The
+    /// `tombstones` gauge likewise adds to a whole-engine resident total.
     pub fn absorb(&mut self, other: QueueStats) {
         self.scheduled += other.scheduled;
         self.popped += other.popped;
         self.cancelled += other.cancelled;
         self.max_pending += other.max_pending;
+        self.tombstones += other.tombstones;
+        self.compactions += other.compactions;
     }
 }
 
@@ -101,10 +164,17 @@ impl QueueStats {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Ids scheduled but neither fired nor cancelled. A heap entry whose id
-    /// is absent from this set is a tombstone.
-    pending: HashSet<EventId>,
+    /// 4-ary min-heap by `(time, id)`. Invariant (both modes): slot 0,
+    /// when present, holds a *live* entry.
+    heap: Vec<Entry<E>>,
+    /// Ids scheduled but neither fired nor cancelled, mapped to their
+    /// heap slot. Slots are maintained only in indexed mode; the lazy
+    /// fallback uses this purely as the pending set.
+    live: PosMap,
+    /// Lazy-cancellation fallback when true (see module docs).
+    lazy: bool,
+    /// Dead entries resident in the heap (lazy mode only; 0 otherwise).
+    dead: u32,
     next_id: u64,
     now: SimTime,
     stats: QueueStats,
@@ -117,15 +187,35 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue positioned at the epoch.
+    /// An empty queue positioned at the epoch, with indexed (true
+    /// removal) cancellation. This is the production configuration.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            heap: Vec::new(),
+            live: PosMap::default(),
+            lazy: false,
+            dead: 0,
             next_id: 0,
             now: SimTime::ZERO,
             stats: QueueStats::default(),
         }
+    }
+
+    /// An empty queue using the lazy-cancellation fallback: `cancel` is
+    /// O(1) and leaves a tombstone, the heap compacts whenever dead
+    /// entries outnumber live ones. Same observable pop order and stats
+    /// semantics as [`EventQueue::new`] apart from the
+    /// `tombstones`/`compactions` fields.
+    pub fn new_lazy() -> Self {
+        EventQueue {
+            lazy: true,
+            ..Self::new()
+        }
+    }
+
+    /// True if this queue uses the lazy-cancellation fallback.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
     }
 
     /// Lifetime totals for this queue (engine self-profile).
@@ -141,12 +231,119 @@ impl<E> EventQueue<E> {
 
     /// Number of live (non-cancelled) events still queued.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live.len()
     }
 
     /// True iff no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live.is_empty()
+    }
+
+    /// Heap entries physically resident, live plus tombstones. Equals
+    /// [`EventQueue::len`] in indexed mode; in lazy mode the compaction
+    /// policy bounds it at `2 * len() + 1`.
+    pub fn resident_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    fn entry_less(a: &Entry<E>, b: &Entry<E>) -> bool {
+        a.key() < b.key()
+    }
+
+    /// Record that the entry in heap slot `i` now lives there. Position
+    /// upkeep is an indexed-mode concern; the lazy fallback never reads
+    /// slots.
+    #[inline]
+    fn set_pos(&mut self, i: usize) {
+        if !self.lazy {
+            let id = self.heap[i].id;
+            if let Some(slot) = self.live.get_mut(&id) {
+                *slot = i as u32;
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / D;
+            if Self::entry_less(&self.heap[i], &self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.set_pos(i);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        self.set_pos(i);
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let first = i * D + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let mut best = first;
+            let end = (first + D).min(self.heap.len());
+            for c in first + 1..end {
+                if Self::entry_less(&self.heap[c], &self.heap[best]) {
+                    best = c;
+                }
+            }
+            if Self::entry_less(&self.heap[best], &self.heap[i]) {
+                self.heap.swap(i, best);
+                self.set_pos(i);
+                i = best;
+            } else {
+                break;
+            }
+        }
+        self.set_pos(i);
+    }
+
+    /// Remove the entry at heap slot `i` (indexed mode), restoring the
+    /// heap property around the hole.
+    fn remove_at(&mut self, i: usize) {
+        self.heap.swap_remove(i);
+        if i < self.heap.len() {
+            // The displaced last entry may belong above or below `i`.
+            self.set_pos(i);
+            if i > 0 && Self::entry_less(&self.heap[i], &self.heap[(i - 1) / D]) {
+                self.sift_up(i);
+            } else {
+                self.sift_down(i);
+            }
+        }
+    }
+
+    /// Lazy mode: pop dead entries off the root until it is live, so
+    /// `peek_time` can stay a `&self` read of slot 0.
+    fn drain_dead_roots(&mut self) {
+        while let Some(e) = self.heap.first() {
+            if self.live.contains_key(&e.id) {
+                break;
+            }
+            self.heap.swap_remove(0);
+            if !self.heap.is_empty() {
+                self.sift_down(0);
+            }
+            self.dead -= 1;
+        }
+    }
+
+    /// Lazy mode: rebuild the heap from its live entries. O(n), paid at
+    /// most once per n cancellations since the trigger is dead > live.
+    fn compact(&mut self) {
+        let Self { heap, live, .. } = self;
+        heap.retain(|e| live.contains_key(&e.id));
+        if self.heap.len() > 1 {
+            for i in (0..=(self.heap.len() - 2) / D).rev() {
+                self.sift_down(i);
+            }
+        }
+        self.dead = 0;
+        self.stats.compactions += 1;
     }
 
     /// Schedule `payload` at `time`.
@@ -163,39 +360,72 @@ impl<E> EventQueue<E> {
         );
         let id = EventId(self.next_id);
         self.next_id += 1;
-        self.heap.push(Reverse(Entry { time, id, payload }));
-        self.pending.insert(id);
+        let i = self.heap.len();
+        self.heap.push(Entry { time, id, payload });
+        self.live.insert(id, i as u32);
+        self.sift_up(i);
         self.stats.scheduled += 1;
-        self.stats.max_pending = self.stats.max_pending.max(self.pending.len() as u64);
+        self.stats.max_pending = self.stats.max_pending.max(self.live.len() as u64);
         id
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (and is now dead), `false` if it had already fired,
     /// been cancelled, or is [`EventId::NONE`].
+    ///
+    /// Indexed mode removes the heap entry outright (O(log n)); the lazy
+    /// fallback leaves a tombstone and compacts when dead entries
+    /// outnumber live ones.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        let removed = self.pending.remove(&id);
-        self.stats.cancelled += u64::from(removed);
-        removed
+        let Some(pos) = self.live.remove(&id) else {
+            return false;
+        };
+        self.stats.cancelled += 1;
+        if self.lazy {
+            self.dead += 1;
+            self.drain_dead_roots();
+            if usize::try_from(self.dead).unwrap_or(usize::MAX) > self.live.len() {
+                self.compact();
+            }
+            self.stats.tombstones = u64::from(self.dead);
+        } else {
+            self.remove_at(pos as usize);
+        }
+        true
     }
 
     /// True iff `id` is scheduled and has neither fired nor been cancelled.
     pub fn is_pending(&self, id: EventId) -> bool {
-        self.pending.contains(&id)
+        self.live.contains_key(&id)
     }
 
     /// Pop the earliest live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if !self.pending.remove(&entry.id) {
-                continue; // tombstone of a cancelled event
-            }
-            debug_assert!(entry.time >= self.now, "event queue went backwards");
-            self.now = entry.time;
-            self.stats.popped += 1;
-            return Some((entry.time, entry.payload));
+        if self.heap.is_empty() {
+            return None;
         }
-        None
+        let entry = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.set_pos(0);
+            self.sift_down(0);
+        }
+        let was_live = self.live.remove(&entry.id).is_some();
+        debug_assert!(was_live, "heap root was a tombstone");
+        if self.lazy {
+            self.drain_dead_roots();
+            // A pop shrinks the live set, so it can push the dead share
+            // over the cancel-path threshold; compacting here too keeps
+            // `tombstones <= live` after *every* operation, not just
+            // after cancels.
+            if usize::try_from(self.dead).unwrap_or(usize::MAX) > self.live.len() {
+                self.compact();
+            }
+            self.stats.tombstones = u64::from(self.dead);
+        }
+        debug_assert!(entry.time >= self.now, "event queue went backwards");
+        self.now = entry.time;
+        self.stats.popped += 1;
+        Some((entry.time, entry.payload))
     }
 
     /// Advance the clock to `time` without popping anything, so that
@@ -223,8 +453,8 @@ impl<E> EventQueue<E> {
         let mut out: Vec<(SimTime, u64, &E)> = self
             .heap
             .iter()
-            .filter(|Reverse(e)| self.pending.contains(&e.id))
-            .map(|Reverse(e)| (e.time, e.id.0, &e.payload))
+            .filter(|e| self.live.contains_key(&e.id))
+            .map(|e| (e.time, e.id.0, &e.payload))
             .collect();
         out.sort_by_key(|&(t, id, _)| (t, id));
         out
@@ -238,7 +468,9 @@ impl<E> EventQueue<E> {
     /// Rebuild a queue from checkpointed parts: clock position, id
     /// allocator, lifetime stats, and the live entries with their
     /// original ids. The inverse of [`EventQueue::live_entries`] plus the
-    /// scalar accessors.
+    /// scalar accessors. The rebuilt queue is always indexed — tombstones
+    /// do not survive a checkpoint, so its `tombstones` gauge restarts at
+    /// zero regardless of what the snapshot's stats carried.
     ///
     /// Errors (rather than corrupting causality) if an entry lies in the
     /// past of `now`, reuses an id, or holds an id at or above `next_id`.
@@ -248,8 +480,9 @@ impl<E> EventQueue<E> {
         stats: QueueStats,
         entries: Vec<(SimTime, u64, E)>,
     ) -> Result<Self, String> {
-        let mut heap = BinaryHeap::with_capacity(entries.len());
-        let mut pending = HashSet::with_capacity(entries.len());
+        let mut heap = Vec::with_capacity(entries.len());
+        let mut live = PosMap::default();
+        live.reserve(entries.len());
         for (time, id, payload) in entries {
             if time < now {
                 return Err(format!(
@@ -261,33 +494,40 @@ impl<E> EventQueue<E> {
                     "checkpointed event id {id} not below the id allocator {next_id}"
                 ));
             }
-            if !pending.insert(EventId(id)) {
+            if live.insert(EventId(id), heap.len() as u32).is_some() {
                 return Err(format!("checkpointed event id {id} appears twice"));
             }
-            heap.push(Reverse(Entry {
+            heap.push(Entry {
                 time,
                 id: EventId(id),
                 payload,
-            }));
+            });
         }
-        Ok(EventQueue {
+        let mut q = EventQueue {
             heap,
-            pending,
+            live,
+            lazy: false,
+            dead: 0,
             next_id,
             now,
-            stats,
-        })
+            stats: QueueStats {
+                tombstones: 0,
+                ..stats
+            },
+        };
+        if q.heap.len() > 1 {
+            for i in (0..=(q.heap.len() - 2) / D).rev() {
+                q.sift_down(i);
+            }
+        }
+        Ok(q)
     }
 
-    /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.pending.contains(&entry.id) {
-                return Some(entry.time);
-            }
-            self.heap.pop();
-        }
-        None
+    /// Timestamp of the next live event without popping it. The root is
+    /// live by invariant in both modes, so this is one bounds check and
+    /// one load.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|e| e.time)
     }
 }
 
@@ -401,6 +641,8 @@ mod tests {
         assert_eq!(s.cancelled, 1);
         assert_eq!(s.popped, 2);
         assert_eq!(s.max_pending, 3);
+        assert_eq!(s.tombstones, 0, "indexed mode never leaves tombstones");
+        assert_eq!(s.compactions, 0);
     }
 
     #[test]
@@ -431,12 +673,16 @@ mod tests {
             popped: 8,
             cancelled: 1,
             max_pending: 4,
+            tombstones: 1,
+            compactions: 2,
         };
         let mut b = QueueStats {
             scheduled: 3,
             popped: 3,
             cancelled: 0,
             max_pending: 2,
+            tombstones: 0,
+            compactions: 1,
         };
         b.absorb(a);
         assert_eq!(
@@ -446,17 +692,28 @@ mod tests {
                 popped: 11,
                 cancelled: 1,
                 max_pending: 6,
+                tombstones: 1,
+                compactions: 3,
             }
         );
     }
 
     #[test]
-    fn peek_time_skips_tombstones() {
+    fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from_micros(1), ());
         q.schedule(SimTime::from_micros(9), ());
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(9)));
+    }
+
+    #[test]
+    fn peek_time_is_a_shared_borrow() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(4), ());
+        let shared: &EventQueue<()> = &q;
+        assert_eq!(shared.peek_time(), Some(SimTime::from_micros(4)));
+        assert_eq!(shared.peek_time(), shared.peek_time());
     }
 
     #[test]
@@ -529,5 +786,129 @@ mod tests {
         q.schedule(t + SimDur::from_micros(3), 2u32);
         assert_eq!(q.pop().unwrap().1, 2);
         assert_eq!(q.pop().unwrap().1, 1);
+    }
+
+    #[test]
+    fn indexed_cancel_removes_resident_entry() {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..100u32 {
+            ids.push(q.schedule(SimTime::from_micros(u64::from(i % 13)), i));
+        }
+        for id in ids.iter().step_by(2) {
+            assert!(q.cancel(*id));
+        }
+        assert_eq!(q.len(), 50);
+        assert_eq!(
+            q.resident_len(),
+            50,
+            "indexed cancel must physically remove the entry"
+        );
+        assert_eq!(q.stats().tombstones, 0);
+        // Survivors still pop in (time, id) order.
+        let mut last = (SimTime::ZERO, 0u32);
+        let mut popped = 0;
+        while let Some((t, v)) = q.pop() {
+            assert!((t, v) > last || popped == 0);
+            last = (t, v);
+            popped += 1;
+        }
+        assert_eq!(popped, 50);
+    }
+
+    #[test]
+    fn lazy_mode_bounds_tombstones_and_compacts() {
+        let mut q = EventQueue::new_lazy();
+        assert!(q.is_lazy());
+        // Timer re-arm pattern: a near event stays live at the root while
+        // far-future timers are repeatedly armed and cancelled behind it.
+        // The old queue leaked one buried heap entry per round; the
+        // compaction policy must keep residency bounded.
+        q.schedule(SimTime::from_micros(10), u64::MAX);
+        let mut prev = None;
+        for i in 0..1_000u64 {
+            let id = q.schedule(SimTime::from_micros(1_000 + i), i);
+            if let Some(p) = prev.replace(id) {
+                q.cancel(p);
+            }
+            assert!(
+                q.stats().tombstones <= q.len() as u64,
+                "round {i}: {} tombstones vs {} live",
+                q.stats().tombstones,
+                q.len()
+            );
+            assert!(q.resident_len() <= 2 * q.len() + 1);
+        }
+        assert_eq!(q.len(), 2);
+        assert!(q.stats().compactions > 0, "compaction never triggered");
+        assert_eq!(q.pop().unwrap().1, u64::MAX);
+        assert_eq!(q.pop().unwrap().1, 999);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn lazy_peek_and_pop_skip_dead_roots() {
+        let mut q = EventQueue::new_lazy();
+        let a = q.schedule(SimTime::from_micros(1), "a");
+        let b = q.schedule(SimTime::from_micros(2), "b");
+        q.schedule(SimTime::from_micros(3), "c");
+        q.cancel(a);
+        // Root was the cancelled entry; the eager root drain keeps
+        // peek_time a &self read.
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+        q.cancel(b);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(3)));
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+        assert_eq!(q.stats().tombstones, 0);
+    }
+
+    #[test]
+    fn lazy_and_indexed_agree_on_pop_order_and_core_stats() {
+        // Deterministic interleaving of schedule/cancel/pop across both
+        // policies; the big randomized version lives in the workspace
+        // proptest suite.
+        let mut qi = EventQueue::new();
+        let mut ql = EventQueue::new_lazy();
+        let mut ids_i = Vec::new();
+        let mut ids_l = Vec::new();
+        let mut x = 9_u64;
+        for round in 0..200u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            // Anchor at the (mirrored) clock so pops never strand later
+            // schedules in the past.
+            let t = qi.now() + SimDur::from_micros(1 + (x >> 33) % 50);
+            ids_i.push(qi.schedule(t, round));
+            ids_l.push(ql.schedule(t, round));
+            if x % 3 == 0 && !ids_i.is_empty() {
+                let k = (x as usize >> 7) % ids_i.len();
+                assert_eq!(qi.cancel(ids_i[k]), ql.cancel(ids_l[k]));
+            }
+            if x % 5 == 0 {
+                assert_eq!(qi.pop(), ql.pop());
+            }
+            assert_eq!(qi.peek_time(), ql.peek_time());
+            assert_eq!(qi.len(), ql.len());
+        }
+        loop {
+            let (a, b) = (qi.pop(), ql.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        let (si, sl) = (qi.stats(), ql.stats());
+        assert_eq!(si.scheduled, sl.scheduled);
+        assert_eq!(si.popped, sl.popped);
+        assert_eq!(si.cancelled, sl.cancelled);
+        assert_eq!(si.max_pending, sl.max_pending);
+    }
+
+    #[test]
+    fn event_id_raw_round_trip() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::from_micros(1), ());
+        assert_eq!(EventId::from_raw(id.raw()), id);
+        assert_eq!(EventId::NONE.raw(), u64::MAX);
     }
 }

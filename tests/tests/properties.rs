@@ -150,6 +150,222 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Event queue vs the old heap: the indexed queue and the lazy-tombstone
+// fallback must both replay the exact pop order and core stats of the
+// structure they replaced (a plain binary heap + pending set) under any
+// interleaving of schedule/cancel/advance_to/pop.
+// ---------------------------------------------------------------------
+
+/// Reference model of the pre-overhaul queue: ids are handed out in
+/// schedule order, pops come in `(time, id)` order, and a cancelled id
+/// simply never fires. Any correct priority structure must agree with
+/// this observable behavior exactly.
+struct ModelQueue {
+    now: u64,
+    next_id: u64,
+    live: Vec<(u64, u64, usize)>, // (time, id, value)
+    scheduled: u64,
+    popped: u64,
+    cancelled: u64,
+}
+
+impl ModelQueue {
+    fn new() -> ModelQueue {
+        ModelQueue {
+            now: 0,
+            next_id: 0,
+            live: Vec::new(),
+            scheduled: 0,
+            popped: 0,
+            cancelled: 0,
+        }
+    }
+    fn schedule(&mut self, t: u64, value: usize) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.scheduled += 1;
+        self.live.push((t, id, value));
+        id
+    }
+    fn cancel(&mut self, id: u64) {
+        if let Some(i) = self.live.iter().position(|&(_, lid, _)| lid == id) {
+            self.live.swap_remove(i);
+            self.cancelled += 1;
+        }
+    }
+    fn pop(&mut self) -> Option<(u64, usize)> {
+        let i = (0..self.live.len()).min_by_key(|&i| (self.live[i].0, self.live[i].1))?;
+        let (t, _, v) = self.live.swap_remove(i);
+        self.now = self.now.max(t);
+        self.popped += 1;
+        Some((t, v))
+    }
+    fn peek_time(&self) -> Option<u64> {
+        self.live.iter().map(|&(t, _, _)| t).min()
+    }
+}
+
+/// One step of the interleaving: `kind` selects the operation, the other
+/// fields parameterize it.
+#[derive(Debug, Clone)]
+struct QueueOp {
+    kind: u8,
+    delta: u64,
+    pick: usize,
+}
+
+fn arb_queue_op() -> impl Strategy<Value = QueueOp> {
+    (0u8..10, 1u64..50_000, any::<usize>()).prop_map(|(kind, delta, pick)| QueueOp {
+        kind,
+        delta,
+        pick,
+    })
+}
+
+fn check_queue_against_model(ops: &[QueueOp], lazy: bool) -> Result<(), TestCaseError> {
+    let mut q = if lazy {
+        EventQueue::<usize>::new_lazy()
+    } else {
+        EventQueue::<usize>::new()
+    };
+    let mut model = ModelQueue::new();
+    // Parallel id registries for the same logical live entry.
+    let mut ids: Vec<(pa_simkit::EventId, u64)> = Vec::new();
+    for (step, op) in ops.iter().enumerate() {
+        match op.kind {
+            // schedule (weighted heaviest)
+            0..=4 => {
+                let t = model.now + op.delta;
+                let qid = q.schedule(SimTime::from_nanos(t), step);
+                let mid = model.schedule(t, step);
+                ids.push((qid, mid));
+            }
+            // cancel a random live entry
+            5..=6 => {
+                if !ids.is_empty() {
+                    let (qid, mid) = ids.swap_remove(op.pick % ids.len());
+                    q.cancel(qid);
+                    model.cancel(mid);
+                }
+            }
+            // advance the clock into the pending future
+            7 => {
+                let target = model
+                    .peek_time()
+                    .map_or(model.now, |t| t.min(model.now + op.delta));
+                let target = target.max(model.now);
+                q.advance_to(SimTime::from_nanos(target));
+                model.now = target;
+            }
+            // pop
+            _ => {
+                let got = q.pop();
+                let want = model.pop();
+                prop_assert_eq!(
+                    got.map(|(t, v)| (t.nanos(), v)),
+                    want,
+                    "pop diverged at step {} (lazy={})",
+                    step,
+                    lazy
+                );
+                // The popped entry's id pair stays in `ids`; a later
+                // cancel picking it is a no-op in both queue and model,
+                // so the registries remain in lockstep.
+            }
+        }
+        prop_assert_eq!(
+            q.peek_time().map(SimTime::nanos),
+            model.peek_time(),
+            "peek diverged at step {} (lazy={})",
+            step,
+            lazy
+        );
+        let live = model.live.len();
+        prop_assert!(
+            q.stats().tombstones as usize <= live.max(1),
+            "tombstones exceed live entries at step {}",
+            step
+        );
+        prop_assert!(
+            q.resident_len() <= 2 * live + 1,
+            "resident {} exceeds 2*{}+1 at step {}",
+            q.resident_len(),
+            live,
+            step
+        );
+    }
+    // Drain both to the end: full remaining order must agree.
+    loop {
+        let got = q.pop();
+        let want = model.pop();
+        prop_assert_eq!(got.map(|(t, v)| (t.nanos(), v)), want, "drain diverged");
+        if want.is_none() {
+            break;
+        }
+    }
+    let s = q.stats();
+    prop_assert_eq!(s.scheduled, model.scheduled);
+    prop_assert_eq!(s.popped, model.popped);
+    prop_assert_eq!(s.cancelled, model.cancelled);
+    prop_assert_eq!(s.tombstones, 0, "drained queue still reports tombstones");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn indexed_queue_matches_old_heap_model(ops in prop::collection::vec(arb_queue_op(), 1..300)) {
+        check_queue_against_model(&ops, false)?;
+    }
+
+    #[test]
+    fn lazy_queue_matches_old_heap_model(ops in prop::collection::vec(arb_queue_op(), 1..300)) {
+        check_queue_against_model(&ops, true)?;
+    }
+
+    #[test]
+    fn queue_with_live_tombstones_roundtrips_through_checkpoint(
+        times in prop::collection::vec(1u64..1_000_000, 2..80),
+        cancel_mask in prop::collection::vec(any::<bool>(), 2..80),
+    ) {
+        // A lazy queue mid-flight: some entries cancelled (tombstones may
+        // be resident), then checkpointed via the same live_entries /
+        // from_parts path the engine snapshot uses. The restored queue
+        // must replay the identical pop sequence, with no tombstones
+        // surviving the round trip.
+        let mut q = EventQueue::<usize>::new_lazy();
+        let ids: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_nanos(t), i))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                q.cancel(*id);
+            }
+        }
+        let entries: Vec<(SimTime, u64, usize)> = q
+            .live_entries()
+            .into_iter()
+            .map(|(t, id, v)| (t, id, *v))
+            .collect();
+        let mut restored =
+            EventQueue::from_parts(q.now(), q.next_id_raw(), q.stats(), entries).unwrap();
+        prop_assert_eq!(restored.stats().tombstones, 0);
+        loop {
+            let want = q.pop();
+            let got = restored.pop();
+            prop_assert_eq!(got, want, "restored queue diverged");
+            if want.is_none() {
+                break;
+            }
+        }
+        let (a, b) = (q.stats(), restored.stats());
+        prop_assert_eq!(a.scheduled - a.cancelled, b.scheduled - b.cancelled);
+        prop_assert_eq!(a.popped, b.popped);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Time and clock arithmetic.
 // ---------------------------------------------------------------------
 
@@ -279,6 +495,59 @@ proptest! {
                 threads, nodes, seed, link_bw
             );
         }
+    }
+}
+
+/// A fast-cycling co-scheduler over skewed compute keeps every CPU busy
+/// while the priority daemon preempts runners mid-segment — each
+/// preemption cancels a live `SegEnd` out of the calendar. History must
+/// be bit-identical at 1/2/4/8 threads with cancellation on the hot path.
+#[test]
+fn cancel_heavy_cosched_history_is_identical_at_1_2_4_8_threads() {
+    let run = |threads: usize| {
+        let mut wl = |rank: u32| -> Box<dyn RankWorkload> {
+            let mut ops = Vec::new();
+            for i in 0..60u64 {
+                let us = 200 + ((u64::from(rank) * 37 + i * 13) % 400);
+                ops.push(MpiOp::Compute(SimDur::from_micros(us)));
+                if i % 10 == 9 {
+                    ops.push(MpiOp::Allreduce { bytes: 256 });
+                }
+            }
+            Box::new(OpList::new(ops))
+        };
+        let mut setup = CoschedSetup::default();
+        setup.params.period = SimDur::from_millis(1);
+        setup.params.duty = 0.5;
+        let out = Experiment::new(8, 4)
+            .with_cpus_per_node(4)
+            .with_cosched(setup)
+            .with_trace_node(0)
+            .with_seed(9)
+            .with_sim_threads(threads)
+            .run(&mut wl);
+        let trace: Vec<pa_trace::TraceEvent> =
+            out.sim.kernel(0).trace().events().copied().collect();
+        let stats = out.sim.queue_stats();
+        (metrics_of(&out).snapshot_json(), trace, stats)
+    };
+    let serial = run(1);
+    assert!(
+        serial.2.cancelled > 0,
+        "spec produced no cancellations: {:?}",
+        serial.2
+    );
+    let live = serial.2.scheduled - serial.2.popped - serial.2.cancelled;
+    assert!(
+        serial.2.tombstones <= live.max(1),
+        "tombstones unbounded: {:?}",
+        serial.2
+    );
+    for threads in [2usize, 4, 8] {
+        let sharded = run(threads);
+        assert_eq!(serial.0, sharded.0, "metrics diverge at {threads} threads");
+        assert_eq!(serial.1, sharded.1, "trace diverges at {threads} threads");
+        assert_eq!(serial.2, sharded.2, "stats diverge at {threads} threads");
     }
 }
 
