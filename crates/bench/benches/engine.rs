@@ -4,7 +4,7 @@
 //! per wall-clock second.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use pa_kernel::{Prio, ReadyQueue, Tid};
+use pa_kernel::{DispatchKey, Prio, ReadyQueue, Tid};
 use pa_mpi::coll;
 use pa_simkit::{EventQueue, SeedSpace, SimDur, SimTime};
 use std::hint::black_box;
@@ -60,7 +60,23 @@ fn bench_ready_queue(c: &mut Criterion) {
         b.iter(|| {
             let mut q = ReadyQueue::new();
             for i in 0..64u32 {
-                q.push(Tid(i), Prio((i % 100) as u8));
+                q.push(Tid(i), DispatchKey::from_prio(Prio((i % 100) as u8)));
+            }
+            while let Some(x) = q.pop() {
+                black_box(x);
+            }
+        })
+    });
+
+    c.bench_function("ready_queue/remove_interleaved_256", |b| {
+        b.iter(|| {
+            let mut q = ReadyQueue::new();
+            for i in 0..256u32 {
+                q.push(Tid(i), DispatchKey::from_prio(Prio((i % 100) as u8)));
+            }
+            // Steal-style removals from the middle, via the side index.
+            for i in (0..256u32).step_by(2) {
+                black_box(q.remove(Tid(i)));
             }
             while let Some(x) = q.pop() {
                 black_box(x);

@@ -26,7 +26,10 @@
 //!   last checkpoint, and the resumed results are bit-identical to an
 //!   uninterrupted run's;
 //! * `--policies LIST` — batch placement policies for the `multi_job`
-//!   sweep (comma-separated `fcfs`/`backfill`/`pack`/`equi`; default all).
+//!   sweep (comma-separated `fcfs`/`backfill`/`pack`/`equi`; default all);
+//! * `--dispatcher NAME` — kernel dispatcher policy (`aix` reproduces the
+//!   2003 priority-band semantics, the default; `cfs`/`eevdf` re-ask the
+//!   paper's question under weighted-fair scheduling).
 //!
 //! The default mode is a balanced configuration that reproduces every
 //! qualitative result in a few minutes.
@@ -85,6 +88,9 @@ pub struct Args {
     /// Batch placement policies to compare (`multi_job` only): names from
     /// `pa_jobs::PolicyKind::parse`, comma-separated. `None` = all.
     pub policies: Option<Vec<pa_jobs::PolicyKind>>,
+    /// Kernel dispatcher policy (`aix`/`cfs`/`eevdf`); `aix` is the
+    /// paper-faithful default.
+    pub dispatcher: pa_kernel::DispatcherKind,
 }
 
 impl Args {
@@ -104,6 +110,7 @@ impl Args {
             trace_out: None,
             blame_out: None,
             policies: None,
+            dispatcher: pa_kernel::DispatcherKind::Aix,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -194,6 +201,16 @@ impl Args {
                     args.policies =
                         Some(parsed.unwrap_or_else(|e| usage(&format!("--policies: {e}"))));
                 }
+                "--dispatcher" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--dispatcher needs aix, cfs, or eevdf"));
+                    args.dispatcher = pa_kernel::DispatcherKind::parse(&v).unwrap_or_else(|| {
+                        usage(&format!(
+                            "--dispatcher: unknown policy '{v}' (aix/cfs/eevdf)"
+                        ))
+                    });
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument '{other}'")),
             }
@@ -257,7 +274,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: <bin> [--quick|--full] [--json] [--seed N] [--jobs N] [--sim-threads N] \
          [--no-cache] [--rerun] [--link-bandwidth B|unlimited] [--checkpoint-every DUR] \
-         [--metrics-out PATH] [--trace-out PATH] [--blame-out PATH] [--policies LIST]"
+         [--metrics-out PATH] [--trace-out PATH] [--blame-out PATH] [--policies LIST] \
+         [--dispatcher aix|cfs|eevdf]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -338,7 +356,11 @@ pub fn campaign_registry(
         // Link-contention totals ride along in each point's extras (exact
         // u64 counts stored as f64); summed here they stay deterministic
         // across cache states and job counts like everything else.
-        for key in ["fabric.link_waits", "fabric.link_wait_ns"] {
+        for key in [
+            "fabric.link_waits",
+            "fabric.link_wait_ns",
+            "kernel.dispatches",
+        ] {
             if let Some(&v) = r.extra.get(key) {
                 reg.inc(key, v as u64);
             }
@@ -404,5 +426,6 @@ pub fn scale_sweep(mut cfg: ScalingConfig, args: &Args) -> ScalingConfig {
         }
     }
     cfg.link_bandwidth = args.link_bandwidth;
+    cfg.kernel.dispatcher = args.dispatcher;
     cfg
 }

@@ -31,7 +31,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// timers are removed from the calendar instead of popping as stale
 /// no-ops — so per-run event counts shifted; v6 entries would disagree
 /// with a fresh run of the same spec.
-pub const CACHE_SCHEMA_VERSION: u32 = 7;
+/// v8: `PointSpec` gained the `dispatcher` canonical key (pluggable
+/// dispatcher policies) and `PointResult.extra` gained the
+/// `kernel.dispatches` counter; v7 entries lack both and must read as
+/// misses, never as results for a dispatcher-bearing spec.
+pub const CACHE_SCHEMA_VERSION: u32 = 8;
 
 /// Whether a point was served from disk or freshly simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +72,13 @@ impl PointResult {
         // counts; f64 is lossless far beyond any realistic run.
         extra.insert("fabric.link_waits".into(), out.sim.link_waits() as f64);
         extra.insert("fabric.link_wait_ns".into(), out.sim.link_wait_ns() as f64);
+        // Total dispatcher decisions across the cluster: the activity
+        // proof per dispatcher policy (CI asserts it nonzero) and a cheap
+        // context-switch-pressure signal for fair-vs-AIX comparisons.
+        let dispatches: u64 = (0..out.sim.nodes())
+            .map(|n| out.sim.kernel(n).stats().dispatches)
+            .sum();
+        extra.insert("kernel.dispatches".into(), dispatches as f64);
         // Wait-state category sums (ns over all ranks). Exact u64/i64
         // counts; f64 is lossless far beyond any realistic run. Cached so
         // campaign blame totals merge without re-running points.
@@ -226,6 +237,7 @@ mod tests {
             horizon: None,
             link_bandwidth: None,
             policy: None,
+            dispatcher: None,
         }
     }
 
@@ -298,24 +310,28 @@ mod tests {
 
     #[test]
     fn pre_policy_schema_entries_read_as_misses() {
-        // A well-formed v4 entry (written before `PointSpec.policy`
-        // existed) stored under a v5 key must be a miss, not a result.
-        let cache = tmp_cache("schema-v4");
-        let s = spec();
-        let key = s.content_key();
-        cache.store(&key, &s, &result()).unwrap();
-        let entry = std::fs::read_to_string(cache.path_for(&key)).unwrap();
-        let downgraded = entry.replacen(
-            &format!("\"schema\": {CACHE_SCHEMA_VERSION}"),
-            "\"schema\": 4",
-            1,
-        );
-        assert_ne!(entry, downgraded, "entry must carry the schema field");
-        std::fs::write(cache.path_for(&key), downgraded).unwrap();
-        assert!(
-            cache.lookup(&key).is_none(),
-            "v4 entry must not satisfy a v5 lookup"
-        );
-        assert_eq!(cache.corrupt_entries(), 1);
+        // Well-formed entries written under older schemas — v4 (before
+        // `PointSpec.policy`) and v7 (before `PointSpec.dispatcher` and
+        // the `kernel.dispatches` extra) — must read as misses under the
+        // current schema, never as results; each also tallies as corrupt.
+        for (tag, old) in [("schema-v4", 4u32), ("schema-v7", 7u32)] {
+            let cache = tmp_cache(tag);
+            let s = spec();
+            let key = s.content_key();
+            cache.store(&key, &s, &result()).unwrap();
+            let entry = std::fs::read_to_string(cache.path_for(&key)).unwrap();
+            let downgraded = entry.replacen(
+                &format!("\"schema\": {CACHE_SCHEMA_VERSION}"),
+                &format!("\"schema\": {old}"),
+                1,
+            );
+            assert_ne!(entry, downgraded, "entry must carry the schema field");
+            std::fs::write(cache.path_for(&key), downgraded).unwrap();
+            assert!(
+                cache.lookup(&key).is_none(),
+                "v{old} entry must not satisfy a v{CACHE_SCHEMA_VERSION} lookup"
+            );
+            assert_eq!(cache.corrupt_entries(), 1);
+        }
     }
 }

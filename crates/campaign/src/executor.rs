@@ -382,6 +382,7 @@ mod tests {
             horizon: None,
             link_bandwidth: None,
             policy: None,
+            dispatcher: None,
         }
     }
 

@@ -450,7 +450,11 @@ pub const CHECKPOINT_FORMAT: &str = "pa-cluster-checkpoint";
 ///
 /// v3: `QueueStats` gained the `tombstones`/`compactions` queue-health
 /// fields (the indexed-heap event calendar overhaul).
-pub const CHECKPOINT_VERSION: u64 = 3;
+///
+/// v4: ready-queue entries carry dispatch keys and arrival sequences
+/// instead of priorities, `SchedOptions` gained the `dispatcher` field,
+/// and `KernelSnapshot` carries the dispatcher policy state (`disp`).
+pub const CHECKPOINT_VERSION: u64 = 4;
 
 /// Whole-cluster checkpoint state (everything the engine mutates).
 #[derive(Debug, Serialize, Deserialize)]

@@ -157,6 +157,13 @@ impl Experiment {
         self
     }
 
+    /// Select the dispatcher policy (a shorthand for mutating
+    /// [`SchedOptions::dispatcher`] on the current kernel block).
+    pub fn with_dispatcher(mut self, kind: pa_kernel::DispatcherKind) -> Self {
+        self.kernel.dispatcher = kind;
+        self
+    }
+
     /// Deploy the co-scheduler.
     pub fn with_cosched(mut self, setup: CoschedSetup) -> Self {
         self.cosched = Some(setup);
@@ -524,6 +531,29 @@ mod tests {
             (out.wall, out.events, out.mean_allreduce_us().to_bits())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fair_dispatchers_complete_and_are_deterministic() {
+        for kind in [
+            pa_kernel::DispatcherKind::Cfs,
+            pa_kernel::DispatcherKind::Eevdf,
+        ] {
+            let run = |threads: usize| {
+                let mut wl = allreduce_workload(32);
+                let out = Experiment::new(2, 4)
+                    .with_cpus_per_node(4)
+                    .with_dispatcher(kind)
+                    .with_sim_threads(threads)
+                    .with_seed(31)
+                    .run(&mut wl);
+                assert!(out.completed, "{kind:?} job did not finish");
+                (out.wall, out.events, out.mean_allreduce_us().to_bits())
+            };
+            // Bit-identical across runs and across shard counts.
+            assert_eq!(run(1), run(1), "{kind:?} not deterministic");
+            assert_eq!(run(1), run(3), "{kind:?} varies with sim-threads");
+        }
     }
 
     #[test]

@@ -26,12 +26,13 @@
 //!   rather than context-switching, matching interrupt semantics.
 
 use crate::clock::ClockModel;
+use crate::dispatch::{make_dispatcher, Dispatcher};
 use crate::interrupts::{InterruptSource, InterruptSourceSpec};
 use crate::io::{IoRequest, IoServiceModel};
 use crate::msg::{Mailbox, Message, SrcSel, TagSel};
 use crate::options::SchedOptions;
 use crate::program::{Action, Program, StepCtx, WaitMode};
-use crate::runq::ReadyQueue;
+use crate::runq::{DispatchKey, ReadyQueue};
 use crate::types::{
     CpuId, DaemonQueuePolicy, PreemptMode, Prio, QueueDiscipline, ThreadState, Tid,
 };
@@ -373,11 +374,11 @@ pub struct KernelStats {
     pub runq_waits: [u64; 4],
 }
 
-/// One ready queue's checkpointed contents: `(prio, arrival seq, tid)`
+/// One ready queue's checkpointed contents: `(key, arrival seq, tid)`
 /// entries in dispatch order plus the arrival-sequence allocator.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct RunqSnap {
-    entries: Vec<(Prio, u64, Tid)>,
+    entries: Vec<(DispatchKey, u64, Tid)>,
     next_seq: u64,
 }
 
@@ -484,6 +485,8 @@ pub struct KernelSnapshot {
     ipi_in_flight: bool,
     app_alive: u64,
     next_daemon_home: u8,
+    /// Opaque policy state of the active dispatcher (`Null` for AIX).
+    disp: Value,
     stats: KernelStatsSnap,
     trace: TraceSnap,
 }
@@ -506,6 +509,8 @@ pub struct Kernel {
     cpus: Vec<Cpu>,
     threads: Vec<ThreadSlot>,
     global_q: ReadyQueue,
+    /// Active dispatcher policy (selected by `opts.dispatcher`).
+    disp: Box<dyn Dispatcher>,
     /// (local wake time, seq) -> tid. Serviced during tick processing.
     callouts: BTreeMap<(SimTime, u64), Tid>,
     callout_seq: u64,
@@ -558,6 +563,7 @@ impl Kernel {
                 .collect(),
             threads: Vec::new(),
             global_q: ReadyQueue::new(),
+            disp: make_dispatcher(opts.dispatcher),
             callouts: BTreeMap::new(),
             callout_seq: 0,
             io_pending: VecDeque::new(),
@@ -704,6 +710,8 @@ impl Kernel {
             block_reason: BlockReason::None,
             exited_at: None,
         });
+        // Policy state must exist before the first enqueue keys it.
+        self.disp.on_spawn(tid);
         self.enqueue(tid, enq_at);
         (tid, home)
     }
@@ -741,6 +749,8 @@ impl Kernel {
             block_reason: BlockReason::None,
             exited_at: Some(SimTime::ZERO),
         });
+        // Pseudo-slots keep policy state tid-dense too (never dispatched).
+        self.disp.on_spawn(itid);
         self.interrupt_sources.push(InterruptSource { spec, itid });
         itid
     }
@@ -1112,13 +1122,17 @@ impl Kernel {
     // Dispatcher internals
     // ------------------------------------------------------------------
 
-    fn enqueue(&mut self, tid: Tid, now: SimTime) {
+    /// Queue a Ready thread under the policy's key, returning the key so
+    /// placement can compare it against runners without recomputing.
+    fn enqueue(&mut self, tid: Tid, now: SimTime) -> DispatchKey {
         let prio = self.threads[tid.0 as usize].prio;
+        let key = self.disp.enqueue_key(tid, prio);
         self.threads[tid.0 as usize].enqueued_at = now;
         match self.threads[tid.0 as usize].discipline {
-            QueueDiscipline::Pinned(c) => self.cpus[c.0 as usize].local_q.push(tid, prio),
-            QueueDiscipline::Global => self.global_q.push(tid, prio),
+            QueueDiscipline::Pinned(c) => self.cpus[c.0 as usize].local_q.push(tid, key),
+            QueueDiscipline::Global => self.global_q.push(tid, key),
         }
+        key
     }
 
     /// Remove `tid` from whatever queue holds it (priority change path).
@@ -1134,34 +1148,39 @@ impl Kernel {
         self.global_q.contains(tid) || self.cpus.iter().any(|c| c.local_q.contains(tid))
     }
 
-    /// Choose the next thread for `cpu`, honouring local/global priority
+    /// Choose the next thread for `cpu`, honouring local/global key order
     /// and idle stealing.
     fn pick_for(&mut self, cpu: CpuId) -> Option<Tid> {
         let ci = cpu.0 as usize;
-        let local_best = self.cpus[ci].local_q.best_prio();
-        let global_best = self.global_q.best_prio();
-        match (local_best, global_best) {
-            (Some(l), Some(g)) if g.beats(l) => return self.global_q.pop().map(|(_, t)| t),
-            (Some(_), _) => return self.cpus[ci].local_q.pop().map(|(_, t)| t),
-            (None, Some(_)) => return self.global_q.pop().map(|(_, t)| t),
-            (None, None) => {}
-        }
-        if !self.opts.idle_steal {
-            return None;
-        }
-        // Idle steal: take the best thread pinned to another CPU.
-        let mut best: Option<(Prio, usize)> = None;
-        for (i, c) in self.cpus.iter().enumerate() {
-            if i == ci {
-                continue;
-            }
-            if let Some(p) = c.local_q.best_prio() {
-                if best.is_none_or(|(bp, _)| p.beats(bp)) {
-                    best = Some((p, i));
+        let local_best = self.cpus[ci].local_q.best_key();
+        let global_best = self.global_q.best_key();
+        let picked = match (local_best, global_best) {
+            (Some(l), Some(g)) if g < l => self.global_q.pop(),
+            (Some(_), _) => self.cpus[ci].local_q.pop(),
+            (None, Some(_)) => self.global_q.pop(),
+            (None, None) => {
+                if !self.opts.idle_steal {
+                    return None;
                 }
+                // Idle steal: take the best thread pinned to another CPU.
+                let mut best: Option<(DispatchKey, usize)> = None;
+                for (i, c) in self.cpus.iter().enumerate() {
+                    if i == ci {
+                        continue;
+                    }
+                    if let Some(k) = c.local_q.best_key() {
+                        if best.is_none_or(|(bk, _)| k < bk) {
+                            best = Some((k, i));
+                        }
+                    }
+                }
+                best.and_then(|(_, i)| self.cpus[i].local_q.pop())
             }
-        }
-        best.and_then(|(_, i)| self.cpus[i].local_q.pop().map(|(_, t)| t))
+        };
+        picked.map(|(key, tid)| {
+            self.disp.on_pick(tid, key);
+            tid
+        })
     }
 
     fn dispatch_next(&mut self, cpu: CpuId, now: SimTime, fx: &mut Effects) {
@@ -1441,6 +1460,7 @@ impl Kernel {
                         slot.state = ThreadState::Exited;
                         slot.cpu_time += now.since(last);
                         slot.exited_at = Some(now);
+                        self.disp.charge(tid, slot.prio, now.since(last));
                     }
                     if class == ThreadClass::App {
                         self.app_alive -= 1;
@@ -1480,8 +1500,10 @@ impl Kernel {
             }
             slot.remaining = SimDur::ZERO;
         }
-        slot.cpu_time += now.since(slot.last_dispatch);
+        let ran = now.since(slot.last_dispatch);
+        slot.cpu_time += ran;
         slot.state = ThreadState::Ready;
+        self.disp.charge(tid, slot.prio, ran);
         self.stats.preemptions += 1;
         self.stats.poll_spin_ns += spin.nanos();
         self.trace.emit(now, cpu.0, HookId::Undispatch, tid.0, 0);
@@ -1504,7 +1526,9 @@ impl Kernel {
         self.cpus[ci].token += 1;
         let slot = &mut self.threads[tid.0 as usize];
         slot.state = ThreadState::Blocked;
-        slot.cpu_time += now.since(slot.last_dispatch);
+        let ran = now.since(slot.last_dispatch);
+        slot.cpu_time += ran;
+        self.disp.charge(tid, slot.prio, ran);
         slot.blocked_since = now;
         // Latch the reason now: `on_deliver` rewrites `cont` before the
         // wake, so it cannot be recovered later.
@@ -1542,17 +1566,16 @@ impl Kernel {
             slot.block_reason = BlockReason::None;
             slot.state = ThreadState::Ready;
         }
-        self.enqueue(tid, now);
-        self.place(tid, now, fx);
+        let key = self.enqueue(tid, now);
+        self.place(tid, key, now, fx);
     }
 
     /// Placement after readying: grab an idle CPU, else request preemption
-    /// against the appropriate victim.
-    fn place(&mut self, tid: Tid, now: SimTime, fx: &mut Effects) {
-        let (prio, disc) = {
-            let s = &self.threads[tid.0 as usize];
-            (s.prio, s.discipline)
-        };
+    /// against the appropriate victim. `key` is the dispatch key the thread
+    /// was just enqueued under — the dispatcher compares it against the
+    /// victim's running key to decide whether preemption is warranted.
+    fn place(&mut self, tid: Tid, key: DispatchKey, now: SimTime, fx: &mut Effects) {
+        let disc = self.threads[tid.0 as usize].discipline;
         // Prefer the thread's home CPU if idle, then any idle CPU.
         let home_idle = match disc {
             QueueDiscipline::Pinned(c) if self.cpus[c.0 as usize].running.is_none() => Some(c),
@@ -1577,26 +1600,31 @@ impl Kernel {
         let victim = match disc {
             QueueDiscipline::Pinned(c) => self.cpus[c.0 as usize].running.is_some().then_some(c),
             QueueDiscipline::Global => {
-                // Worst-priority runner; ties to the lowest CPU index.
-                let mut worst: Option<(Prio, CpuId)> = None;
+                // Worst (highest-key) runner; ties to the lowest CPU index.
+                let mut worst: Option<(DispatchKey, CpuId)> = None;
                 for (i, c) in self.cpus.iter().enumerate() {
                     let Some(r) = c.running else { continue };
-                    let rp = self.threads[r.0 as usize].prio;
-                    if worst.is_none_or(|(wp, _)| rp.0 > wp.0) {
-                        worst = Some((rp, CpuId(i as u8)));
+                    let slot = &self.threads[r.0 as usize];
+                    let rk = self
+                        .disp
+                        .running_key(r, slot.prio, now.since(slot.last_dispatch));
+                    if worst.is_none_or(|(wk, _)| rk > wk) {
+                        worst = Some((rk, CpuId(i as u8)));
                     }
                 }
                 worst.map(|(_, c)| c)
             }
         };
         let Some(victim) = victim else { return };
-        let run_prio = {
+        let run_key = {
             let r = self.cpus[victim.0 as usize]
                 .running
                 .expect("victim is busy");
-            self.threads[r.0 as usize].prio
+            let slot = &self.threads[r.0 as usize];
+            self.disp
+                .running_key(r, slot.prio, now.since(slot.last_dispatch))
         };
-        if prio.beats(run_prio) {
+        if self.disp.should_preempt(key, run_key, false) {
             self.request_preempt(victim, now, fx);
         }
     }
@@ -1642,13 +1670,19 @@ impl Kernel {
             self.dispatch_next(cpu, now, fx);
             return;
         };
-        let run_prio = self.threads[tid.0 as usize].prio;
-        let cand = best_of(self.cpus[ci].local_q.best_prio(), self.global_q.best_prio());
+        let cand = best_of(self.cpus[ci].local_q.best_key(), self.global_q.best_key());
         let Some(cand) = cand else {
             return;
         };
-        let slice_expired = now.since(self.cpus[ci].slice_start) >= self.opts.timeslice;
-        if cand.beats(run_prio) || (cand == run_prio && slice_expired) {
+        let run_key = {
+            let slot = &self.threads[tid.0 as usize];
+            self.disp
+                .running_key(tid, slot.prio, now.since(slot.last_dispatch))
+        };
+        let contenders = self.cpus[ci].local_q.len() + self.global_q.len();
+        let slice = self.disp.slice_len(self.opts.timeslice, contenders);
+        let slice_expired = now.since(self.cpus[ci].slice_start) >= slice;
+        if self.disp.should_preempt(cand, run_key, slice_expired) {
             self.preempt_current(cpu, now, fx);
             self.dispatch_next(cpu, now, fx);
         }
@@ -1681,8 +1715,8 @@ impl Kernel {
                     slot.runq_wait += now.since(slot.enqueued_at);
                 }
                 self.dequeue(target);
-                self.enqueue(target, now);
-                self.place(target, now, fx);
+                let key = self.enqueue(target, now);
+                self.place(target, key, now, fx);
             }
             ThreadState::Running => {
                 // Reverse preemption: only the improved RT option forces an
@@ -1693,9 +1727,16 @@ impl Kernel {
                     .iter()
                     .position(|c| c.running == Some(target))
                     .expect("running thread has a CPU");
-                let cand = best_of(self.cpus[ci].local_q.best_prio(), self.global_q.best_prio());
+                let cand = best_of(self.cpus[ci].local_q.best_key(), self.global_q.best_key());
                 if let Some(cand) = cand {
-                    if cand.beats(prio) && self.opts.preempt == PreemptMode::RtIpiImproved {
+                    let run_key = {
+                        let slot = &self.threads[target.0 as usize];
+                        self.disp
+                            .running_key(target, prio, now.since(slot.last_dispatch))
+                    };
+                    if self.disp.should_preempt(cand, run_key, false)
+                        && self.opts.preempt == PreemptMode::RtIpiImproved
+                    {
                         self.request_preempt(CpuId(ci as u8), now, fx);
                     }
                 }
@@ -1785,6 +1826,7 @@ impl Kernel {
             ipi_in_flight: self.ipi_in_flight,
             app_alive: self.app_alive as u64,
             next_daemon_home: self.next_daemon_home,
+            disp: self.disp.snapshot_state(),
             stats: KernelStatsSnap {
                 dispatches: self.stats.dispatches,
                 ctx_switches: self.stats.ctx_switches,
@@ -1899,6 +1941,9 @@ impl Kernel {
         self.ipi_in_flight = snap.ipi_in_flight;
         self.app_alive = snap.app_alive as usize;
         self.next_daemon_home = snap.next_daemon_home;
+        self.disp
+            .restore_state(&snap.disp)
+            .map_err(|e| format!("dispatcher state on node {}: {e}", self.node))?;
         self.stats = KernelStats {
             dispatches: snap.stats.dispatches,
             ctx_switches: snap.stats.ctx_switches,
@@ -1920,10 +1965,10 @@ impl Kernel {
     }
 }
 
-/// More favored of two optional priorities.
-fn best_of(a: Option<Prio>, b: Option<Prio>) -> Option<Prio> {
+/// Better (lower) of two optional dispatch keys.
+fn best_of(a: Option<DispatchKey>, b: Option<DispatchKey>) -> Option<DispatchKey> {
     match (a, b) {
-        (Some(x), Some(y)) => Some(if y.beats(x) { y } else { x }),
+        (Some(x), Some(y)) => Some(x.min(y)),
         (x, y) => x.or(y),
     }
 }

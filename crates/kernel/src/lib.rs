@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 
 pub mod clock;
+pub mod dispatch;
 pub mod interrupts;
 pub mod io;
 pub mod kernel;
@@ -36,6 +37,7 @@ pub mod solo;
 pub mod types;
 
 pub use clock::ClockModel;
+pub use dispatch::{make_dispatcher, prio_to_weight, Dispatcher};
 pub use interrupts::InterruptSourceSpec;
 pub use io::{IoRequest, IoServiceModel};
 pub use kernel::{
@@ -45,10 +47,12 @@ pub use kernel::{
 pub use msg::{Endpoint, Mailbox, Message, SrcSel, TagSel};
 pub use options::{CostModel, SchedOptions};
 pub use program::{Action, PeriodicLoop, Program, Script, StepCtx, WaitMode};
-pub use runq::ReadyQueue;
+pub use runq::{DispatchKey, ReadyQueue};
 pub use solo::{seg_slots_of, SoloRunner};
 pub use types::TickAlign;
-pub use types::{CpuId, DaemonQueuePolicy, PreemptMode, Prio, QueueDiscipline, ThreadState, Tid};
+pub use types::{
+    CpuId, DaemonQueuePolicy, DispatcherKind, PreemptMode, Prio, QueueDiscipline, ThreadState, Tid,
+};
 
 #[cfg(test)]
 mod tests {
@@ -731,6 +735,155 @@ mod tests {
             Box::new(Script::new(vec![Action::Compute(SimDur::from_millis(5))])),
         );
         assert!(d.restore(&snap).is_err());
+    }
+
+    #[test]
+    fn cfs_splits_cpu_between_equal_spinners() {
+        // Two equal-weight spinners on one CPU under the CFS policy must
+        // split the CPU evenly: after any settling window their cpu_time
+        // difference stays within one slice plus one tick of lazy notice.
+        let mut opts = SchedOptions::vanilla();
+        opts.dispatcher = DispatcherKind::Cfs;
+        let mut k = mk_kernel(1, opts);
+        let a = k.spawn(
+            app_spec("a", 0),
+            Box::new(Script::new(vec![Action::Compute(SimDur::from_secs(1))])),
+        );
+        let b = k.spawn(
+            app_spec("b", 0),
+            Box::new(Script::new(vec![Action::Compute(SimDur::from_secs(1))])),
+        );
+        let mut r = SoloRunner::new(k);
+        r.boot();
+        r.run_until(SimTime::from_millis(200));
+        let ta = r.kernel.thread_cpu_time(a);
+        let tb = r.kernel.thread_cpu_time(b);
+        // Each should hold roughly half of the 200ms window.
+        assert!(ta >= SimDur::from_millis(80), "a starved: {ta:?}");
+        assert!(tb >= SimDur::from_millis(80), "b starved: {tb:?}");
+        // Split within one CFS slice (latency/2 = 12ms) + one 10ms tick.
+        let diff = if ta > tb { ta - tb } else { tb - ta };
+        assert!(diff <= SimDur::from_millis(22), "unfair split: {diff:?}");
+    }
+
+    #[test]
+    fn fair_policies_do_not_starve_unfavored_threads() {
+        // Under AIX priority dispatch a USER spinner starves an UNFAVORED
+        // one completely; under the fair policies the nice-to-weight table
+        // only *scales* the unfavored thread's share.
+        let share = |kind: DispatcherKind| {
+            let mut opts = SchedOptions::vanilla();
+            opts.dispatcher = kind;
+            let mut k = mk_kernel(1, opts);
+            k.spawn(
+                app_spec("hi", 0),
+                Box::new(Script::new(vec![Action::Compute(SimDur::from_secs(1))])),
+            );
+            let lo = k.spawn(
+                ThreadSpec::new("lo", ThreadClass::App, Prio::UNFAVORED).on_cpu(CpuId(0)),
+                Box::new(Script::new(vec![Action::Compute(SimDur::from_secs(1))])),
+            );
+            let mut r = SoloRunner::new(k);
+            r.boot();
+            r.run_until(SimTime::from_millis(400));
+            r.kernel.thread_cpu_time(lo)
+        };
+        assert_eq!(share(DispatcherKind::Aix), SimDur::ZERO);
+        for kind in [DispatcherKind::Cfs, DispatcherKind::Eevdf] {
+            let got = share(kind);
+            assert!(
+                got >= SimDur::from_millis(10),
+                "{kind:?} starved the unfavored thread: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fair_policies_run_message_workloads_and_snapshot() {
+        // End-to-end smoke: a sender/receiver pair plus a daemon finish
+        // under every dispatcher, and a mid-run snapshot restores onto an
+        // identically assembled kernel bit for bit.
+        for kind in DispatcherKind::ALL {
+            let assemble = || {
+                let mut opts = SchedOptions::vanilla();
+                opts.dispatcher = kind;
+                let mut k = mk_kernel(2, opts);
+                k.spawn(
+                    app_spec("sender", 0),
+                    Box::new(Script::new(vec![
+                        Action::Compute(SimDur::from_millis(3)),
+                        Action::Send(Message {
+                            src: Endpoint {
+                                node: 0,
+                                tid: Tid(0),
+                            },
+                            dst: Endpoint {
+                                node: 0,
+                                tid: Tid(1),
+                            },
+                            tag: 1,
+                            bytes: 8,
+                            sent_at: SimTime::ZERO,
+                            payload: 0,
+                        }),
+                        Action::Compute(SimDur::from_millis(5)),
+                    ])),
+                );
+                k.spawn(
+                    app_spec("receiver", 1),
+                    Box::new(Script::new(vec![
+                        Action::Recv {
+                            tag: TagSel::Exact(1),
+                            src: SrcSel::Any,
+                            wait: WaitMode::Block,
+                        },
+                        Action::Compute(SimDur::from_millis(4)),
+                    ])),
+                );
+                k.spawn(
+                    ThreadSpec::new("syncd", ThreadClass::Daemon, Prio::DAEMON_OBSERVED),
+                    Box::new(Script::new(vec![
+                        Action::SleepUntil(SimTime::from_millis(2)),
+                        Action::Compute(SimDur::from_millis(1)),
+                    ])),
+                );
+                k
+            };
+            let horizon = SimTime::from_millis(40);
+            let mut a = SoloRunner::new(assemble());
+            a.boot();
+            a.run_until(horizon);
+            assert_eq!(a.kernel.app_alive(), 0, "{kind:?} left apps running");
+            let a_trace: Vec<_> = a.kernel.trace().events().copied().collect();
+
+            // Checkpoint mid-run, restore into a fresh assembly, continue,
+            // and demand the same history.
+            let mut b = SoloRunner::new(assemble());
+            b.boot();
+            b.run_until(SimTime::from_millis(4));
+            let snap = b.kernel.snapshot();
+            let q_events: Vec<(SimTime, u64, KernelEvent)> = b
+                .queue()
+                .live_entries()
+                .into_iter()
+                .map(|(t, id, ev)| (t, id, ev.clone()))
+                .collect();
+            let (q_now, q_next, q_stats) =
+                (b.queue().now(), b.queue().next_id_raw(), b.queue().stats());
+
+            let mut c = SoloRunner::new(assemble());
+            c.boot();
+            c.kernel.restore(&snap).unwrap_or_else(|e| {
+                panic!("{kind:?} snapshot failed to restore: {e}");
+            });
+            c.restore_queue(
+                pa_simkit::EventQueue::from_parts(q_now, q_next, q_stats, q_events).unwrap(),
+                b.events_processed(),
+            );
+            c.run_until(horizon);
+            let c_trace: Vec<_> = c.kernel.trace().events().copied().collect();
+            assert_eq!(c_trace, a_trace, "{kind:?} diverged after restore");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! parallel-aware behaviour. `pa-core` exposes the `vanilla()` /
 //! `prototype()` presets as the two kernels compared throughout §5.
 
-use crate::types::{DaemonQueuePolicy, PreemptMode, TickAlign};
+use crate::types::{DaemonQueuePolicy, DispatcherKind, PreemptMode, TickAlign};
 use pa_simkit::SimDur;
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +81,11 @@ pub struct SchedOptions {
     pub idle_steal: bool,
     /// Mechanism costs.
     pub costs: CostModel,
+    /// Dispatcher policy ordering the ready queues. `Aix` reproduces the
+    /// 2003 priority-band semantics exactly; the fair policies re-ask the
+    /// paper's question under CFS/EEVDF-style scheduling. Kept last so
+    /// the canonical serialized form appends rather than reorders.
+    pub dispatcher: DispatcherKind,
 }
 
 impl SchedOptions {
@@ -96,6 +101,7 @@ impl SchedOptions {
             timeslice: SimDur::from_millis(10),
             idle_steal: true,
             costs: CostModel::default(),
+            dispatcher: DispatcherKind::Aix,
         }
     }
 
@@ -170,6 +176,7 @@ mod tests {
         assert_eq!(v.preempt, PreemptMode::Lazy);
         assert_eq!(v.daemon_queue, DaemonQueuePolicy::PerCpu);
         assert_eq!(v.tick_align, TickAlign::Staggered);
+        assert_eq!(v.dispatcher, DispatcherKind::Aix);
         assert!(v.validate().is_ok());
     }
 

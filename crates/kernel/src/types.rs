@@ -100,6 +100,55 @@ pub enum PreemptMode {
     RtIpiImproved,
 }
 
+/// Which dispatcher policy orders the ready queues (see
+/// [`dispatch`](crate::dispatch)). The AIX policy reproduces the paper's
+/// 2003 priority-band semantics bit for bit; the fair policies answer the
+/// "does parallel awareness still pay under a modern scheduler?" question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DispatcherKind {
+    /// 2003 AIX semantics: strict priority dispatch, FIFO within a level,
+    /// fixed round-robin timeslice. The default; bit-identical to the
+    /// pre-trait kernel.
+    #[default]
+    Aix,
+    /// CFS-style weighted-fair scheduling: ready order keyed by virtual
+    /// runtime (nice-to-weight table), sched-latency slice targeting, and
+    /// a wakeup-granularity preemption threshold.
+    Cfs,
+    /// EEVDF-style scheduling: ready order keyed by virtual deadline
+    /// (eligible virtual runtime plus a weight-scaled request), earliest
+    /// deadline dispatched first.
+    Eevdf,
+}
+
+impl DispatcherKind {
+    /// Every policy, in canonical (CLI/docs) order.
+    pub const ALL: [DispatcherKind; 3] = [
+        DispatcherKind::Aix,
+        DispatcherKind::Cfs,
+        DispatcherKind::Eevdf,
+    ];
+
+    /// Parse the CLI spelling (`aix`, `cfs`, `eevdf`).
+    pub fn parse(s: &str) -> Option<DispatcherKind> {
+        match s {
+            "aix" => Some(DispatcherKind::Aix),
+            "cfs" => Some(DispatcherKind::Cfs),
+            "eevdf" => Some(DispatcherKind::Eevdf),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DispatcherKind::Aix => "aix",
+            DispatcherKind::Cfs => "cfs",
+            DispatcherKind::Eevdf => "eevdf",
+        }
+    }
+}
+
 /// Queue policy applied to non-application threads (§3.1.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DaemonQueuePolicy {
@@ -145,6 +194,15 @@ mod tests {
                 w[1]
             );
         }
+    }
+
+    #[test]
+    fn dispatcher_kind_round_trips_cli_names() {
+        for k in DispatcherKind::ALL {
+            assert_eq!(DispatcherKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(DispatcherKind::parse("o1"), None);
+        assert_eq!(DispatcherKind::default(), DispatcherKind::Aix);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   BSP phase breakdown;
 //! * [`multi_job`] — the batch-layer sweep: one job stream under several
 //!   `pa-jobs` placement policies, compared on makespan/wait/utilization;
+//! * [`oversub`] — the oversubscribed multi-runtime gang scenario: every
+//!   dispatcher policy, gang coordinators off and on, on one node;
 //! * [`overlap`] / [`audit`] — the underlying trace analyses.
 
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@ pub mod figures;
 pub mod illustrations;
 pub mod multi_job;
 pub mod overlap;
+pub mod oversub;
 pub mod tables;
 
 pub use aggregate::{AggregateSpec, AggregateTrace};
@@ -43,6 +46,7 @@ pub use multi_job::{
     PolicyRow,
 };
 pub use overlap::{green_fraction, red_touch_fraction};
+pub use oversub::{oversub_comparison, run_oversub, OversubRow, OversubSpec};
 pub use tables::{
     duty_cycle_sweep, run_ale3d, tab_15v16, tab_ablation, tab_ale3d, tab_ale3d_io, tab_timer,
     AleMode, AleRow, LabeledRow, T15v16Result, TimerResult,

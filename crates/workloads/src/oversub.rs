@@ -1,0 +1,283 @@
+//! Oversubscribed multi-runtime gang scheduling: the dispatcher stress
+//! scenario the 2003 study never ran.
+//!
+//! One SMP node hosts several independent "runtimes" (think: separate
+//! parallel jobs sharing a node), each with more workers than its share
+//! of CPUs — the node is oversubscribed. Optionally each runtime deploys
+//! a gang coordinator in the co-scheduler mold: a favored daemon that
+//! boosts its own workers to `FAVORED` during its runtime's window of a
+//! round-robin schedule and demotes them to `UNFAVORED` otherwise, so at
+//! any instant (modulo lazy-preemption latency) one runtime's workers own
+//! the CPUs.
+//!
+//! The scenario is run once per [`DispatcherKind`], with and without the
+//! gang coordinators, and reports makespan, per-runtime finish skew, and
+//! dispatch/preemption counts. Under the AIX policy gangs are decisive:
+//! priority is absolute, so without windows the runtimes round-robin at
+//! timeslice grain but with them each runtime gets dedicated bursts.
+//! Under CFS/EEVDF the priority boost only re-weights shares, so gang
+//! windows blur — exactly the "does parallel awareness still pay under
+//! fair scheduling?" question at single-node scale.
+//!
+//! Everything is deterministic: no noise, a fixed seed, scripted
+//! coordinators with precomputed windows (no message feedback), so the
+//! rows are byte-stable for CI.
+
+use pa_kernel::{
+    Action, ClockModel, CpuId, DispatcherKind, Kernel, Prio, SchedOptions, Script, SoloRunner,
+    ThreadSpec, Tid,
+};
+use pa_simkit::{SimDur, SimRng, SimTime};
+use pa_trace::ThreadClass;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the oversubscription scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OversubSpec {
+    /// Independent runtimes sharing the node.
+    pub runtimes: u32,
+    /// Workers per runtime. `runtimes * workers_per_runtime > cpus` is
+    /// the point of the exercise.
+    pub workers_per_runtime: u32,
+    /// CPUs on the node.
+    pub cpus: u8,
+    /// Compute demand per worker (total, split into timeslice-scale
+    /// chunks so blocking never hides the dispatcher).
+    pub work_per_worker: SimDur,
+    /// Chunk size the work is split into.
+    pub chunk: SimDur,
+    /// Gang window length (one runtime favored per window, round-robin).
+    pub window: SimDur,
+    /// Master seed (kernel RNG: IPI latencies).
+    pub seed: u64,
+    /// Give-up horizon.
+    pub horizon: SimDur,
+}
+
+impl Default for OversubSpec {
+    fn default() -> Self {
+        // 3 runtimes × 4 workers on 4 CPUs: 3× oversubscribed. 120 ms of
+        // work per worker in 2 ms chunks; 30 ms windows (a multiple of
+        // the 10 ms tick, so the sleeping coordinators wake on time).
+        OversubSpec {
+            runtimes: 3,
+            workers_per_runtime: 4,
+            cpus: 4,
+            work_per_worker: SimDur::from_millis(120),
+            chunk: SimDur::from_millis(2),
+            window: SimDur::from_millis(30),
+            seed: 42,
+            horizon: SimDur::from_secs(60),
+        }
+    }
+}
+
+impl OversubSpec {
+    /// A seconds-scale smoke variant.
+    pub fn quick() -> OversubSpec {
+        OversubSpec {
+            runtimes: 2,
+            workers_per_runtime: 3,
+            cpus: 2,
+            work_per_worker: SimDur::from_millis(60),
+            ..OversubSpec::default()
+        }
+    }
+}
+
+/// One (dispatcher, gang) cell of the comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OversubRow {
+    /// Dispatcher policy name.
+    pub dispatcher: String,
+    /// Were gang coordinators deployed?
+    pub gang: bool,
+    /// Did every worker finish before the horizon?
+    pub completed: bool,
+    /// Last worker exit, ms.
+    pub makespan_ms: f64,
+    /// Per-runtime last-worker exit, ms (index = runtime).
+    pub runtime_finish_ms: Vec<f64>,
+    /// Spread between the first and last runtime to finish, ms. Gangs
+    /// serialize runtimes (large spread); fair sharing finishes them
+    /// together (small spread).
+    pub finish_spread_ms: f64,
+    /// Dispatcher decisions (kernel stat).
+    pub dispatches: u64,
+    /// Preemptions (kernel stat).
+    pub preemptions: u64,
+    /// Total worker ready-queue wait, ms (the oversubscription cost).
+    pub runq_wait_ms: f64,
+}
+
+/// Run one cell: `spec` under `kind`, with or without gang coordinators.
+pub fn run_oversub(spec: &OversubSpec, kind: DispatcherKind, gang: bool) -> OversubRow {
+    assert!(
+        spec.runtimes * spec.workers_per_runtime > u32::from(spec.cpus),
+        "scenario must oversubscribe the node"
+    );
+    let mut opts = SchedOptions::vanilla();
+    opts.dispatcher = kind;
+    let mut k = Kernel::new(
+        0,
+        spec.cpus,
+        opts,
+        ClockModel::synced(),
+        SimRng::from_seed(spec.seed),
+        1 << 16,
+    );
+
+    // Workers: plain compute loops at USER, homed round-robin across the
+    // CPUs (pinned threads model runtime-managed affinity).
+    let chunks = spec.work_per_worker.nanos().div_ceil(spec.chunk.nanos()) as usize;
+    let mut workers: Vec<Vec<Tid>> = Vec::new();
+    for r in 0..spec.runtimes {
+        let mut tids = Vec::new();
+        for w in 0..spec.workers_per_runtime {
+            let cpu = ((r * spec.workers_per_runtime + w) % u32::from(spec.cpus)) as u8;
+            let tid = k.spawn(
+                ThreadSpec::new(format!("rt{r}.w{w}"), ThreadClass::App, Prio::USER)
+                    .on_cpu(CpuId(cpu)),
+                Box::new(Script::new(vec![Action::Compute(spec.chunk); chunks])),
+            );
+            tids.push(tid);
+        }
+        workers.push(tids);
+    }
+
+    // Gang coordinators: one per runtime, at the co-scheduler's own
+    // priority, each executing a precomputed window schedule. Runtime `r`
+    // is favored in windows where `window_index % runtimes == r`. Enough
+    // windows to cover the horizon; the coordinator exits after the last.
+    if gang {
+        let windows = (spec.horizon.nanos() / spec.window.nanos()).max(1);
+        for (r, tids) in workers.iter().enumerate() {
+            let mut script = Vec::new();
+            for wi in 0..windows {
+                if wi > 0 {
+                    script.push(Action::SleepUntil(SimTime::ZERO + spec.window * wi));
+                }
+                let favored = wi % u64::from(spec.runtimes) == r as u64;
+                let prio = if favored {
+                    Prio::FAVORED
+                } else {
+                    Prio::UNFAVORED
+                };
+                for &t in tids {
+                    script.push(Action::SetPriority { target: t, prio });
+                }
+            }
+            k.spawn(
+                ThreadSpec::new(format!("gang{r}"), ThreadClass::Cosched, Prio::COSCHED),
+                Box::new(Script::new(script)),
+            );
+        }
+    }
+
+    let mut runner = SoloRunner::new(k);
+    runner.boot();
+    let end = runner.run_until_apps_done(SimTime::ZERO + spec.horizon);
+    let completed = runner.kernel.app_alive() == 0;
+
+    let ms = |d: SimDur| d.nanos() as f64 / 1e6;
+    let runtime_finish_ms: Vec<f64> = workers
+        .iter()
+        .map(|tids| {
+            tids.iter()
+                .map(|&t| {
+                    ms(runner
+                        .kernel
+                        .thread_account(t, end)
+                        .end
+                        .since(SimTime::ZERO))
+                })
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let makespan_ms = runtime_finish_ms.iter().copied().fold(0.0, f64::max);
+    let first = runtime_finish_ms.iter().copied().fold(f64::MAX, f64::min);
+    let runq_wait_ms: f64 = workers
+        .iter()
+        .flatten()
+        .map(|&t| ms(runner.kernel.thread_account(t, end).runq_wait))
+        .sum();
+    OversubRow {
+        dispatcher: kind.as_str().into(),
+        gang,
+        completed,
+        makespan_ms,
+        finish_spread_ms: makespan_ms - first,
+        runtime_finish_ms,
+        dispatches: runner.kernel.stats().dispatches,
+        preemptions: runner.kernel.stats().preemptions,
+        runq_wait_ms,
+    }
+}
+
+/// The full comparison grid: every dispatcher, gangs off and on.
+pub fn oversub_comparison(spec: &OversubSpec) -> Vec<OversubRow> {
+    let mut rows = Vec::new();
+    for kind in DispatcherKind::ALL {
+        for gang in [false, true] {
+            rows.push(run_oversub(spec, kind, gang));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cells_complete_and_are_deterministic() {
+        let spec = OversubSpec::quick();
+        let rows = oversub_comparison(&spec);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(
+                row.completed,
+                "{}/gang={} did not finish",
+                row.dispatcher, row.gang
+            );
+            assert!(row.dispatches > 0);
+            assert!(row.makespan_ms > 0.0);
+        }
+        assert_eq!(rows, oversub_comparison(&spec), "rows not deterministic");
+    }
+
+    #[test]
+    fn gangs_serialize_runtimes_under_aix() {
+        // With absolute priorities, gang windows hand the whole node to
+        // one runtime at a time: the finish spread between runtimes must
+        // be far larger than under the free-for-all, where equal-priority
+        // round-robin finishes them nearly together.
+        let spec = OversubSpec::default();
+        let free = run_oversub(&spec, DispatcherKind::Aix, false);
+        let ganged = run_oversub(&spec, DispatcherKind::Aix, true);
+        assert!(free.completed && ganged.completed);
+        assert!(
+            ganged.finish_spread_ms > free.finish_spread_ms * 2.0,
+            "gang spread {:.1}ms vs free spread {:.1}ms",
+            ganged.finish_spread_ms,
+            free.finish_spread_ms
+        );
+    }
+
+    #[test]
+    fn fair_policies_blunt_gang_windows() {
+        // CFS turns the FAVORED/UNFAVORED boost into a weight ratio, not
+        // an absolute grant, so the favored runtime's exclusivity — and
+        // with it the finish spread — shrinks relative to AIX gangs.
+        let spec = OversubSpec::default();
+        let aix = run_oversub(&spec, DispatcherKind::Aix, true);
+        let cfs = run_oversub(&spec, DispatcherKind::Cfs, true);
+        assert!(aix.completed && cfs.completed);
+        assert!(
+            cfs.finish_spread_ms < aix.finish_spread_ms,
+            "CFS spread {:.1}ms should undercut AIX spread {:.1}ms",
+            cfs.finish_spread_ms,
+            aix.finish_spread_ms
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests over the stack's core invariants (proptest).
 
 use pa_core::{metrics_of, AdminTable, CoschedParams, CoschedSetup, Experiment, PriorityRecord};
-use pa_kernel::{ClockModel, Prio};
+use pa_kernel::{ClockModel, DispatcherKind, Prio};
 use pa_mpi::coll::{
     binomial_allreduce, dissemination_barrier, recursive_doubling_allreduce, ring_allgather,
     CollStep,
@@ -493,6 +493,61 @@ proptest! {
                 &serial.1, &sharded.1,
                 "trace diverges at {} threads (nodes={}, seed={}, link_bw={:?})",
                 threads, nodes, seed, link_bw
+            );
+        }
+    }
+}
+
+/// Like [`engine_fingerprint`], but under an arbitrary dispatcher policy:
+/// the sharding proof must hold for CFS and EEVDF exactly as for AIX,
+/// since the dispatcher is per-node state that never crosses shards.
+fn engine_fingerprint_with_dispatcher(
+    nodes: u32,
+    tasks: u32,
+    seed: u64,
+    cosched: bool,
+    kind: DispatcherKind,
+    threads: usize,
+) -> (String, Vec<pa_trace::TraceEvent>) {
+    let mut wl = |_rank: u32| -> Box<dyn RankWorkload> {
+        Box::new(OpList::new(vec![MpiOp::Allreduce { bytes: 256 }; 24]))
+    };
+    let mut e = Experiment::new(nodes, tasks)
+        .with_cpus_per_node(4)
+        .with_trace_node(0)
+        .with_seed(seed)
+        .with_dispatcher(kind)
+        .with_sim_threads(threads);
+    if cosched {
+        e = e.with_cosched(CoschedSetup::default());
+    }
+    let out = e.run(&mut wl);
+    let trace: Vec<pa_trace::TraceEvent> = out.sim.kernel(0).trace().events().copied().collect();
+    (metrics_of(&out).snapshot_json(), trace)
+}
+
+proptest! {
+    #[test]
+    fn sharded_engine_replays_serial_history_under_any_dispatcher(
+        nodes in 2u32..5,
+        tasks in 1u32..3,
+        seed in 0u64..10_000,
+        cosched in any::<bool>(),
+        kind in (0usize..DispatcherKind::ALL.len()).prop_map(|i| DispatcherKind::ALL[i]),
+    ) {
+        let serial = engine_fingerprint_with_dispatcher(nodes, tasks, seed, cosched, kind, 1);
+        for threads in [2usize, 4] {
+            let sharded =
+                engine_fingerprint_with_dispatcher(nodes, tasks, seed, cosched, kind, threads);
+            prop_assert_eq!(
+                &serial.0, &sharded.0,
+                "metrics diverge at {} threads (dispatcher={}, nodes={}, seed={})",
+                threads, kind.as_str(), nodes, seed
+            );
+            prop_assert_eq!(
+                &serial.1, &sharded.1,
+                "trace diverges at {} threads (dispatcher={}, nodes={}, seed={})",
+                threads, kind.as_str(), nodes, seed
             );
         }
     }
